@@ -1,0 +1,31 @@
+package batfish_test
+
+import (
+	"fmt"
+
+	"repro/batfish"
+)
+
+// ExampleLoadText shows the minimal pipeline: parse two devices (one per
+// dialect), compute the data plane, and ask a configuration question.
+func ExampleLoadText() {
+	snap := batfish.LoadText(map[string]string{
+		"r1.cfg": `
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.252
+ ip access-group MISSING_ACL in
+`,
+		"r2.cfg": `
+set system host-name r2
+set interfaces ge-0/0/0 unit 0 family inet address 10.0.0.2/30
+`,
+	})
+	fmt.Println("converged:", snap.DataPlane().Converged)
+	for _, f := range snap.UndefinedReferences() {
+		fmt.Println(f)
+	}
+	// Output:
+	// converged: true
+	// r1: undefined acl "MISSING_ACL" referenced at interface eth0 access-group in
+}

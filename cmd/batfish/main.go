@@ -1,0 +1,297 @@
+// Command batfish analyzes network configuration snapshots from the
+// command line: load a directory of configuration files, run questions,
+// trace flows, and regenerate the paper's evaluation tables.
+//
+// Usage:
+//
+//	batfish -snapshot DIR [-q QUESTION] [flags]
+//	batfish -table1            # regenerate Table 1 (network inventory)
+//	batfish -table2 [-nets N]  # regenerate Table 2 (performance)
+//	batfish -demo figure1      # reproduce Figure 1's convergence behavior
+//
+// Questions: refs, unused, dupips, ntp, bgp, routes (-node), reachability,
+// multipath, loops, traceroute (-node -iface -src -dst -dport).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/batfish"
+	"repro/internal/bdd"
+	"repro/internal/config"
+	"repro/internal/dataplane"
+	"repro/internal/fwdgraph"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+	"repro/internal/netgen"
+	"repro/internal/reach"
+	"repro/internal/testnet"
+)
+
+func main() {
+	var (
+		snapshot = flag.String("snapshot", "", "directory of configuration files")
+		question = flag.String("q", "refs", "question to ask")
+		node     = flag.String("node", "", "device for node-scoped questions")
+		iface    = flag.String("iface", "", "interface for traceroute")
+		srcIP    = flag.String("src", "", "source IP for traceroute")
+		dstIP    = flag.String("dst", "", "destination IP for traceroute")
+		dport    = flag.Int("dport", 80, "destination port for traceroute")
+		table1   = flag.Bool("table1", false, "print the Table 1 network inventory")
+		table2   = flag.Bool("table2", false, "run the Table 2 performance benchmark")
+		nets     = flag.Int("nets", 5, "how many catalog networks -table2 runs")
+		demo     = flag.String("demo", "", "run a paper demo: figure1, badgadget")
+	)
+	flag.Parse()
+
+	switch {
+	case *table1:
+		printTable1()
+	case *table2:
+		runTable2(*nets)
+	case *demo == "figure1":
+		demoFigure1()
+	case *demo == "badgadget":
+		demoBadGadget()
+	case *snapshot != "":
+		runQuestion(*snapshot, *question, *node, *iface, *srcIP, *dstIP, *dport)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "batfish: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runQuestion(dir, q, node, iface, src, dst string, dport int) {
+	snap, err := batfish.LoadDir(dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, w := range snap.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", w)
+	}
+	printFindings := func(fs []batfish.Finding) {
+		if len(fs) == 0 {
+			fmt.Println("no findings")
+		}
+		for _, f := range fs {
+			fmt.Println(f)
+		}
+	}
+	switch q {
+	case "refs":
+		printFindings(snap.UndefinedReferences())
+	case "unused":
+		printFindings(snap.UnusedStructures())
+	case "dupips":
+		printFindings(snap.DuplicateIPs())
+	case "ntp":
+		printFindings(snap.NTPConsistency())
+	case "bgp":
+		printFindings(snap.BGPSessionStatus())
+	case "routes":
+		if node == "" {
+			fatalf("-node required for routes")
+		}
+		for _, rt := range snap.Routes(node) {
+			fmt.Println(rt)
+		}
+	case "reachability":
+		for _, r := range snap.Reachability(batfish.ReachabilityParams{}) {
+			fmt.Printf("%s/%s:\n", r.Source.Device, r.Source.Iface)
+			if r.HasPositive {
+				fmt.Printf("  delivered example: %v\n", r.PositiveExample)
+			}
+			if r.HasNegative {
+				fmt.Printf("  failed example:    %v\n", r.NegativeExample)
+				for _, t := range r.Traces {
+					fmt.Println("  " + strings.ReplaceAll(t.String(), "\n", "\n  "))
+				}
+			}
+		}
+	case "loops":
+		loops := snap.DetectLoops()
+		if len(loops) == 0 {
+			fmt.Println("no forwarding loops")
+		}
+		for _, l := range loops {
+			fmt.Printf("loop from %s/%s, example %v\n", l.Source.Device, l.Source.Iface, l.Example)
+		}
+	case "multipath":
+		vs := snap.MultipathConsistency()
+		if len(vs) == 0 {
+			fmt.Println("multipath consistent")
+		}
+		for _, v := range vs {
+			fmt.Printf("violation at %s/%s, example %v\n", v.Source.Device, v.Source.Iface, v.Example)
+		}
+	case "traceroute":
+		if node == "" || dst == "" {
+			fatalf("-node and -dst required for traceroute")
+		}
+		p := hdr.Packet{Protocol: hdr.ProtoTCP, DstPort: uint16(dport), SrcPort: 40000}
+		var err error
+		if p.DstIP, err = ip4.ParseAddr(dst); err != nil {
+			fatalf("bad -dst: %v", err)
+		}
+		if src != "" {
+			if p.SrcIP, err = ip4.ParseAddr(src); err != nil {
+				fatalf("bad -src: %v", err)
+			}
+		}
+		for _, t := range snap.Traceroute().Run(node, config.DefaultVRF, iface, p) {
+			fmt.Println(t)
+		}
+	default:
+		fatalf("unknown question %q", q)
+	}
+}
+
+func printTable1() {
+	fmt.Printf("%-7s %-12s %8s %9s %10s %8s  %s\n",
+		"Network", "Type", "Devices", "LoC", "Routes", "Dialects", "Protocols")
+	for _, sp := range netgen.Catalog() {
+		snap := sp.Gen()
+		net, _ := snap.Parse()
+		dialects := map[netgen.Dialect]bool{}
+		for _, d := range snap.Devices {
+			dialects[d.Dialect] = true
+		}
+		ds := []string{}
+		if dialects[netgen.IOS] {
+			ds = append(ds, "ios")
+		}
+		if dialects[netgen.Junos] {
+			ds = append(ds, "junos")
+		}
+		protos := protoSummary(net)
+		// Route counts require the data plane; keep Table 1 cheap by
+		// reporting them only for the smaller networks.
+		routes := "-"
+		if sp.ExpectDevices <= 300 {
+			dp := dataplane.Run(net, dataplane.Options{Parallelism: runtime.NumCPU()})
+			routes = fmt.Sprint(totalRoutes(dp))
+		}
+		fmt.Printf("%-7s %-12s %8d %9d %10s %8s  %s\n",
+			sp.Name, sp.Type, len(snap.Devices), snap.LoC(), routes,
+			strings.Join(ds, "+"), protos)
+	}
+}
+
+func protoSummary(net *config.Network) string {
+	has := map[string]bool{}
+	for _, d := range net.Devices {
+		for _, v := range d.VRFs {
+			if v.OSPF != nil {
+				has["ospf"] = true
+			}
+			if v.BGP != nil {
+				has["bgp"] = true
+			}
+			if len(v.StaticRoutes) > 0 {
+				has["static"] = true
+			}
+		}
+		if len(d.ACLs) > 0 {
+			has["acl"] = true
+		}
+	}
+	var out []string
+	for _, p := range []string{"bgp", "ospf", "static", "acl"} {
+		if has[p] {
+			out = append(out, p)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+func totalRoutes(dp *dataplane.Result) int {
+	n := 0
+	for _, ns := range dp.Nodes {
+		for _, vs := range ns.VRFs {
+			n += vs.Main.Size()
+		}
+	}
+	return n
+}
+
+func runTable2(nets int) {
+	specs := netgen.Catalog()
+	if nets < len(specs) {
+		specs = specs[:nets]
+	}
+	fmt.Printf("%-7s %8s %10s %12s %12s %12s\n",
+		"Network", "Devices", "Routes", "Parse", "DP gen", "Dest reach")
+	for _, sp := range specs {
+		snap := sp.Gen()
+
+		t0 := time.Now()
+		net, _ := snap.Parse()
+		parse := time.Since(t0)
+
+		t1 := time.Now()
+		dp := dataplane.Run(net, dataplane.Options{Parallelism: runtime.NumCPU()})
+		dpGen := time.Since(t1)
+		if !dp.Converged {
+			fmt.Fprintf(os.Stderr, "%s: did not converge: %v\n", sp.Name, dp.Warnings)
+		}
+
+		t2 := time.Now()
+		an := reachFor(dp)
+		dst := net.DeviceNames()[len(net.DeviceNames())/2]
+		res := an.DestReachability(dst, bdd.True)
+		reachDur := time.Since(t2)
+		_ = res
+
+		fmt.Printf("%-7s %8d %10d %12v %12v %12v\n",
+			sp.Name, len(net.Devices), totalRoutes(dp), parse.Round(time.Millisecond),
+			dpGen.Round(time.Millisecond), reachDur.Round(time.Millisecond))
+	}
+}
+
+func reachFor(dp *dataplane.Result) *reach.Analysis {
+	return reach.New(fwdgraph.New(dp))
+}
+
+func demoBadGadget() {
+	fmt.Println("BGP bad gadget: 3-router ring, each preferring its successor's path")
+	fmt.Println("(no stable solution exists; the simulator must report this, §4.1.2)")
+	fmt.Println()
+	r := dataplane.Run(testnet.BadGadget(), dataplane.Options{MaxIterations: 200})
+	fmt.Printf("converged=%v oscillation=%v iterations=%d sessions=%d\n",
+		r.Converged, r.Oscillation, r.BGPIterations, len(r.Sessions))
+	for _, w := range r.Warnings {
+		fmt.Println("  " + w)
+	}
+}
+
+func demoFigure1() {
+	fmt.Println("Figure 1b: two border routers + two external advertisers of 10.0.0.0/8")
+	fmt.Println()
+	lock := dataplane.Run(testnet.Figure1b(), dataplane.Options{
+		Schedule: dataplane.ScheduleLockstep, MaxIterations: 50})
+	fmt.Printf("lockstep schedule:  converged=%v oscillation=%v iterations=%d\n",
+		lock.Converged, lock.Oscillation, lock.BGPIterations)
+	for _, w := range lock.Warnings {
+		fmt.Println("  " + w)
+	}
+	col := dataplane.Run(testnet.Figure1b(), dataplane.Options{})
+	fmt.Printf("colored schedule:   converged=%v oscillation=%v iterations=%d\n",
+		col.Converged, col.Oscillation, col.BGPIterations)
+	for _, name := range []string{"border1", "border2"} {
+		for _, rt := range col.Nodes[name].DefaultVRF().Main.AllBest() {
+			if rt.Prefix == ip4.MustParsePrefix("10.0.0.0/8") {
+				fmt.Printf("  %s: %v\n", name, rt)
+			}
+		}
+	}
+}

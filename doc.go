@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of the system described
+// in "Lessons from the evolution of the Batfish configuration analysis
+// tool" (SIGCOMM 2023): configuration parsing, imperative data plane
+// generation with deterministic convergence, BDD-based data plane
+// verification, the original architecture's Datalog and NoD/SAT baselines,
+// and the paper's evaluation harness.
+//
+// The public API lives in package repro/batfish; bench_test.go in this
+// directory regenerates every table and figure of the paper's evaluation
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results).
+package repro

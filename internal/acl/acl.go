@@ -1,0 +1,305 @@
+// Package acl models access control lists: ordered match/action rule lists
+// over packet headers. It provides both engines the paper requires —
+// concrete evaluation (used by the traceroute engine, §4.3.2) and symbolic
+// compilation to BDDs (used by the reachability engine, §4.2) — so the two
+// can be differentially tested against each other.
+package acl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+)
+
+// Action is the disposition of a matching line.
+type Action uint8
+
+// Line actions.
+const (
+	Permit Action = iota
+	Deny
+)
+
+func (a Action) String() string {
+	if a == Permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+// PortRange is an inclusive TCP/UDP port range. The zero value (0, 0)
+// matches only port 0; use AnyPort for "any".
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// AnyPort matches all ports.
+var AnyPort = PortRange{0, 65535}
+
+// Contains reports whether p is within the range.
+func (r PortRange) Contains(p uint16) bool { return p >= r.Lo && p <= r.Hi }
+
+// Line is one ACL entry. Nil/zero match fields mean "any". IP constraints
+// are prefixes (wildcard masks in vendor configs are normalized to prefixes
+// by the parsers; non-contiguous wildcards are rejected at parse time).
+type Line struct {
+	Action   Action
+	Name     string // line text or sequence label, for traces
+	Protocol int    // -1 = any, else IP protocol number
+	SrcIPs   []ip4.Prefix
+	DstIPs   []ip4.Prefix
+	SrcPorts []PortRange // empty = any; only checked for TCP/UDP
+	DstPorts []PortRange
+	ICMPType int // -1 = any
+	ICMPCode int // -1 = any
+	TCPFlags *TCPFlagsMatch
+}
+
+// TCPFlagsMatch constrains TCP flag bits: bits in Mask must equal the
+// corresponding bits in Value. "established" is Mask=ACK|RST, Value≠0
+// handled as two lines by parsers (ACK set, or RST set).
+type TCPFlagsMatch struct {
+	Mask, Value uint8
+}
+
+// NewLine returns a Line matching any packet with the given action.
+func NewLine(action Action, name string) Line {
+	return Line{Action: action, Name: name, Protocol: -1, ICMPType: -1, ICMPCode: -1}
+}
+
+// ACL is a named, ordered list of lines with an implicit deny at the end
+// (the universal convention the paper's devices share).
+type ACL struct {
+	Name  string
+	Lines []Line
+}
+
+// Disposition is the result of evaluating an ACL against a packet.
+type Disposition struct {
+	Action    Action
+	LineIndex int    // -1 for the implicit deny
+	LineName  string // annotation for explanations (§4.4.3)
+}
+
+// Eval evaluates the ACL against a concrete packet, first-match semantics.
+func (a *ACL) Eval(p hdr.Packet) Disposition {
+	for i := range a.Lines {
+		if a.Lines[i].Matches(p) {
+			return Disposition{Action: a.Lines[i].Action, LineIndex: i, LineName: a.Lines[i].Name}
+		}
+	}
+	return Disposition{Action: Deny, LineIndex: -1, LineName: "implicit deny"}
+}
+
+// Matches reports whether the line matches the packet.
+func (l *Line) Matches(p hdr.Packet) bool {
+	if l.Protocol >= 0 && int(p.Protocol) != l.Protocol {
+		return false
+	}
+	if !anyPrefix(l.SrcIPs, p.SrcIP) || !anyPrefix(l.DstIPs, p.DstIP) {
+		return false
+	}
+	if len(l.SrcPorts) > 0 {
+		if p.Protocol != hdr.ProtoTCP && p.Protocol != hdr.ProtoUDP {
+			return false
+		}
+		if !anyPort(l.SrcPorts, p.SrcPort) {
+			return false
+		}
+	}
+	if len(l.DstPorts) > 0 {
+		if p.Protocol != hdr.ProtoTCP && p.Protocol != hdr.ProtoUDP {
+			return false
+		}
+		if !anyPort(l.DstPorts, p.DstPort) {
+			return false
+		}
+	}
+	if l.ICMPType >= 0 && (p.Protocol != hdr.ProtoICMP || int(p.IcmpType) != l.ICMPType) {
+		return false
+	}
+	if l.ICMPCode >= 0 && (p.Protocol != hdr.ProtoICMP || int(p.IcmpCode) != l.ICMPCode) {
+		return false
+	}
+	if l.TCPFlags != nil {
+		if p.Protocol != hdr.ProtoTCP || p.TCPFlags&l.TCPFlags.Mask != l.TCPFlags.Value {
+			return false
+		}
+	}
+	return true
+}
+
+func anyPrefix(ps []ip4.Prefix, a ip4.Addr) bool {
+	if len(ps) == 0 {
+		return true
+	}
+	for _, p := range ps {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyPort(rs []PortRange, p uint16) bool {
+	for _, r := range rs {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// LineBDD compiles a single line's match condition to a packet-set BDD.
+func LineBDD(e *hdr.Enc, l *Line) bdd.Ref {
+	r := bdd.True
+	f := e.F
+	if l.Protocol >= 0 {
+		r = f.And(r, e.FieldEq(hdr.Protocol, uint32(l.Protocol)))
+	}
+	r = f.And(r, prefixesBDD(e, hdr.SrcIP, l.SrcIPs))
+	r = f.And(r, prefixesBDD(e, hdr.DstIP, l.DstIPs))
+	if len(l.SrcPorts) > 0 {
+		r = f.And(r, f.And(tcpOrUDP(e), portsBDD(e, hdr.SrcPort, l.SrcPorts)))
+	}
+	if len(l.DstPorts) > 0 {
+		r = f.And(r, f.And(tcpOrUDP(e), portsBDD(e, hdr.DstPort, l.DstPorts)))
+	}
+	if l.ICMPType >= 0 {
+		r = f.And(r, f.And(e.FieldEq(hdr.Protocol, hdr.ProtoICMP), e.FieldEq(hdr.IcmpType, uint32(l.ICMPType))))
+	}
+	if l.ICMPCode >= 0 {
+		r = f.And(r, f.And(e.FieldEq(hdr.Protocol, hdr.ProtoICMP), e.FieldEq(hdr.IcmpCode, uint32(l.ICMPCode))))
+	}
+	if l.TCPFlags != nil {
+		r = f.And(r, e.FieldEq(hdr.Protocol, hdr.ProtoTCP))
+		for b := 0; b < 8; b++ {
+			bit := uint8(1) << (7 - b)
+			if l.TCPFlags.Mask&bit != 0 {
+				v := e.F.Var(e.L.Var(hdr.TCPFlags, b))
+				if l.TCPFlags.Value&bit != 0 {
+					r = f.And(r, v)
+				} else {
+					r = f.And(r, f.Not(v))
+				}
+			}
+		}
+	}
+	return r
+}
+
+func tcpOrUDP(e *hdr.Enc) bdd.Ref {
+	return e.F.Or(e.FieldEq(hdr.Protocol, hdr.ProtoTCP), e.FieldEq(hdr.Protocol, hdr.ProtoUDP))
+}
+
+func prefixesBDD(e *hdr.Enc, f hdr.Field, ps []ip4.Prefix) bdd.Ref {
+	if len(ps) == 0 {
+		return bdd.True
+	}
+	r := bdd.False
+	for _, p := range ps {
+		r = e.F.Or(r, e.Prefix(f, p))
+	}
+	return r
+}
+
+func portsBDD(e *hdr.Enc, f hdr.Field, rs []PortRange) bdd.Ref {
+	r := bdd.False
+	for _, pr := range rs {
+		r = e.F.Or(r, e.FieldRange(f, uint32(pr.Lo), uint32(pr.Hi)))
+	}
+	return r
+}
+
+// Compiled is an ACL compiled to BDDs: the permitted packet set, plus the
+// exact packet set matched by each line (for explanations).
+type Compiled struct {
+	Permit  bdd.Ref   // packets the ACL permits
+	PerLine []bdd.Ref // packets that match line i (and no earlier line)
+}
+
+// Compile translates the ACL to BDDs with first-match semantics: each
+// line's effective set is its match set minus everything matched earlier.
+func Compile(e *hdr.Enc, a *ACL) Compiled {
+	f := e.F
+	permit := bdd.False
+	remaining := bdd.True // packets not yet matched
+	perLine := make([]bdd.Ref, len(a.Lines))
+	for i := range a.Lines {
+		m := LineBDD(e, &a.Lines[i])
+		eff := f.And(m, remaining)
+		perLine[i] = eff
+		if a.Lines[i].Action == Permit {
+			permit = f.Or(permit, eff)
+		}
+		remaining = f.Diff(remaining, m)
+		if remaining == bdd.False {
+			break
+		}
+	}
+	return Compiled{Permit: permit, PerLine: perLine}
+}
+
+// MatchingLine returns the index of the line whose effective set contains
+// the packet set probe (useful for annotating examples), or -1 if the
+// implicit deny applies.
+func (c Compiled) MatchingLine(e *hdr.Enc, probe bdd.Ref) int {
+	for i, pl := range c.PerLine {
+		if e.F.And(pl, probe) != bdd.False {
+			return i
+		}
+	}
+	return -1
+}
+
+// UnreachableLines returns the indices of lines that can never match
+// because earlier lines shadow them completely — the ACL-refactoring
+// analysis of paper §5.3.
+func UnreachableLines(e *hdr.Enc, a *ACL) []int {
+	c := Compile(e, a)
+	var out []int
+	for i, pl := range c.PerLine {
+		if pl == bdd.False {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether two ACLs permit exactly the same packet set,
+// and if not returns a packet witnessing the difference.
+func Equivalent(e *hdr.Enc, a, b *ACL) (bool, hdr.Packet) {
+	ca, cb := Compile(e, a), Compile(e, b)
+	diff := e.F.Xor(ca.Permit, cb.Permit)
+	if diff == bdd.False {
+		return true, hdr.Packet{}
+	}
+	p, _ := e.PickPacket(diff,
+		e.FieldEq(hdr.Protocol, hdr.ProtoTCP),
+		e.FieldGE(hdr.SrcPort, 1024))
+	return false, p
+}
+
+func (l Line) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", l.Action)
+	if l.Protocol >= 0 {
+		fmt.Fprintf(&b, " proto=%d", l.Protocol)
+	}
+	if len(l.SrcIPs) > 0 {
+		fmt.Fprintf(&b, " src=%v", l.SrcIPs)
+	}
+	if len(l.DstIPs) > 0 {
+		fmt.Fprintf(&b, " dst=%v", l.DstIPs)
+	}
+	if len(l.SrcPorts) > 0 {
+		fmt.Fprintf(&b, " sport=%v", l.SrcPorts)
+	}
+	if len(l.DstPorts) > 0 {
+		fmt.Fprintf(&b, " dport=%v", l.DstPorts)
+	}
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package acl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+)
+
+func tcpLine(action Action, src, dst string, dport uint16) Line {
+	l := NewLine(action, "")
+	l.Protocol = hdr.ProtoTCP
+	if src != "" {
+		l.SrcIPs = []ip4.Prefix{ip4.MustParsePrefix(src)}
+	}
+	if dst != "" {
+		l.DstIPs = []ip4.Prefix{ip4.MustParsePrefix(dst)}
+	}
+	if dport != 0 {
+		l.DstPorts = []PortRange{{dport, dport}}
+	}
+	return l
+}
+
+func TestEvalFirstMatch(t *testing.T) {
+	a := &ACL{Name: "t", Lines: []Line{
+		tcpLine(Deny, "10.0.0.0/8", "", 0),
+		tcpLine(Permit, "", "", 80),
+	}}
+	deny := hdr.Packet{Protocol: hdr.ProtoTCP, SrcIP: ip4.MustParseAddr("10.1.1.1"), DstPort: 80}
+	if d := a.Eval(deny); d.Action != Deny || d.LineIndex != 0 {
+		t.Errorf("first-match violated: %+v", d)
+	}
+	permit := hdr.Packet{Protocol: hdr.ProtoTCP, SrcIP: ip4.MustParseAddr("11.1.1.1"), DstPort: 80}
+	if d := a.Eval(permit); d.Action != Permit || d.LineIndex != 1 {
+		t.Errorf("permit line not hit: %+v", d)
+	}
+}
+
+func TestImplicitDeny(t *testing.T) {
+	a := &ACL{Name: "t", Lines: []Line{tcpLine(Permit, "", "", 22)}}
+	p := hdr.Packet{Protocol: hdr.ProtoUDP, DstPort: 22}
+	if d := a.Eval(p); d.Action != Deny || d.LineIndex != -1 {
+		t.Errorf("implicit deny missing: %+v", d)
+	}
+}
+
+func TestPortMatchRequiresTCPUDP(t *testing.T) {
+	l := NewLine(Permit, "")
+	l.DstPorts = []PortRange{{80, 80}}
+	icmp := hdr.Packet{Protocol: hdr.ProtoICMP, DstPort: 80}
+	if l.Matches(icmp) {
+		t.Error("port constraint must not match ICMP")
+	}
+	tcp := hdr.Packet{Protocol: hdr.ProtoTCP, DstPort: 80}
+	if !l.Matches(tcp) {
+		t.Error("should match TCP port 80")
+	}
+}
+
+func TestICMPMatch(t *testing.T) {
+	l := NewLine(Permit, "")
+	l.Protocol = hdr.ProtoICMP
+	l.ICMPType = 8
+	if !l.Matches(hdr.Packet{Protocol: hdr.ProtoICMP, IcmpType: 8}) {
+		t.Error("echo request should match")
+	}
+	if l.Matches(hdr.Packet{Protocol: hdr.ProtoICMP, IcmpType: 0}) {
+		t.Error("echo reply should not match")
+	}
+}
+
+func TestTCPFlagsMatch(t *testing.T) {
+	// "established": ACK or RST set. Modeled as one line with ACK here.
+	l := NewLine(Permit, "established")
+	l.Protocol = hdr.ProtoTCP
+	l.TCPFlags = &TCPFlagsMatch{Mask: hdr.FlagACK, Value: hdr.FlagACK}
+	if !l.Matches(hdr.Packet{Protocol: hdr.ProtoTCP, TCPFlags: hdr.FlagACK | hdr.FlagPSH}) {
+		t.Error("ACK set should match")
+	}
+	if l.Matches(hdr.Packet{Protocol: hdr.ProtoTCP, TCPFlags: hdr.FlagSYN}) {
+		t.Error("bare SYN should not match established")
+	}
+}
+
+// randomPacket generates packets biased toward the interesting subspace.
+func randomPacket(rnd *rand.Rand) hdr.Packet {
+	protos := []uint8{hdr.ProtoTCP, hdr.ProtoUDP, hdr.ProtoICMP, 47}
+	return hdr.Packet{
+		SrcIP:    ip4.Addr(0x0a000000 | rnd.Uint32()&0x00ffffff),
+		DstIP:    ip4.Addr(0x0a000000 | rnd.Uint32()&0x00ffffff),
+		SrcPort:  uint16(rnd.Intn(2048)),
+		DstPort:  uint16([]int{22, 80, 443, 179, 0, 1024}[rnd.Intn(6)]),
+		Protocol: protos[rnd.Intn(len(protos))],
+		IcmpType: uint8(rnd.Intn(16)),
+		IcmpCode: uint8(rnd.Intn(4)),
+		TCPFlags: uint8(rnd.Intn(256)),
+	}
+}
+
+func randomACL(rnd *rand.Rand, lines int) *ACL {
+	a := &ACL{Name: "rand"}
+	for i := 0; i < lines; i++ {
+		l := NewLine(Action(rnd.Intn(2)), "")
+		if rnd.Intn(2) == 0 {
+			l.Protocol = int([]uint8{hdr.ProtoTCP, hdr.ProtoUDP, hdr.ProtoICMP}[rnd.Intn(3)])
+		}
+		if rnd.Intn(2) == 0 {
+			l.SrcIPs = []ip4.Prefix{{Addr: ip4.Addr(0x0a000000 | rnd.Uint32()&0xffffff), Len: uint8(8 + rnd.Intn(25))}}
+		}
+		if rnd.Intn(2) == 0 {
+			l.DstIPs = []ip4.Prefix{{Addr: ip4.Addr(0x0a000000 | rnd.Uint32()&0xffffff), Len: uint8(8 + rnd.Intn(25))}}
+		}
+		if rnd.Intn(3) == 0 {
+			p := uint16([]int{22, 80, 443, 179}[rnd.Intn(4)])
+			l.DstPorts = []PortRange{{p, p}}
+		}
+		if rnd.Intn(4) == 0 {
+			l.SrcPorts = []PortRange{{0, 1023}}
+		}
+		a.Lines = append(a.Lines, l)
+	}
+	return a
+}
+
+// TestCompileMatchesEval is the differential test between the symbolic and
+// concrete ACL engines (the paper's §4.3.2 idea applied to filters).
+func TestCompileMatchesEval(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	e := hdr.NewEnc(0)
+	for trial := 0; trial < 30; trial++ {
+		a := randomACL(rnd, 1+rnd.Intn(8))
+		c := Compile(e, a)
+		for i := 0; i < 200; i++ {
+			p := randomPacket(rnd)
+			concrete := a.Eval(p).Action == Permit
+			symbolic := e.F.And(c.Permit, e.PacketBDD(p)) != bdd.False
+			if concrete != symbolic {
+				t.Fatalf("trial %d: packet %v: concrete=%v symbolic=%v\nACL: %+v",
+					trial, p, concrete, symbolic, a)
+			}
+		}
+	}
+}
+
+func TestPerLineDisjointAndComplete(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	e := hdr.NewEnc(0)
+	for trial := 0; trial < 10; trial++ {
+		a := randomACL(rnd, 6)
+		c := Compile(e, a)
+		union := bdd.False
+		for i, pl := range c.PerLine {
+			if e.F.And(pl, union) != bdd.False {
+				t.Fatalf("line %d overlaps earlier effective sets", i)
+			}
+			union = e.F.Or(union, pl)
+		}
+		// Every matching packet is covered by exactly one line.
+		for i := 0; i < 100; i++ {
+			p := randomPacket(rnd)
+			d := a.Eval(p)
+			pb := e.PacketBDD(p)
+			if d.LineIndex >= 0 {
+				if d.LineIndex >= len(c.PerLine) || e.F.And(c.PerLine[d.LineIndex], pb) == bdd.False {
+					t.Fatalf("line attribution mismatch for %v: eval says %d", p, d.LineIndex)
+				}
+			} else if e.F.And(union, pb) != bdd.False {
+				t.Fatalf("implicit-deny packet %v covered by a line set", p)
+			}
+		}
+	}
+}
+
+func TestUnreachableLines(t *testing.T) {
+	e := hdr.NewEnc(0)
+	a := &ACL{Name: "shadow", Lines: []Line{
+		tcpLine(Permit, "10.0.0.0/8", "", 0),
+		tcpLine(Deny, "10.1.0.0/16", "", 0),    // shadowed by line 0
+		tcpLine(Permit, "10.2.0.0/16", "", 80), // shadowed by line 0
+		tcpLine(Permit, "11.0.0.0/8", "", 0),   // reachable
+	}}
+	got := UnreachableLines(e, a)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("UnreachableLines = %v, want [1 2]", got)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	e := hdr.NewEnc(0)
+	a := &ACL{Name: "a", Lines: []Line{
+		tcpLine(Permit, "10.0.0.0/9", "", 0),
+		tcpLine(Permit, "10.128.0.0/9", "", 0),
+	}}
+	b := &ACL{Name: "b", Lines: []Line{tcpLine(Permit, "10.0.0.0/8", "", 0)}}
+	if eq, _ := Equivalent(e, a, b); !eq {
+		t.Error("split prefixes should be equivalent to supernet")
+	}
+	c := &ACL{Name: "c", Lines: []Line{tcpLine(Permit, "10.0.0.0/8", "", 443)}}
+	eq, witness := Equivalent(e, a, c)
+	if eq {
+		t.Fatal("should differ")
+	}
+	// Witness must actually distinguish them.
+	da, dc := a.Eval(witness), c.Eval(witness)
+	if da.Action == dc.Action {
+		t.Errorf("witness %v does not distinguish: %v vs %v", witness, da, dc)
+	}
+}
+
+func TestMatchingLine(t *testing.T) {
+	e := hdr.NewEnc(0)
+	a := &ACL{Name: "t", Lines: []Line{
+		tcpLine(Deny, "10.0.0.0/8", "", 22),
+		tcpLine(Permit, "", "", 0),
+	}}
+	c := Compile(e, a)
+	probe := e.PacketBDD(hdr.Packet{Protocol: hdr.ProtoTCP, SrcIP: ip4.MustParseAddr("10.5.5.5"), DstPort: 22})
+	if got := c.MatchingLine(e, probe); got != 0 {
+		t.Errorf("MatchingLine = %d, want 0", got)
+	}
+}
+
+func TestEmptyACLDeniesAll(t *testing.T) {
+	e := hdr.NewEnc(0)
+	a := &ACL{Name: "empty"}
+	c := Compile(e, a)
+	if c.Permit != bdd.False {
+		t.Error("empty ACL must permit nothing")
+	}
+	if d := a.Eval(hdr.Packet{Protocol: hdr.ProtoTCP}); d.Action != Deny {
+		t.Error("empty ACL eval must deny")
+	}
+}
+
+func TestLineString(t *testing.T) {
+	l := tcpLine(Deny, "10.0.0.0/8", "10.1.0.0/16", 443)
+	if l.String() == "" {
+		t.Error("empty line string")
+	}
+}

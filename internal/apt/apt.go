@@ -1,0 +1,233 @@
+// Package apt implements an Atomic Predicates verifier — the comparator of
+// paper §6.2 ("the best performing tool to our knowledge is APT"). It
+// computes the coarsest partition of header space that makes every edge
+// predicate in the forwarding graph a union of partition blocks ("atoms"),
+// represents predicates as atom-id bitsets, and answers reachability
+// queries by graph traversal over bitsets.
+//
+// Like the original Atomic Predicates tool, it handles filter/forwarding
+// predicates but not packet transformations — the paper notes that adding
+// transformations to APT "required development of an entirely new theory"
+// (§4.2.3 / Lesson 2), which is exactly the extensibility gap the BDD
+// dataflow engine closes.
+package apt
+
+import (
+	"errors"
+	"math/bits"
+	"sort"
+
+	"repro/internal/bdd"
+	"repro/internal/fwdgraph"
+)
+
+// ErrTransformsUnsupported is returned when the graph contains NAT edges.
+var ErrTransformsUnsupported = errors.New("apt: packet transformations not supported")
+
+// Bitset is a set of atom ids.
+type Bitset []uint64
+
+func newBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+func (b Bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b Bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Or unions o into b; returns true if b changed.
+func (b Bitset) Or(o Bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndInto writes b ∧ o into dst; returns true if dst is nonempty.
+func (b Bitset) AndInto(o, dst Bitset) bool {
+	nonempty := false
+	for i := range b {
+		dst[i] = b[i] & o[i]
+		if dst[i] != 0 {
+			nonempty = true
+		}
+	}
+	return nonempty
+}
+
+// Count returns the number of atoms in the set.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Analysis is the atomized forwarding graph.
+type Analysis struct {
+	G     *fwdgraph.Graph
+	Atoms []bdd.Ref // atom i's BDD
+	// edgeSets[i] is edge i's predicate as an atom bitset.
+	edgeSets []Bitset
+	out      [][]int32
+	NumAtoms int
+}
+
+// New atomizes the graph's edge predicates. Returns
+// ErrTransformsUnsupported if any edge carries a transformation.
+func New(g *fwdgraph.Graph) (*Analysis, error) {
+	f := g.Enc.F
+	for i := range g.Edges {
+		if g.Edges[i].Tr != nil {
+			return nil, ErrTransformsUnsupported
+		}
+	}
+	// Distinct predicates.
+	distinct := make(map[bdd.Ref]struct{})
+	for i := range g.Edges {
+		distinct[g.Edges[i].Label] = struct{}{}
+	}
+	preds := make([]bdd.Ref, 0, len(distinct))
+	for p := range distinct {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+
+	// Refine the partition of header space, predicate by predicate.
+	atoms := []bdd.Ref{bdd.True}
+	for _, p := range preds {
+		if p == bdd.True || p == bdd.False {
+			continue
+		}
+		next := make([]bdd.Ref, 0, len(atoms)+8)
+		for _, a := range atoms {
+			in := f.And(a, p)
+			out := f.Diff(a, p)
+			if in != bdd.False {
+				next = append(next, in)
+			}
+			if out != bdd.False {
+				next = append(next, out)
+			}
+		}
+		atoms = next
+	}
+	an := &Analysis{G: g, Atoms: atoms, NumAtoms: len(atoms)}
+
+	// Each predicate as a bitset (memoized by predicate).
+	predSet := make(map[bdd.Ref]Bitset, len(preds))
+	for _, p := range preds {
+		bs := newBitset(len(atoms))
+		for i, a := range atoms {
+			if f.And(a, p) != bdd.False {
+				bs.set(i)
+			}
+		}
+		predSet[p] = bs
+	}
+	an.edgeSets = make([]Bitset, len(g.Edges))
+	for i := range g.Edges {
+		an.edgeSets[i] = predSet[g.Edges[i].Label]
+	}
+	an.out = make([][]int32, len(g.Nodes))
+	for i := range g.Edges {
+		an.out[g.Edges[i].From] = append(an.out[g.Edges[i].From], int32(i))
+	}
+	return an, nil
+}
+
+// SetOf converts a header-space BDD into an atom bitset (the set of atoms
+// overlapping it).
+func (a *Analysis) SetOf(hs bdd.Ref) Bitset {
+	f := a.G.Enc.F
+	bs := newBitset(a.NumAtoms)
+	for i, atom := range a.Atoms {
+		if f.And(atom, hs) != bdd.False {
+			bs.set(i)
+		}
+	}
+	return bs
+}
+
+// BDDOf converts an atom bitset back to a BDD.
+func (a *Analysis) BDDOf(bs Bitset) bdd.Ref {
+	f := a.G.Enc.F
+	r := bdd.False
+	for i, atom := range a.Atoms {
+		if bs.has(i) {
+			r = f.Or(r, atom)
+		}
+	}
+	return r
+}
+
+// Forward propagates atom sets from the start nodes to a fixed point and
+// returns the reachable set per node.
+func (a *Analysis) Forward(start map[int]Bitset) []Bitset {
+	reach := make([]Bitset, len(a.G.Nodes))
+	for i := range reach {
+		reach[i] = newBitset(a.NumAtoms)
+	}
+	var queue []int
+	inQueue := make([]bool, len(a.G.Nodes))
+	push := func(n int) {
+		if !inQueue[n] {
+			inQueue[n] = true
+			queue = append(queue, n)
+		}
+	}
+	ids := make([]int, 0, len(start))
+	for n := range start {
+		ids = append(ids, n)
+	}
+	sort.Ints(ids)
+	for _, n := range ids {
+		reach[n].Or(start[n])
+		push(n)
+	}
+	tmp := newBitset(a.NumAtoms)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		inQueue[n] = false
+		for _, ei := range a.out[n] {
+			e := &a.G.Edges[ei]
+			if !reach[n].AndInto(a.edgeSets[ei], tmp) {
+				continue
+			}
+			if reach[e.To].Or(tmp) {
+				push(e.To)
+			}
+		}
+	}
+	return reach
+}
+
+// DestReachability returns, per source location name, the atom set that is
+// accepted at dstDevice — the query benchmarked against the BDD engine in
+// paper §6.2.
+func (a *Analysis) DestReachability(dstDevice string) map[string]Bitset {
+	sinkID, ok := a.G.Lookup(fwdgraph.SinkName(fwdgraph.SinkAccepted, dstDevice))
+	if !ok {
+		return nil
+	}
+	out := make(map[string]Bitset)
+	full := newBitset(a.NumAtoms)
+	for i := 0; i < a.NumAtoms; i++ {
+		full.set(i)
+	}
+	for id := range a.G.Nodes {
+		n := a.G.Nodes[id]
+		if n.Kind != fwdgraph.KindSource {
+			continue
+		}
+		r := a.Forward(map[int]Bitset{id: full})
+		if r[sinkID].Count() > 0 {
+			out[n.Name] = r[sinkID]
+		}
+	}
+	return out
+}

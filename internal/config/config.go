@@ -1,0 +1,451 @@
+// Package config defines the vendor-independent (VI) configuration model —
+// the normalized representation that Stage 1 of the pipeline produces from
+// vendor configuration text (paper §2, Lesson 1: originally Datalog facts,
+// now a native data structure).
+//
+// The model captures everything that affects the data plane (interfaces,
+// VRFs, static routes, OSPF, BGP, routing policies, ACLs, NAT, firewall
+// zones) plus the management-plane settings (NTP, DNS, syslog) that
+// Lesson 5's configuration-property analyses need. It also tracks every
+// reference from one structure to another, so undefined-reference and
+// unused-structure analyses fall out directly.
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/acl"
+	"repro/internal/ip4"
+)
+
+// DefaultVRF is the name of the default routing instance.
+const DefaultVRF = "default"
+
+// Network is a set of parsed devices — one snapshot.
+type Network struct {
+	Devices  map[string]*Device
+	Warnings []Warning
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{Devices: make(map[string]*Device)}
+}
+
+// DeviceNames returns device hostnames in sorted order.
+func (n *Network) DeviceNames() []string {
+	out := make([]string, 0, len(n.Devices))
+	for name := range n.Devices {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Warning records a parse or conversion issue — the "long tail" of
+// configuration constructs (Lesson 3) must degrade into warnings, never
+// into silently wrong models.
+type Warning struct {
+	Device string
+	Line   int
+	Text   string
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("%s:%d: %s", w.Device, w.Line, w.Text)
+}
+
+// Device is one router/switch/firewall in the VI model.
+type Device struct {
+	Hostname string
+	Vendor   string // source dialect: "ios", "junos", "vi"
+	RawLines int    // configuration LoC, for Table 1 accounting
+
+	Interfaces map[string]*Interface
+	VRFs       map[string]*VRF
+
+	ACLs           map[string]*acl.ACL
+	RouteMaps      map[string]*RouteMap
+	PrefixLists    map[string]*PrefixList
+	CommunityLists map[string]*CommunityList
+	ASPathLists    map[string]*ASPathList
+
+	// Zone-based firewall model (paper §4.2.3).
+	Zones        map[string]*Zone
+	ZonePolicies []ZonePolicy
+	Stateful     bool // device tracks sessions (return traffic fast path)
+
+	// NAT rules, applied in order on the egress/ingress path.
+	NATRules []NATRule
+
+	// Management plane.
+	NTPServers    []ip4.Addr
+	DNSServers    []ip4.Addr
+	SyslogServers []ip4.Addr
+
+	// References from one structure to another, for undefined/unused
+	// analyses (Lesson 5).
+	Refs []StructureRef
+}
+
+// NewDevice returns an empty device with the default VRF created.
+func NewDevice(hostname, vendor string) *Device {
+	d := &Device{
+		Hostname:       hostname,
+		Vendor:         vendor,
+		Interfaces:     make(map[string]*Interface),
+		VRFs:           make(map[string]*VRF),
+		ACLs:           make(map[string]*acl.ACL),
+		RouteMaps:      make(map[string]*RouteMap),
+		PrefixLists:    make(map[string]*PrefixList),
+		CommunityLists: make(map[string]*CommunityList),
+		ASPathLists:    make(map[string]*ASPathList),
+		Zones:          make(map[string]*Zone),
+	}
+	d.VRFs[DefaultVRF] = &VRF{Name: DefaultVRF}
+	return d
+}
+
+// VRF returns the named VRF, creating it if needed.
+func (d *Device) VRF(name string) *VRF {
+	if v, ok := d.VRFs[name]; ok {
+		return v
+	}
+	v := &VRF{Name: name}
+	d.VRFs[name] = v
+	return v
+}
+
+// InterfaceNames returns interface names sorted.
+func (d *Device) InterfaceNames() []string {
+	out := make([]string, 0, len(d.Interfaces))
+	for n := range d.Interfaces {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Interface is a L3 interface.
+type Interface struct {
+	Name        string
+	Description string
+	VRFName     string // empty = default
+	Active      bool   // false = shutdown
+	Addresses   []ip4.Prefix
+
+	InACL  string // ingress filter name ("" = none)
+	OutACL string // egress filter name
+
+	Zone string // firewall zone membership ("" = none)
+
+	OSPF *OSPFInterface
+
+	Bandwidth uint64 // bps, for OSPF auto-cost
+}
+
+// VRFOrDefault returns the VRF name, defaulting to DefaultVRF.
+func (i *Interface) VRFOrDefault() string {
+	if i.VRFName == "" {
+		return DefaultVRF
+	}
+	return i.VRFName
+}
+
+// Primary returns the first configured address, if any.
+func (i *Interface) Primary() (ip4.Prefix, bool) {
+	if len(i.Addresses) == 0 {
+		return ip4.Prefix{}, false
+	}
+	return i.Addresses[0], true
+}
+
+// OSPFInterface holds per-interface OSPF settings.
+type OSPFInterface struct {
+	Area    uint32
+	Cost    uint32 // 0 = auto from bandwidth
+	Passive bool
+}
+
+// VRF is one routing instance.
+type VRF struct {
+	Name         string
+	StaticRoutes []StaticRoute
+	OSPF         *OSPFConfig
+	BGP          *BGPConfig
+}
+
+// StaticRoute is a configured static route.
+type StaticRoute struct {
+	Prefix  ip4.Prefix
+	NextHop ip4.Addr // 0 if interface-only or discard
+	Iface   string   // next-hop interface ("" if IP-only)
+	Drop    bool     // Null0 / discard
+	AD      uint8    // 0 = default (1)
+	Tag     uint32
+}
+
+// OSPFConfig is a per-VRF OSPF process.
+type OSPFConfig struct {
+	ProcessID    int
+	RouterID     ip4.Addr // 0 = auto (highest interface IP)
+	RefBandwidth uint64   // reference bandwidth for auto-cost, bps
+	// Redistribution into OSPF.
+	Redistribute []Redistribution
+	MaxMetric    bool // stub-router advertisement (maintenance mode)
+}
+
+// BGPConfig is a per-VRF BGP process.
+type BGPConfig struct {
+	ASN       uint32
+	RouterID  ip4.Addr // 0 = auto
+	Neighbors []*BGPNeighbor
+	// Networks are prefixes originated via network statements (must be in
+	// the main RIB to be announced).
+	Networks     []ip4.Prefix
+	Redistribute []Redistribution
+	// MultipathEBGP/IBGP enable ECMP across equally good BGP paths.
+	MultipathEBGP bool
+	MultipathIBGP bool
+}
+
+// BGPNeighbor is one configured BGP session endpoint.
+type BGPNeighbor struct {
+	PeerIP       ip4.Addr
+	RemoteAS     uint32
+	Description  string
+	ImportPolicy string // route-map applied to received routes
+	ExportPolicy string // route-map applied to advertised routes
+	UpdateSource string // interface whose IP sources the session
+	EBGPMultihop bool
+	NextHopSelf  bool
+	// SendCommunity controls whether communities propagate (real-world
+	// default differs by vendor; parsers set it explicitly).
+	SendCommunity bool
+}
+
+// Redistribution imports routes from another protocol.
+type Redistribution struct {
+	From     RedistSource
+	RouteMap string // optional filter/transformer
+	Metric   uint32 // 0 = protocol default
+	// MetricType selects OSPF external type 1 or 2 (0 = default, type 2).
+	MetricType uint8
+}
+
+// RedistSource identifies the source protocol of a redistribution.
+type RedistSource uint8
+
+// Redistribution sources.
+const (
+	RedistConnected RedistSource = iota
+	RedistStatic
+	RedistOSPF
+	RedistBGP
+)
+
+func (s RedistSource) String() string {
+	switch s {
+	case RedistConnected:
+		return "connected"
+	case RedistStatic:
+		return "static"
+	case RedistOSPF:
+		return "ospf"
+	case RedistBGP:
+		return "bgp"
+	}
+	return "unknown"
+}
+
+// Zone is a named set of interfaces on a zone-based firewall.
+type Zone struct {
+	Name       string
+	Interfaces []string
+}
+
+// ZonePolicy permits traffic between zones through a filter.
+type ZonePolicy struct {
+	FromZone, ToZone string
+	ACL              string // filter applied to inter-zone traffic ("" = permit all)
+}
+
+// NATKind distinguishes source from destination NAT.
+type NATKind uint8
+
+// NAT kinds.
+const (
+	SourceNAT NATKind = iota
+	DestNAT
+)
+
+// NATRule translates matching packets. Rules apply in order; the first
+// match wins. Source NAT applies on egress through Iface, destination NAT
+// on ingress.
+type NATRule struct {
+	Kind     NATKind
+	Iface    string // interface the rule is attached to ("" = all)
+	MatchACL string // packets matching this ACL are translated
+	// Pool is the translated address range (single address when Lo==Hi).
+	PoolLo, PoolHi ip4.Addr
+	// PortLo/PortHi optionally translate the port (PAT); 0,0 = ports kept.
+	PortLo, PortHi uint16
+}
+
+// RefType classifies a structure reference.
+type RefType string
+
+// Reference types.
+const (
+	RefACL           RefType = "acl"
+	RefRouteMap      RefType = "route-map"
+	RefPrefixList    RefType = "prefix-list"
+	RefCommunityList RefType = "community-list"
+	RefASPathList    RefType = "as-path-list"
+	RefInterface     RefType = "interface"
+	RefZone          RefType = "zone"
+)
+
+// StructureRef records that some context refers to a named structure.
+type StructureRef struct {
+	Type    RefType
+	Name    string
+	Context string // human-readable usage site
+}
+
+// AddRef records a structure reference.
+func (d *Device) AddRef(t RefType, name, context string) {
+	if name == "" {
+		return
+	}
+	d.Refs = append(d.Refs, StructureRef{Type: t, Name: name, Context: context})
+}
+
+// IsDefined reports whether a structure of the given type and name exists.
+func (d *Device) IsDefined(t RefType, name string) bool {
+	switch t {
+	case RefACL:
+		_, ok := d.ACLs[name]
+		return ok
+	case RefRouteMap:
+		_, ok := d.RouteMaps[name]
+		return ok
+	case RefPrefixList:
+		_, ok := d.PrefixLists[name]
+		return ok
+	case RefCommunityList:
+		_, ok := d.CommunityLists[name]
+		return ok
+	case RefASPathList:
+		_, ok := d.ASPathLists[name]
+		return ok
+	case RefInterface:
+		_, ok := d.Interfaces[name]
+		return ok
+	case RefZone:
+		_, ok := d.Zones[name]
+		return ok
+	}
+	return false
+}
+
+// UndefinedRefs returns references to structures that are not defined —
+// the paper's canonical example of a high-value local analysis (Lesson 5)
+// and of undocumented-semantics risk (Lesson 3: "a route map that is not
+// defined anywhere").
+func (d *Device) UndefinedRefs() []StructureRef {
+	var out []StructureRef
+	for _, r := range d.Refs {
+		if !d.IsDefined(r.Type, r.Name) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// UnusedStructures returns defined structures that nothing references.
+func (d *Device) UnusedStructures() []StructureRef {
+	used := make(map[RefType]map[string]bool)
+	mark := func(t RefType, n string) {
+		if used[t] == nil {
+			used[t] = make(map[string]bool)
+		}
+		used[t][n] = true
+	}
+	for _, r := range d.Refs {
+		mark(r.Type, r.Name)
+	}
+	var out []StructureRef
+	add := func(t RefType, n string) {
+		if !used[t][n] {
+			out = append(out, StructureRef{Type: t, Name: n})
+		}
+	}
+	for n := range d.ACLs {
+		add(RefACL, n)
+	}
+	for n := range d.RouteMaps {
+		add(RefRouteMap, n)
+	}
+	for n := range d.PrefixLists {
+		add(RefPrefixList, n)
+	}
+	for n := range d.CommunityLists {
+		add(RefCommunityList, n)
+	}
+	for n := range d.ASPathLists {
+		add(RefASPathList, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// OwnedIPs returns every (interface, address) pair on active interfaces —
+// input to the duplicate-IP analysis.
+func (d *Device) OwnedIPs() map[ip4.Addr][]string {
+	out := make(map[ip4.Addr][]string)
+	for _, name := range d.InterfaceNames() {
+		i := d.Interfaces[name]
+		if !i.Active {
+			continue
+		}
+		for _, a := range i.Addresses {
+			out[a.Addr] = append(out[a.Addr], i.Name)
+		}
+	}
+	return out
+}
+
+// InterfaceForIP returns the active interface owning the given address.
+func (d *Device) InterfaceForIP(a ip4.Addr) (*Interface, bool) {
+	for _, name := range d.InterfaceNames() {
+		i := d.Interfaces[name]
+		if !i.Active {
+			continue
+		}
+		for _, p := range i.Addresses {
+			if p.Addr == a {
+				return i, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// ZoneOf returns the zone containing the interface, or "".
+func (d *Device) ZoneOf(iface string) string {
+	for _, z := range d.Zones {
+		for _, i := range z.Interfaces {
+			if i == iface {
+				return z.Name
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,157 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/ip4"
+)
+
+func TestNewDeviceHasDefaultVRF(t *testing.T) {
+	d := NewDevice("r1", "ios")
+	if d.VRFs[DefaultVRF] == nil {
+		t.Fatal("default VRF missing")
+	}
+	v := d.VRF("CUST")
+	if v == nil || d.VRFs["CUST"] != v {
+		t.Fatal("VRF creation failed")
+	}
+	if d.VRF("CUST") != v {
+		t.Fatal("VRF lookup should be stable")
+	}
+}
+
+func TestRefsAndDefinitions(t *testing.T) {
+	d := NewDevice("r1", "ios")
+	d.AddRef(RefACL, "A", "iface e0")
+	d.AddRef(RefRouteMap, "RM", "neighbor x")
+	d.AddRef(RefACL, "", "ignored") // empty names are not recorded
+	if len(d.Refs) != 2 {
+		t.Fatalf("refs = %v", d.Refs)
+	}
+	undef := d.UndefinedRefs()
+	if len(undef) != 2 {
+		t.Fatalf("undefined = %v", undef)
+	}
+	d.ACLs["A"] = nil // defined: key presence is what matters
+	d.RouteMaps["RM"] = &RouteMap{Name: "RM"}
+	if got := d.UndefinedRefs(); len(got) != 0 {
+		t.Fatalf("after defining both: %v", got)
+	}
+}
+
+func TestUnusedStructures(t *testing.T) {
+	d := NewDevice("r1", "ios")
+	d.RouteMaps["USED"] = &RouteMap{Name: "USED"}
+	d.RouteMaps["DEAD"] = &RouteMap{Name: "DEAD"}
+	d.PrefixLists["PL"] = &PrefixList{Name: "PL"}
+	d.AddRef(RefRouteMap, "USED", "neighbor")
+	unused := d.UnusedStructures()
+	names := map[string]bool{}
+	for _, u := range unused {
+		names[string(u.Type)+"/"+u.Name] = true
+	}
+	if !names["route-map/DEAD"] || !names["prefix-list/PL"] || names["route-map/USED"] {
+		t.Errorf("unused = %v", unused)
+	}
+}
+
+func TestOwnedIPsAndInterfaceForIP(t *testing.T) {
+	d := NewDevice("r1", "ios")
+	d.Interfaces["e0"] = &Interface{Name: "e0", Active: true,
+		Addresses: []ip4.Prefix{ip4.MustParsePrefix("10.0.0.1/24")}}
+	d.Interfaces["e1"] = &Interface{Name: "e1", Active: false,
+		Addresses: []ip4.Prefix{ip4.MustParsePrefix("10.0.1.1/24")}}
+	owned := d.OwnedIPs()
+	if len(owned) != 1 {
+		t.Fatalf("owned = %v (inactive must be excluded)", owned)
+	}
+	if i, ok := d.InterfaceForIP(ip4.MustParseAddr("10.0.0.1")); !ok || i.Name != "e0" {
+		t.Errorf("InterfaceForIP = %v %v", i, ok)
+	}
+	if _, ok := d.InterfaceForIP(ip4.MustParseAddr("10.0.1.1")); ok {
+		t.Error("inactive interface should not own IPs")
+	}
+}
+
+func TestZoneOf(t *testing.T) {
+	d := NewDevice("fw", "ios")
+	d.Zones["inside"] = &Zone{Name: "inside", Interfaces: []string{"e0", "e1"}}
+	if d.ZoneOf("e1") != "inside" {
+		t.Error("ZoneOf wrong")
+	}
+	if d.ZoneOf("e9") != "" {
+		t.Error("unzoned iface should return empty")
+	}
+}
+
+func TestInterfaceHelpers(t *testing.T) {
+	i := &Interface{Name: "e0"}
+	if i.VRFOrDefault() != DefaultVRF {
+		t.Error("empty VRF should default")
+	}
+	i.VRFName = "X"
+	if i.VRFOrDefault() != "X" {
+		t.Error("explicit VRF ignored")
+	}
+	if _, ok := i.Primary(); ok {
+		t.Error("no addresses: Primary should be false")
+	}
+	i.Addresses = []ip4.Prefix{ip4.MustParsePrefix("10.0.0.1/24")}
+	if p, ok := i.Primary(); !ok || p.Addr != ip4.MustParseAddr("10.0.0.1") {
+		t.Error("Primary wrong")
+	}
+}
+
+func TestWarningString(t *testing.T) {
+	w := Warning{Device: "r1", Line: 3, Text: "boom"}
+	if w.String() != "r1:3: boom" {
+		t.Errorf("warning = %q", w.String())
+	}
+}
+
+func TestNetworkDeviceNamesSorted(t *testing.T) {
+	n := NewNetwork()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		n.Devices[name] = NewDevice(name, "vi")
+	}
+	got := n.DeviceNames()
+	if got[0] != "alpha" || got[2] != "zeta" {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestRegexEntryCompileCached(t *testing.T) {
+	e := RegexEntry{Action: Permit, Regex: "_65000_"}
+	re1, err := e.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re2, _ := e.Compile()
+	if re1 != re2 {
+		t.Error("compile should cache")
+	}
+	if !re1.MatchString("65001 65000 65002") {
+		t.Error("delimiter translation wrong")
+	}
+	bad := RegexEntry{Regex: "("}
+	if _, err := bad.Compile(); err == nil {
+		t.Error("bad regex should error")
+	}
+	// Malformed regexes never match.
+	if matchRegexList([]RegexEntry{bad}, "anything") {
+		t.Error("malformed regex matched")
+	}
+}
+
+func TestRedistSourceString(t *testing.T) {
+	if RedistConnected.String() != "connected" || RedistBGP.String() != "bgp" {
+		t.Error("redist names wrong")
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	m := Match{Kind: MatchPrefixList, Name: "PL"}
+	if m.String() == "" {
+		t.Error("empty match string")
+	}
+}

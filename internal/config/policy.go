@@ -1,0 +1,221 @@
+package config
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/internal/ip4"
+)
+
+// Action is permit or deny in policy structures.
+type Action uint8
+
+// Policy actions.
+const (
+	Permit Action = iota
+	Deny
+)
+
+func (a Action) String() string {
+	if a == Permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+// RouteMap is an ordered list of clauses evaluated first-match. Route maps
+// are the paper's example of constructs that defeated Datalog (Lesson 1:
+// "route maps can use regular expressions and arithmetic").
+type RouteMap struct {
+	Name    string
+	Clauses []RouteMapClause
+}
+
+// RouteMapClause is one sequence entry.
+type RouteMapClause struct {
+	Seq     int
+	Action  Action
+	Matches []Match
+	Sets    []Set
+}
+
+// MatchKind enumerates route-map match conditions.
+type MatchKind uint8
+
+// Match kinds.
+const (
+	MatchPrefixList MatchKind = iota
+	MatchCommunityList
+	MatchASPathList
+	MatchMetric
+	MatchTag
+	MatchSourceProtocol // used by redistribution policies
+)
+
+// Match is one match condition; semantics depend on Kind.
+type Match struct {
+	Kind  MatchKind
+	Name  string // list name for *List kinds
+	Value uint32 // metric/tag value
+	Proto string // source protocol name for MatchSourceProtocol
+}
+
+// SetKind enumerates route-map set actions.
+type SetKind uint8
+
+// Set kinds.
+const (
+	SetLocalPref SetKind = iota
+	SetMetric
+	SetMetricAdd // "set metric +N": the arithmetic case from Lesson 1
+	SetCommunity // replace communities
+	SetCommunityAdditive
+	SetASPathPrepend
+	SetNextHop
+	SetWeight
+	SetTag
+	SetOriginIGP
+	SetOriginIncomplete
+)
+
+// Set is one set action; semantics depend on Kind.
+type Set struct {
+	Kind        SetKind
+	Value       uint32   // numeric argument
+	Communities []uint32 // for community sets
+	PrependASN  uint32
+	PrependN    int
+	NextHop     ip4.Addr
+}
+
+// PrefixList filters prefixes with optional ge/le length bounds.
+type PrefixList struct {
+	Name    string
+	Entries []PrefixListEntry
+}
+
+// PrefixListEntry is one prefix-list line.
+type PrefixListEntry struct {
+	Seq    int
+	Action Action
+	Prefix ip4.Prefix
+	// Ge/Le bound the matched prefix length; 0 means unset. With both
+	// unset the entry matches exactly Prefix.Len.
+	Ge, Le uint8
+}
+
+// Matches reports whether the entry matches prefix p, per standard
+// ip prefix-list semantics.
+func (e PrefixListEntry) Matches(p ip4.Prefix) bool {
+	if !e.Prefix.ContainsPrefix(p) {
+		return false
+	}
+	lo, hi := e.Prefix.Len, e.Prefix.Len
+	if e.Ge != 0 {
+		lo = e.Ge
+		hi = 32
+	}
+	if e.Le != 0 {
+		hi = e.Le
+		if e.Ge == 0 {
+			lo = e.Prefix.Len
+		}
+	}
+	return p.Len >= lo && p.Len <= hi
+}
+
+// Permits evaluates the prefix list against p, first-match with implicit
+// deny.
+func (pl *PrefixList) Permits(p ip4.Prefix) bool {
+	for _, e := range pl.Entries {
+		if e.Matches(p) {
+			return e.Action == Permit
+		}
+	}
+	return false
+}
+
+// CommunityList matches community sets by regular expression over the
+// "asn:value" rendering (Cisco expanded community-list semantics).
+type CommunityList struct {
+	Name    string
+	Entries []RegexEntry
+}
+
+// ASPathList matches AS paths by regular expression over the
+// space-separated ASN rendering.
+type ASPathList struct {
+	Name    string
+	Entries []RegexEntry
+}
+
+// RegexEntry is one permit/deny regex line.
+type RegexEntry struct {
+	Action Action
+	Regex  string
+	re     *regexp.Regexp
+	reErr  error
+}
+
+// Compile translates the vendor-style regex to a Go regexp. The Cisco "_"
+// metacharacter matches a delimiter (start, end, or space).
+func (e *RegexEntry) Compile() (*regexp.Regexp, error) {
+	if e.re != nil || e.reErr != nil {
+		return e.re, e.reErr
+	}
+	translated := strings.ReplaceAll(e.Regex, "_", "(^| |$)")
+	e.re, e.reErr = regexp.Compile(translated)
+	return e.re, e.reErr
+}
+
+// Matches reports whether s matches any permit entry before a deny entry
+// matches (first-match, implicit deny). Malformed regexes never match
+// (with the parse layer having already warned).
+func matchRegexList(entries []RegexEntry, s string) bool {
+	for i := range entries {
+		re, err := entries[i].Compile()
+		if err != nil {
+			continue
+		}
+		if re.MatchString(s) {
+			return entries[i].Action == Permit
+		}
+	}
+	return false
+}
+
+// MatchesPath evaluates the AS-path list against a rendered path.
+func (l *ASPathList) MatchesPath(rendered string) bool {
+	return matchRegexList(l.Entries, rendered)
+}
+
+// MatchesCommunities evaluates the community list: it permits if any
+// community's rendering matches a permit entry (standard Cisco "any
+// community matches" semantics for expanded lists).
+func (l *CommunityList) MatchesCommunities(rendered []string) bool {
+	for _, s := range rendered {
+		if matchRegexList(l.Entries, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m Match) String() string {
+	switch m.Kind {
+	case MatchPrefixList:
+		return "match ip address prefix-list " + m.Name
+	case MatchCommunityList:
+		return "match community " + m.Name
+	case MatchASPathList:
+		return "match as-path " + m.Name
+	case MatchMetric:
+		return fmt.Sprintf("match metric %d", m.Value)
+	case MatchTag:
+		return fmt.Sprintf("match tag %d", m.Value)
+	case MatchSourceProtocol:
+		return "match source-protocol " + m.Proto
+	}
+	return "match ?"
+}

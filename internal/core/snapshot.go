@@ -1,0 +1,180 @@
+// Package core orchestrates the four-stage Batfish pipeline (paper §2) and
+// provides the question layer on top of it: configuration parsing into the
+// vendor-independent model, data plane generation, BDD-based verification,
+// and violation explanation with carefully chosen examples.
+//
+// The exported façade for downstream users is package batfish at the
+// repository root, which re-exports these types.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/dataplane"
+	"repro/internal/fwdgraph"
+	"repro/internal/netgen"
+	"repro/internal/reach"
+	"repro/internal/traceroute"
+	"repro/internal/vendors/cisco"
+	"repro/internal/vendors/juniper"
+)
+
+// Snapshot is one network snapshot moving through the pipeline.
+type Snapshot struct {
+	Net      *config.Network
+	Warnings []config.Warning
+
+	opts dataplane.Options
+	dp   *dataplane.Result
+	g    *fwdgraph.Graph
+	an   *reach.Analysis
+	tr   *traceroute.Engine
+}
+
+// DetectDialect guesses the configuration dialect from text: Junos
+// configurations are "set ..." command lists, IOS ones are hierarchical.
+func DetectDialect(text string) string {
+	for _, line := range strings.Split(text, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") || strings.HasPrefix(t, "!") {
+			continue
+		}
+		if strings.HasPrefix(t, "set ") {
+			return "junos"
+		}
+		return "ios"
+	}
+	return "ios"
+}
+
+// LoadText parses a map of filename (or hostname) to configuration text.
+func LoadText(texts map[string]string) *Snapshot {
+	s := &Snapshot{Net: config.NewNetwork()}
+	names := make([]string, 0, len(texts))
+	for n := range texts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		text := texts[n]
+		var d *config.Device
+		var w []config.Warning
+		switch DetectDialect(text) {
+		case "junos":
+			d, w = juniper.Parse(text)
+		default:
+			d, w = cisco.Parse(text)
+		}
+		if d.Hostname == "" {
+			d.Hostname = strings.TrimSuffix(filepath.Base(n), filepath.Ext(n))
+		}
+		s.Net.Devices[d.Hostname] = d
+		s.Warnings = append(s.Warnings, w...)
+	}
+	return s
+}
+
+// LoadDir reads every *.cfg / *.conf / *.txt file in dir as one device.
+func LoadDir(dir string) (*Snapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	texts := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".cfg", ".conf", ".txt":
+		default:
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		texts[e.Name()] = string(b)
+	}
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("core: no configuration files in %s", dir)
+	}
+	return LoadText(texts), nil
+}
+
+// LoadGenerated wraps a generated snapshot (benchmarks and examples).
+func LoadGenerated(snap *netgen.Snapshot) *Snapshot {
+	net, warns := snap.Parse()
+	return &Snapshot{Net: net, Warnings: warns}
+}
+
+// SetDataPlaneOptions overrides simulation options (before the first
+// DataPlane call).
+func (s *Snapshot) SetDataPlaneOptions(o dataplane.Options) { s.opts = o }
+
+// DataPlane computes (once) and returns the data plane.
+func (s *Snapshot) DataPlane() *dataplane.Result {
+	if s.dp == nil {
+		s.dp = dataplane.Run(s.Net, s.opts)
+	}
+	return s.dp
+}
+
+// Graph returns the forwarding graph, building the data plane if needed.
+func (s *Snapshot) Graph() *fwdgraph.Graph {
+	if s.g == nil {
+		s.g = fwdgraph.New(s.DataPlane())
+	}
+	return s.g
+}
+
+// Analysis returns the BDD reachability analysis (graph-compressed).
+func (s *Snapshot) Analysis() *reach.Analysis {
+	if s.an == nil {
+		s.an = reach.New(s.Graph())
+	}
+	return s.an
+}
+
+// Traceroute returns the concrete engine.
+func (s *Snapshot) Traceroute() *traceroute.Engine {
+	if s.tr == nil {
+		s.tr = traceroute.New(s.DataPlane())
+	}
+	return s.tr
+}
+
+// HostFacing reports the source locations Batfish scopes "all pairs"
+// queries to by default (paper §4.4.2): interfaces that likely face hosts
+// or the external world — broad subnets with no discovered remote end —
+// rather than inter-router links.
+func (s *Snapshot) HostFacing() []reach.SourceLoc {
+	dp := s.DataPlane()
+	var out []reach.SourceLoc
+	for _, name := range s.Net.DeviceNames() {
+		d := s.Net.Devices[name]
+		for _, in := range d.InterfaceNames() {
+			i := d.Interfaces[in]
+			if !i.Active || len(i.Addresses) == 0 {
+				continue
+			}
+			p, _ := i.Primary()
+			if p.Len >= 31 || p.Len == 0 {
+				continue // p2p links and loopbacks are not host-facing
+			}
+			if len(dp.Topology.EdgesFrom(name, in)) > 0 {
+				continue // we see the remote end: inter-router link
+			}
+			if p.Len < 16 {
+				continue // implausibly broad for a host subnet
+			}
+			out = append(out, reach.SourceLoc{Device: name, Iface: in})
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/ip4"
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+// ControlPlane encodes a network's control plane as Datalog facts and
+// rules, reproducing the original Batfish's Stage 2 (paper §2): the
+// configuration becomes facts like OspfCost(node, iface, cost), and
+// recursive rules derive routes until fixed point. It models the IGP
+// portion (connected, static, OSPF shortest paths) plus forwarding facts,
+// which is the workload the Figure 3 baseline measures.
+//
+// MaxCost caps derived path costs; like the original engine, every
+// intermediate (sub-optimal) path fact up to the cap is derived and
+// retained — the performance and memory pathology of Lesson 1.
+type ControlPlane struct {
+	E       *Engine
+	MaxCost int
+	net     *config.Network
+}
+
+// NewControlPlane builds the program for a network.
+func NewControlPlane(net *config.Network, maxCost int) *ControlPlane {
+	cp := &ControlPlane{E: NewEngine(), MaxCost: maxCost, net: net}
+	cp.loadFacts()
+	cp.addRules()
+	return cp
+}
+
+func (cp *ControlPlane) prefixSym(p ip4.Prefix) Term {
+	return cp.E.Sym(p.String())
+}
+
+// loadFacts converts configuration and topology into Datalog facts
+// (Stage 1's output in the original architecture).
+func (cp *ControlPlane) loadFacts() {
+	e := cp.E
+	t := topo.Infer(cp.net)
+	for _, name := range cp.net.DeviceNames() {
+		d := cp.net.Devices[name]
+		node := e.Sym(name)
+		for _, in := range d.InterfaceNames() {
+			i := d.Interfaces[in]
+			if !i.Active {
+				continue
+			}
+			for _, p := range i.Addresses {
+				if p.Len < 32 {
+					e.Fact("ConnectedRoute", node, cp.prefixSym(p.Canonical()))
+				}
+			}
+			if i.OSPF != nil {
+				cost := i.OSPF.Cost
+				if cost == 0 {
+					cost = 1
+				}
+				e.Fact("OspfCost", node, e.Sym(in), Num(int(cost)))
+				for _, p := range i.Addresses {
+					if p.Len < 32 {
+						e.Fact("OspfNetwork", node, cp.prefixSym(p.Canonical()), Num(int(cost)))
+					}
+				}
+			}
+		}
+		for _, sr := range d.VRFs[config.DefaultVRF].StaticRoutes {
+			if sr.Drop {
+				e.Fact("StaticDrop", node, cp.prefixSym(sr.Prefix.Canonical()))
+			} else {
+				e.Fact("StaticRoute", node, cp.prefixSym(sr.Prefix.Canonical()))
+			}
+		}
+	}
+	// OSPF adjacencies with sender-side cost.
+	for _, ed := range t.Edges {
+		du := cp.net.Devices[ed.Node1]
+		iu := du.Interfaces[ed.Iface1]
+		dv := cp.net.Devices[ed.Node2]
+		iv := dv.Interfaces[ed.Iface2]
+		if iu == nil || iv == nil || iu.OSPF == nil || iv.OSPF == nil {
+			continue
+		}
+		if iu.OSPF.Passive || iv.OSPF.Passive || iu.OSPF.Area != iv.OSPF.Area {
+			continue
+		}
+		cost := iu.OSPF.Cost
+		if cost == 0 {
+			cost = 1
+		}
+		e.Fact("OspfEdge", e.Sym(ed.Node1), e.Sym(ed.Node2), Num(int(cost)))
+	}
+}
+
+// addRules installs the recursive route-derivation rules.
+func (cp *ControlPlane) addRules() {
+	e := cp.E
+	n, m, p := V(0), V(1), V(2)
+	c, c1, c2 := V(3), V(4), V(5)
+
+	// Stratum 1: all OSPF path costs up to the cap. The declarative engine
+	// cannot be told "IGP first, then better paths": it derives every cost.
+	e.Stratum(
+		// Base: own networks.
+		Rule{
+			Head: A("OspfPath", n, p, c),
+			Body: []Atom{A("OspfNetwork", n, p, c)},
+		},
+		// Recursive: a neighbor's path extends to us.
+		Rule{
+			Head:     A("OspfPath", n, p, c),
+			Body:     []Atom{A("OspfEdge", n, m, c1), A("OspfPath", m, p, c2)},
+			Builtins: []Builtin{Sum(c1, c2, c), Le(c, Num(cp.MaxCost))},
+		},
+	)
+	// Stratum 2: mark non-optimal path facts.
+	e.Stratum(
+		Rule{
+			Head:     A("HasBetter", n, p, c),
+			Body:     []Atom{A("OspfPath", n, p, c), A("OspfPath", n, p, c2)},
+			Builtins: []Builtin{Lt(c2, c)},
+		},
+	)
+	// Stratum 3: best OSPF routes = paths with no better alternative.
+	e.Stratum(
+		Rule{
+			Head:    A("BestOspf", n, p, c),
+			Body:    []Atom{A("OspfPath", n, p, c)},
+			Negated: []Atom{A("HasBetter", n, p, c)},
+		},
+	)
+	// Stratum 4: the main RIB by administrative preference:
+	// connected > static > ospf.
+	e.Stratum(
+		Rule{Head: A("Route", n, p, Num(0)), Body: []Atom{A("ConnectedRoute", n, p)}},
+		Rule{Head: A("Route", n, p, Num(1)), Body: []Atom{A("StaticRoute", n, p)}},
+		Rule{Head: A("Route", n, p, Num(1)), Body: []Atom{A("StaticDrop", n, p)}},
+	)
+	e.Stratum(
+		Rule{
+			Head:    A("Route", n, p, Num(110)),
+			Body:    []Atom{A("BestOspf", n, p, c)},
+			Negated: []Atom{A("ConnectedRoute", n, p)},
+		},
+	)
+	// Stratum 5: forwarding facts — Fib(node, prefix, nextHopNode).
+	e.Stratum(
+		Rule{
+			Head:     A("FibHop", n, p, m),
+			Body:     []Atom{A("BestOspf", n, p, c), A("OspfEdge", n, m, c1), A("OspfPath", m, p, c2)},
+			Builtins: []Builtin{Sum(c1, c2, c)},
+			Negated:  []Atom{A("ConnectedRoute", n, p)},
+		},
+	)
+}
+
+// Run evaluates the program.
+func (cp *ControlPlane) Run() { cp.E.Run() }
+
+// BestOspfRoutes extracts the computed best OSPF routes per node.
+func (cp *ControlPlane) BestOspfRoutes(node string) map[ip4.Prefix]uint32 {
+	e := cp.E
+	out := make(map[ip4.Prefix]uint32)
+	for _, t := range e.Query("BestOspf", e.Sym(node), V(0), V(1)) {
+		pre, err := ip4.ParsePrefix(e.SymName(t[1]))
+		if err != nil {
+			continue
+		}
+		out[pre] = uint32(NumVal(t[2]))
+	}
+	return out
+}
+
+// FibHops extracts forwarding next-hop nodes for a node and prefix.
+func (cp *ControlPlane) FibHops(node string, prefix ip4.Prefix) []string {
+	e := cp.E
+	var out []string
+	for _, t := range e.Query("FibHop", e.Sym(node), cp.prefixSym(prefix), V(0)) {
+		out = append(out, e.SymName(t[2]))
+	}
+	return out
+}
+
+// CompareWithImperative checks that the Datalog-derived best OSPF costs
+// equal the imperative engine's, returning a list of discrepancies. Used
+// by the differential test between the original and current architectures.
+func (cp *ControlPlane) CompareWithImperative(get func(node string) []routing.Route) []string {
+	var diffs []string
+	for _, name := range cp.net.DeviceNames() {
+		want := make(map[ip4.Prefix]uint32)
+		for _, rt := range get(name) {
+			if rt.Protocol == routing.OSPF {
+				want[rt.Prefix] = rt.Metric
+			}
+		}
+		got := cp.BestOspfRoutes(name)
+		for pre, c := range want {
+			if gc, ok := got[pre]; !ok || gc != c {
+				diffs = append(diffs, fmt.Sprintf("%s %s: imperative %d, datalog %v", name, pre, c, got[pre]))
+			}
+		}
+		for pre, c := range got {
+			if _, ok := want[pre]; !ok {
+				diffs = append(diffs, fmt.Sprintf("%s %s: datalog-only cost %d", name, pre, c))
+			}
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,461 @@
+// Package datalog implements a generic Datalog engine: semi-naïve bottom-up
+// evaluation with stratified negation and arithmetic builtins. It is the
+// stand-in for the LogicBlox engine that powered the original Batfish
+// (paper §2), kept as the baseline for the Figure 3 data-plane-generation
+// comparison.
+//
+// The engine deliberately reproduces the properties Lesson 1 identifies as
+// production roadblocks: no control over rule/fact evaluation order, and
+// retention of every derived fact — including routes that are eventually
+// sub-optimal — until the fixed point completes.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an interned constant.
+type Value int32
+
+// Term is a constant (>= 0, a Value) or a variable (< 0). Use V(i) for
+// variables and the engine's Sym/Num for constants.
+type Term int32
+
+// V returns the i-th variable term (i >= 0).
+func V(i int) Term { return Term(-1 - i) }
+
+func (t Term) isVar() bool { return t < 0 }
+func (t Term) varIdx() int { return int(-1 - t) }
+
+// Atom is a predicate applied to terms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// A constructs an atom.
+func A(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// Builtin is a side-condition or binding evaluated during rule joins.
+// Args follow the same term conventions. Eval receives the current
+// bindings (indexed by variable) and either checks or extends them.
+type Builtin struct {
+	Name string
+	Args []Term
+}
+
+// Builtin constructors.
+func Lt(a, b Term) Builtin  { return Builtin{Name: "lt", Args: []Term{a, b}} }
+func Le(a, b Term) Builtin  { return Builtin{Name: "le", Args: []Term{a, b}} }
+func Neq(a, b Term) Builtin { return Builtin{Name: "neq", Args: []Term{a, b}} }
+
+// Sum binds c = a + b (a, b must be bound).
+func Sum(a, b, c Term) Builtin { return Builtin{Name: "sum", Args: []Term{a, b, c}} }
+
+// Rule derives Head from the conjunction of Body atoms, Builtins, and
+// negated atoms (which must refer to predicates fully computed in earlier
+// strata).
+type Rule struct {
+	Head     Atom
+	Body     []Atom
+	Builtins []Builtin
+	Negated  []Atom
+}
+
+type relation struct {
+	name  string
+	arity int
+	// tuples, deduplicated via the index.
+	tuples [][]Value
+	index  map[string]struct{}
+	// cur is the delta read during the current semi-naive round; next
+	// accumulates tuples derived during it.
+	cur  map[string]bool
+	next [][]Value
+}
+
+func (r *relation) key(t []Value) string {
+	var b strings.Builder
+	for _, v := range t {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+func (r *relation) add(t []Value) bool {
+	k := r.key(t)
+	if _, ok := r.index[k]; ok {
+		return false
+	}
+	r.index[k] = struct{}{}
+	cp := append([]Value(nil), t...)
+	r.tuples = append(r.tuples, cp)
+	r.next = append(r.next, cp)
+	return true
+}
+
+// Engine evaluates a stratified Datalog program.
+type Engine struct {
+	rels    map[string]*relation
+	strata  [][]Rule
+	symTab  map[string]Value
+	symRev  []string
+	derived uint64
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{rels: make(map[string]*relation), symTab: make(map[string]Value)}
+}
+
+// Sym interns a string constant.
+func (e *Engine) Sym(s string) Term {
+	if v, ok := e.symTab[s]; ok {
+		return Term(v)
+	}
+	v := Value(len(e.symRev))
+	e.symTab[s] = v
+	e.symRev = append(e.symRev, s)
+	return Term(v)
+}
+
+// SymName returns the string for an interned symbol value.
+func (e *Engine) SymName(v Value) string {
+	if int(v) < len(e.symRev) {
+		return e.symRev[v]
+	}
+	return fmt.Sprintf("#%d", v)
+}
+
+// Num encodes a small non-negative integer as a constant term. Numbers and
+// symbols share the constant space; programs keep them in distinct
+// argument positions (as the original Batfish predicates did).
+func Num(n int) Term {
+	if n < 0 {
+		panic("datalog: negative numeric constant")
+	}
+	return Term(numBase + Value(n))
+}
+
+// NumVal decodes a numeric constant.
+func NumVal(v Value) int { return int(v - numBase) }
+
+// IsNum reports whether a value is in the numeric range.
+func IsNum(v Value) bool { return v >= numBase }
+
+const numBase Value = 1 << 24
+
+func (e *Engine) rel(name string, arity int) *relation {
+	r, ok := e.rels[name]
+	if !ok {
+		r = &relation{name: name, arity: arity, index: make(map[string]struct{})}
+		e.rels[name] = r
+	}
+	if r.arity != arity {
+		panic(fmt.Sprintf("datalog: predicate %s used with arity %d and %d", name, r.arity, arity))
+	}
+	return r
+}
+
+// Fact asserts a ground fact.
+func (e *Engine) Fact(pred string, args ...Term) {
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		if a.isVar() {
+			panic("datalog: fact with variable")
+		}
+		vals[i] = Value(a)
+	}
+	e.rel(pred, len(args)).add(vals)
+}
+
+// Stratum appends an evaluation stratum; rules within it may be mutually
+// recursive. Negated atoms must refer to predicates whose strata precede
+// this one.
+func (e *Engine) Stratum(rules ...Rule) {
+	e.strata = append(e.strata, rules)
+}
+
+// Derivations returns the total number of successful fact derivations,
+// a machine-independent work measure.
+func (e *Engine) Derivations() uint64 { return e.derived }
+
+// FactCount returns the total number of stored facts across predicates —
+// including all the intermediate facts a declarative engine must retain
+// (the §4.1.3 memory pathology).
+func (e *Engine) FactCount() int {
+	n := 0
+	for _, r := range e.rels {
+		n += len(r.tuples)
+	}
+	return n
+}
+
+// Run evaluates all strata to fixed point.
+func (e *Engine) Run() {
+	for _, rules := range e.strata {
+		e.runStratum(rules)
+	}
+}
+
+func (e *Engine) runStratum(rules []Rule) {
+	// Make sure head/body relations exist.
+	for _, r := range rules {
+		e.rel(r.Head.Pred, len(r.Head.Args))
+		for _, b := range r.Body {
+			e.rel(b.Pred, len(b.Args))
+		}
+		for _, n := range r.Negated {
+			e.rel(n.Pred, len(n.Args))
+		}
+	}
+	// Initial delta: every existing tuple (facts and results of earlier
+	// strata are all "new" to this stratum's rules).
+	for _, r := range e.rels {
+		r.cur = make(map[string]bool, len(r.tuples))
+		for _, t := range r.tuples {
+			r.cur[r.key(t)] = true
+		}
+		r.next = nil
+	}
+	for {
+		for _, rule := range rules {
+			e.evalRule(rule)
+		}
+		// Rotate: tuples derived this round drive the next one.
+		any := false
+		for _, r := range e.rels {
+			r.cur = make(map[string]bool, len(r.next))
+			for _, t := range r.next {
+				r.cur[r.key(t)] = true
+				any = true
+			}
+			r.next = nil
+		}
+		if !any {
+			return
+		}
+	}
+}
+
+// evalRule evaluates one rule semi-naively: a derivation fires only if at
+// least one body atom matched a tuple from the current delta (on the first
+// round, the delta is everything, making it the naive round).
+func (e *Engine) evalRule(rule Rule) {
+	head := e.rels[rule.Head.Pred]
+	maxVar := ruleMaxVar(rule)
+	binding := make([]Value, maxVar+1)
+	bound := make([]bool, maxVar+1)
+
+	// Snapshot full relations; tuples added during this rule's own
+	// evaluation join in the next round (no control over evaluation
+	// order — the Lesson 1 property).
+	fulls := make(map[string][][]Value, len(rule.Body))
+	for _, b := range rule.Body {
+		fulls[b.Pred] = e.rels[b.Pred].tuples
+	}
+
+	var derive func(pos int, usedDelta bool)
+	derive = func(pos int, usedDelta bool) {
+		if pos == len(rule.Body) {
+			if !usedDelta && len(rule.Body) > 0 {
+				return
+			}
+			var biUndo []int
+			defer func() {
+				for _, vi := range biUndo {
+					bound[vi] = false
+				}
+			}()
+			for _, bi := range rule.Builtins {
+				ok, boundVar := e.evalBuiltin(bi, binding, bound)
+				if boundVar >= 0 {
+					biUndo = append(biUndo, boundVar)
+				}
+				if !ok {
+					return
+				}
+			}
+			for _, n := range rule.Negated {
+				if e.matchExists(n, binding, bound) {
+					return
+				}
+			}
+			out := make([]Value, len(rule.Head.Args))
+			for i, a := range rule.Head.Args {
+				if a.isVar() {
+					if !bound[a.varIdx()] {
+						panic(fmt.Sprintf("datalog: unbound head variable in %s", rule.Head.Pred))
+					}
+					out[i] = binding[a.varIdx()]
+				} else {
+					out[i] = Value(a)
+				}
+			}
+			if head.add(out) {
+				e.derived++
+			}
+			return
+		}
+		atom := rule.Body[pos]
+		r := e.rels[atom.Pred]
+		for _, t := range fulls[atom.Pred] {
+			viaDelta := r.cur[r.key(t)]
+			var undo []int
+			ok := true
+			for i, a := range atom.Args {
+				if a.isVar() {
+					vi := a.varIdx()
+					if bound[vi] {
+						if binding[vi] != t[i] {
+							ok = false
+							break
+						}
+					} else {
+						bound[vi] = true
+						binding[vi] = t[i]
+						undo = append(undo, vi)
+					}
+				} else if Value(a) != t[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				derive(pos+1, usedDelta || viaDelta)
+			}
+			for _, vi := range undo {
+				bound[vi] = false
+			}
+		}
+	}
+	derive(0, false)
+}
+
+func ruleMaxVar(r Rule) int {
+	max := -1
+	scan := func(args []Term) {
+		for _, a := range args {
+			if a.isVar() && a.varIdx() > max {
+				max = a.varIdx()
+			}
+		}
+	}
+	scan(r.Head.Args)
+	for _, b := range r.Body {
+		scan(b.Args)
+	}
+	for _, bi := range r.Builtins {
+		scan(bi.Args)
+	}
+	for _, n := range r.Negated {
+		scan(n.Args)
+	}
+	return max
+}
+
+// evalBuiltin evaluates a builtin against the bindings. It returns whether
+// the builtin holds and, if it bound a previously free variable, that
+// variable's index (else -1) so the caller can undo the binding.
+func (e *Engine) evalBuiltin(bi Builtin, binding []Value, bound []bool) (bool, int) {
+	get := func(t Term) (Value, bool) {
+		if t.isVar() {
+			if !bound[t.varIdx()] {
+				return 0, false
+			}
+			return binding[t.varIdx()], true
+		}
+		return Value(t), true
+	}
+	switch bi.Name {
+	case "lt":
+		a, ok1 := get(bi.Args[0])
+		b, ok2 := get(bi.Args[1])
+		return ok1 && ok2 && a < b, -1
+	case "le":
+		a, ok1 := get(bi.Args[0])
+		b, ok2 := get(bi.Args[1])
+		return ok1 && ok2 && a <= b, -1
+	case "neq":
+		a, ok1 := get(bi.Args[0])
+		b, ok2 := get(bi.Args[1])
+		return ok1 && ok2 && a != b, -1
+	case "sum":
+		a, ok1 := get(bi.Args[0])
+		b, ok2 := get(bi.Args[1])
+		if !ok1 || !ok2 || !IsNum(a) || !IsNum(b) {
+			return false, -1
+		}
+		c := Value(NumVal(a)+NumVal(b)) + numBase
+		t := bi.Args[2]
+		if !t.isVar() {
+			return Value(t) == c, -1
+		}
+		vi := t.varIdx()
+		if bound[vi] {
+			return binding[vi] == c, -1
+		}
+		binding[vi] = c
+		bound[vi] = true
+		return true, vi
+	}
+	panic("datalog: unknown builtin " + bi.Name)
+}
+
+// matchExists reports whether any tuple of the atom's relation matches the
+// current bindings.
+func (e *Engine) matchExists(atom Atom, binding []Value, bound []bool) bool {
+	r := e.rels[atom.Pred]
+	for _, t := range r.tuples {
+		ok := true
+		for i, a := range atom.Args {
+			if a.isVar() {
+				vi := a.varIdx()
+				if bound[vi] && binding[vi] != t[i] {
+					ok = false
+					break
+				}
+			} else if Value(a) != t[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Query returns tuples of pred matching the pattern (variables match
+// anything), sorted for determinism.
+func (e *Engine) Query(pred string, pattern ...Term) [][]Value {
+	r, ok := e.rels[pred]
+	if !ok {
+		return nil
+	}
+	var out [][]Value
+	for _, t := range r.tuples {
+		match := true
+		for i, p := range pattern {
+			if !p.isVar() && Value(p) != t[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,202 @@
+package datalog
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dataplane"
+	"repro/internal/ip4"
+	"repro/internal/routing"
+	"repro/internal/testnet"
+)
+
+func TestTransitiveClosure(t *testing.T) {
+	e := NewEngine()
+	a, b, c, d := e.Sym("a"), e.Sym("b"), e.Sym("c"), e.Sym("d")
+	e.Fact("edge", a, b)
+	e.Fact("edge", b, c)
+	e.Fact("edge", c, d)
+	x, y, z := V(0), V(1), V(2)
+	e.Stratum(
+		Rule{Head: A("path", x, y), Body: []Atom{A("edge", x, y)}},
+		Rule{Head: A("path", x, z), Body: []Atom{A("edge", x, y), A("path", y, z)}},
+	)
+	e.Run()
+	if got := len(e.Query("path", V(0), V(1))); got != 6 {
+		t.Errorf("path count = %d, want 6", got)
+	}
+	if len(e.Query("path", a, d)) != 1 {
+		t.Error("a->d missing")
+	}
+	if len(e.Query("path", d, a)) != 0 {
+		t.Error("d->a should not exist")
+	}
+}
+
+func TestCycleTerminates(t *testing.T) {
+	e := NewEngine()
+	a, b := e.Sym("a"), e.Sym("b")
+	e.Fact("edge", a, b)
+	e.Fact("edge", b, a)
+	x, y, z := V(0), V(1), V(2)
+	e.Stratum(
+		Rule{Head: A("path", x, y), Body: []Atom{A("edge", x, y)}},
+		Rule{Head: A("path", x, z), Body: []Atom{A("edge", x, y), A("path", y, z)}},
+	)
+	e.Run()
+	if got := len(e.Query("path", V(0), V(1))); got != 4 {
+		t.Errorf("cyclic closure = %d, want 4", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	e := NewEngine()
+	e.Fact("n", Num(3))
+	e.Fact("n", Num(5))
+	x, y, s := V(0), V(1), V(2)
+	e.Stratum(
+		Rule{Head: A("sum", x, y, s), Body: []Atom{A("n", x), A("n", y)},
+			Builtins: []Builtin{Sum(x, y, s), Le(s, Num(8)), Neq(x, y)}},
+	)
+	e.Run()
+	got := e.Query("sum", V(0), V(1), V(2))
+	// 3+5=8 and 5+3=8 allowed; 3+3 and 5+5 excluded by Neq; 5+5 also by Le.
+	if len(got) != 2 {
+		t.Fatalf("sum tuples = %v", got)
+	}
+	for _, tu := range got {
+		if NumVal(tu[2]) != 8 {
+			t.Errorf("bad sum %v", tu)
+		}
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	e := NewEngine()
+	a, b, c := e.Sym("a"), e.Sym("b"), e.Sym("c")
+	e.Fact("node", a)
+	e.Fact("node", b)
+	e.Fact("node", c)
+	e.Fact("bad", b)
+	x := V(0)
+	e.Stratum(
+		Rule{Head: A("good", x), Body: []Atom{A("node", x)}, Negated: []Atom{A("bad", x)}},
+	)
+	e.Run()
+	got := e.Query("good", V(0))
+	if len(got) != 2 {
+		t.Fatalf("good = %v", got)
+	}
+	for _, tu := range got {
+		if tu[0] == Value(b) {
+			t.Error("b should be excluded")
+		}
+	}
+}
+
+func TestMinViaNegation(t *testing.T) {
+	// The shortest-path idiom: derive all costs, then negate away
+	// non-minimal ones.
+	e := NewEngine()
+	n := e.Sym("n")
+	for _, c := range []int{5, 3, 9} {
+		e.Fact("cost", n, Num(c))
+	}
+	x, c, c2 := V(0), V(1), V(2)
+	e.Stratum(
+		Rule{Head: A("hasBetter", x, c), Body: []Atom{A("cost", x, c), A("cost", x, c2)},
+			Builtins: []Builtin{Lt(c2, c)}},
+	)
+	e.Stratum(
+		Rule{Head: A("best", x, c), Body: []Atom{A("cost", x, c)}, Negated: []Atom{A("hasBetter", x, c)}},
+	)
+	e.Run()
+	got := e.Query("best", V(0), V(1))
+	if len(got) != 1 || NumVal(got[0][1]) != 3 {
+		t.Errorf("best = %v", got)
+	}
+}
+
+func TestFactDeduplication(t *testing.T) {
+	e := NewEngine()
+	a := e.Sym("a")
+	e.Fact("p", a)
+	e.Fact("p", a)
+	if len(e.Query("p", V(0))) != 1 {
+		t.Error("duplicate fact stored")
+	}
+}
+
+func TestSymInterning(t *testing.T) {
+	e := NewEngine()
+	if e.Sym("x") != e.Sym("x") {
+		t.Error("symbols not interned")
+	}
+	if e.SymName(Value(e.Sym("x"))) != "x" {
+		t.Error("SymName wrong")
+	}
+	if NumVal(Value(Num(42))) != 42 {
+		t.Error("Num round trip wrong")
+	}
+}
+
+// TestControlPlaneMatchesImperative is the architectural differential test:
+// the Datalog model of the control plane (original Batfish) must compute
+// the same best OSPF routes as the imperative engine (current Batfish).
+func TestControlPlaneMatchesImperative(t *testing.T) {
+	for name, net := range map[string]*config.Network{
+		"line":    testnet.Line3(),
+		"diamond": testnet.Diamond(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			dp := dataplane.Run(net, dataplane.Options{})
+			if !dp.Converged {
+				t.Fatalf("imperative engine did not converge")
+			}
+			cp := NewControlPlane(net, 64)
+			cp.Run()
+			diffs := cp.CompareWithImperative(func(node string) []routing.Route {
+				return dp.Nodes[node].DefaultVRF().OSPFRIB.AllBest()
+			})
+			for _, d := range diffs {
+				t.Error(d)
+			}
+		})
+	}
+}
+
+func TestControlPlaneFibHops(t *testing.T) {
+	net := testnet.Diamond()
+	cp := NewControlPlane(net, 64)
+	cp.Run()
+	hops := cp.FibHops("r1", ip4.MustParsePrefix("192.168.4.0/24"))
+	if len(hops) != 2 {
+		t.Fatalf("ECMP hops = %v, want both ra and rb", hops)
+	}
+}
+
+// TestIntermediateFactRetention demonstrates the Lesson 1 pathology the
+// engine intentionally reproduces: the Datalog evaluation retains far more
+// facts (all sub-optimal path costs) than there are final best routes.
+func TestIntermediateFactRetention(t *testing.T) {
+	net := testnet.Diamond()
+	cp := NewControlPlane(net, 64)
+	cp.Run()
+	paths := len(cp.E.Query("OspfPath", V(0), V(1), V(2)))
+	best := len(cp.E.Query("BestOspf", V(0), V(1), V(2)))
+	if paths <= best {
+		t.Errorf("expected intermediate facts > best facts: %d vs %d", paths, best)
+	}
+}
+
+func TestUnboundHeadVarPanics(t *testing.T) {
+	e := NewEngine()
+	e.Fact("p", e.Sym("a"))
+	e.Stratum(Rule{Head: A("q", V(0), V(1)), Body: []Atom{A("p", V(0))}})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unbound head variable")
+		}
+	}()
+	e.Run()
+}

@@ -1,0 +1,798 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/acl"
+	"repro/internal/config"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+	"repro/internal/routing"
+	"repro/internal/testnet"
+)
+
+// --- test network construction helpers ---
+
+func dev(net *config.Network, name string) *config.Device {
+	d := config.NewDevice(name, "vi")
+	net.Devices[name] = d
+	return d
+}
+
+func addIface(d *config.Device, name, addr string) *config.Interface {
+	i := &config.Interface{Name: name, Active: true}
+	if addr != "" {
+		i.Addresses = []ip4.Prefix{ip4.MustParsePrefix(addr)}
+	}
+	d.Interfaces[name] = i
+	return i
+}
+
+func enableOSPF(i *config.Interface, area uint32, cost uint32) {
+	i.OSPF = &config.OSPFInterface{Area: area, Cost: cost}
+}
+
+func ospfProc(d *config.Device) *config.OSPFConfig {
+	p := &config.OSPFConfig{ProcessID: 1}
+	d.VRFs[config.DefaultVRF].OSPF = p
+	return p
+}
+
+func bgpProc(d *config.Device, asn uint32) *config.BGPConfig {
+	p := &config.BGPConfig{ASN: asn}
+	d.VRFs[config.DefaultVRF].BGP = p
+	return p
+}
+
+func neighbor(p *config.BGPConfig, peer string, remoteAS uint32) *config.BGPNeighbor {
+	n := &config.BGPNeighbor{PeerIP: ip4.MustParseAddr(peer), RemoteAS: remoteAS, SendCommunity: true}
+	p.Neighbors = append(p.Neighbors, n)
+	return n
+}
+
+func mainRoutes(r *Result, node string) []routing.Route {
+	return r.Nodes[node].DefaultVRF().Main.AllBest()
+}
+
+func findRoute(rs []routing.Route, prefix string) *routing.Route {
+	p := ip4.MustParsePrefix(prefix)
+	for i := range rs {
+		if rs[i].Prefix == p.Canonical() {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+// twoRouterNet: r1(eth0 10.0.0.1/30) -- (10.0.0.2/30 eth0)r2, plus a LAN on
+// each side.
+func twoRouterNet() *config.Network {
+	net := config.NewNetwork()
+	r1 := dev(net, "r1")
+	addIface(r1, "eth0", "10.0.0.1/30")
+	addIface(r1, "lan0", "192.168.1.1/24")
+	r2 := dev(net, "r2")
+	addIface(r2, "eth0", "10.0.0.2/30")
+	addIface(r2, "lan0", "192.168.2.1/24")
+	return net
+}
+
+func TestConnectedRoutes(t *testing.T) {
+	net := twoRouterNet()
+	r := Run(net, Options{})
+	if !r.Converged {
+		t.Fatalf("should converge: %v", r.Warnings)
+	}
+	rts := mainRoutes(r, "r1")
+	if rt := findRoute(rts, "10.0.0.0/30"); rt == nil || rt.Protocol != routing.Connected {
+		t.Errorf("missing connected route: %v", rts)
+	}
+	if rt := findRoute(rts, "10.0.0.1/32"); rt == nil || rt.Protocol != routing.Local {
+		t.Errorf("missing local route: %v", rts)
+	}
+	if findRoute(rts, "192.168.2.0/24") != nil {
+		t.Error("r1 should not know r2's LAN without a protocol")
+	}
+}
+
+func TestStaticRoutes(t *testing.T) {
+	net := twoRouterNet()
+	net.Devices["r1"].VRFs[config.DefaultVRF].StaticRoutes = []config.StaticRoute{
+		{Prefix: ip4.MustParsePrefix("192.168.2.0/24"), NextHop: ip4.MustParseAddr("10.0.0.2")},
+		{Prefix: ip4.MustParsePrefix("203.0.113.0/24"), NextHop: ip4.MustParseAddr("198.51.100.1")}, // unresolvable
+		{Prefix: ip4.MustParsePrefix("10.99.0.0/16"), Drop: true},
+	}
+	r := Run(net, Options{})
+	rts := mainRoutes(r, "r1")
+	if rt := findRoute(rts, "192.168.2.0/24"); rt == nil || rt.Protocol != routing.Static {
+		t.Errorf("static route missing: %v", rts)
+	}
+	if findRoute(rts, "203.0.113.0/24") != nil {
+		t.Error("static with unreachable next hop must not install")
+	}
+	if rt := findRoute(rts, "10.99.0.0/16"); rt == nil || !rt.Drop {
+		t.Error("discard route missing")
+	}
+	// FIB must reflect the static route.
+	f := r.Nodes["r1"].DefaultVRF().FIB
+	e := f.Lookup(ip4.MustParseAddr("192.168.2.77"))
+	if e == nil || e.NextHops[0].Iface != "eth0" || e.NextHops[0].Node != "r2" {
+		t.Errorf("FIB resolution wrong: %v", e)
+	}
+}
+
+func TestRecursiveStatic(t *testing.T) {
+	net := twoRouterNet()
+	net.Devices["r1"].VRFs[config.DefaultVRF].StaticRoutes = []config.StaticRoute{
+		// 2nd route resolves through the 1st.
+		{Prefix: ip4.MustParsePrefix("172.16.0.0/16"), NextHop: ip4.MustParseAddr("10.0.0.2")},
+		{Prefix: ip4.MustParsePrefix("172.17.0.0/16"), NextHop: ip4.MustParseAddr("172.16.0.1")},
+	}
+	r := Run(net, Options{})
+	if findRoute(mainRoutes(r, "r1"), "172.17.0.0/16") == nil {
+		t.Error("recursive static not installed")
+	}
+}
+
+// ospfTriangle builds r1--r2--r3--r1 with LANs; cost r1-r3 is expensive.
+func ospfTriangle() *config.Network {
+	net := config.NewNetwork()
+	r1, r2, r3 := dev(net, "r1"), dev(net, "r2"), dev(net, "r3")
+	link := func(a *config.Device, ai, aaddr string, cost uint32) {
+		i := addIface(a, ai, aaddr)
+		enableOSPF(i, 0, cost)
+	}
+	link(r1, "eth12", "10.0.12.1/30", 10)
+	link(r2, "eth12", "10.0.12.2/30", 10)
+	link(r2, "eth23", "10.0.23.2/30", 10)
+	link(r3, "eth23", "10.0.23.3/30", 10)
+	link(r1, "eth13", "10.0.13.1/30", 100)
+	link(r3, "eth13", "10.0.13.3/30", 100)
+	for n, d := range map[string]*config.Device{"r1": r1, "r2": r2, "r3": r3} {
+		lan := addIface(d, "lan0", "192.168."+n[1:]+".1/24")
+		enableOSPF(lan, 0, 1)
+		lan.OSPF.Passive = true
+		ospfProc(d)
+	}
+	return net
+}
+
+func TestOSPFShortestPath(t *testing.T) {
+	r := Run(ospfTriangle(), Options{})
+	if !r.Converged {
+		t.Fatalf("no convergence: %v", r.Warnings)
+	}
+	// r1 -> r3's LAN: via r2 (10+10+1=21) beats direct (100+1=101).
+	rt := findRoute(mainRoutes(r, "r1"), "192.168.3.0/24")
+	if rt == nil {
+		t.Fatal("r1 missing route to r3 LAN")
+	}
+	if rt.Protocol != routing.OSPF || rt.Metric != 21 || rt.NextHopNode != "r2" {
+		t.Errorf("wrong path: %+v", rt)
+	}
+}
+
+func TestOSPFECMP(t *testing.T) {
+	// Make both paths equal cost: direct r1-r3 cost 20 vs via r2 cost 20.
+	net := ospfTriangle()
+	net.Devices["r1"].Interfaces["eth13"].OSPF.Cost = 20
+	net.Devices["r3"].Interfaces["eth13"].OSPF.Cost = 20
+	r := Run(net, Options{})
+	vrf := r.Nodes["r1"].DefaultVRF()
+	best := vrf.OSPFRIB.Best(ip4.MustParsePrefix("192.168.3.0/24"))
+	if len(best) != 2 {
+		t.Fatalf("expected 2 ECMP paths, got %v", best)
+	}
+	e := vrf.FIB.Lookup(ip4.MustParseAddr("192.168.3.9"))
+	if e == nil || len(e.NextHops) != 2 {
+		t.Errorf("FIB should carry both next hops: %v", e)
+	}
+}
+
+func TestOSPFAreas(t *testing.T) {
+	// r1 (area 1) -- abr (areas 1,0) -- r3 (area 0)
+	net := config.NewNetwork()
+	r1, abr, r3 := dev(net, "r1"), dev(net, "r2abr"), dev(net, "r3")
+	enableOSPF(addIface(r1, "eth0", "10.1.0.1/30"), 1, 10)
+	enableOSPF(addIface(abr, "eth1", "10.1.0.2/30"), 1, 10)
+	enableOSPF(addIface(abr, "eth0", "10.0.0.1/30"), 0, 10)
+	enableOSPF(addIface(r3, "eth0", "10.0.0.2/30"), 0, 10)
+	lan1 := addIface(r1, "lan0", "192.168.1.1/24")
+	enableOSPF(lan1, 1, 1)
+	lan1.OSPF.Passive = true
+	lan3 := addIface(r3, "lan0", "192.168.3.1/24")
+	enableOSPF(lan3, 0, 1)
+	lan3.OSPF.Passive = true
+	ospfProc(r1)
+	ospfProc(abr)
+	ospfProc(r3)
+	r := Run(net, Options{})
+	if !r.Converged {
+		t.Fatalf("no convergence: %v", r.Warnings)
+	}
+	// r1 sees r3's LAN as inter-area.
+	rt := findRoute(mainRoutes(r, "r1"), "192.168.3.0/24")
+	if rt == nil {
+		t.Fatal("r1 missing inter-area route")
+	}
+	if rt.Protocol != routing.OSPFIA {
+		t.Errorf("expected OSPFIA, got %v", rt.Protocol)
+	}
+	// And vice versa.
+	rt3 := findRoute(mainRoutes(r, "r3"), "192.168.1.0/24")
+	if rt3 == nil || rt3.Protocol != routing.OSPFIA {
+		t.Errorf("r3 missing inter-area route: %v", rt3)
+	}
+}
+
+func TestOSPFRedistributeStatic(t *testing.T) {
+	net := ospfTriangle()
+	vrf := net.Devices["r1"].VRFs[config.DefaultVRF]
+	vrf.StaticRoutes = []config.StaticRoute{
+		{Prefix: ip4.MustParsePrefix("203.0.113.0/24"), Drop: true},
+	}
+	vrf.OSPF.Redistribute = []config.Redistribution{{From: config.RedistStatic}}
+	r := Run(net, Options{})
+	rt := findRoute(mainRoutes(r, "r3"), "203.0.113.0/24")
+	if rt == nil {
+		t.Fatal("external route not propagated")
+	}
+	if rt.Protocol != routing.OSPFE2 || rt.Metric != 20 {
+		t.Errorf("expected E2 metric 20, got %+v", rt)
+	}
+}
+
+func TestOSPFE2MetricDoesNotAccumulate(t *testing.T) {
+	net := ospfTriangle()
+	vrf := net.Devices["r3"].VRFs[config.DefaultVRF]
+	vrf.StaticRoutes = []config.StaticRoute{{Prefix: ip4.MustParsePrefix("203.0.113.0/24"), Drop: true}}
+	vrf.OSPF.Redistribute = []config.Redistribution{{From: config.RedistStatic, Metric: 50}}
+	r := Run(net, Options{})
+	// r1 reaches the external via r2 (2 hops) but E2 metric stays 50.
+	rt := findRoute(mainRoutes(r, "r1"), "203.0.113.0/24")
+	if rt == nil || rt.Metric != 50 {
+		t.Errorf("E2 metric should not accumulate: %+v", rt)
+	}
+}
+
+// ebgpChain builds AS65001(r1) -- AS65002(r2) -- AS65003(r3); r1 originates
+// 203.0.113.0/24.
+func ebgpChain() *config.Network {
+	net := config.NewNetwork()
+	r1, r2, r3 := dev(net, "r1"), dev(net, "r2"), dev(net, "r3")
+	addIface(r1, "eth0", "10.0.12.1/30")
+	addIface(r2, "eth0", "10.0.12.2/30")
+	addIface(r2, "eth1", "10.0.23.2/30")
+	addIface(r3, "eth0", "10.0.23.3/30")
+	b1 := bgpProc(r1, 65001)
+	neighbor(b1, "10.0.12.2", 65002)
+	b1.Networks = []ip4.Prefix{ip4.MustParsePrefix("203.0.113.0/24")}
+	r1.VRFs[config.DefaultVRF].StaticRoutes = []config.StaticRoute{
+		{Prefix: ip4.MustParsePrefix("203.0.113.0/24"), Drop: true},
+	}
+	b2 := bgpProc(r2, 65002)
+	neighbor(b2, "10.0.12.1", 65001)
+	neighbor(b2, "10.0.23.3", 65003)
+	b3 := bgpProc(r3, 65003)
+	neighbor(b3, "10.0.23.2", 65002)
+	return net
+}
+
+func TestEBGPChainPropagation(t *testing.T) {
+	r := Run(ebgpChain(), Options{})
+	if !r.Converged {
+		t.Fatalf("no convergence: %v", r.Warnings)
+	}
+	// All sessions up.
+	for _, s := range r.Sessions {
+		if !s.Up {
+			t.Errorf("session down: %v", s)
+		}
+	}
+	rt2 := findRoute(mainRoutes(r, "r2"), "203.0.113.0/24")
+	if rt2 == nil || rt2.Protocol != routing.EBGP {
+		t.Fatalf("r2 missing eBGP route: %v", rt2)
+	}
+	if rt2.Attrs.ASPath.String() != "65001" {
+		t.Errorf("r2 AS path = %q, want 65001", rt2.Attrs.ASPath)
+	}
+	if rt2.NextHop != ip4.MustParseAddr("10.0.12.1") {
+		t.Errorf("r2 next hop = %v", rt2.NextHop)
+	}
+	rt3 := findRoute(mainRoutes(r, "r3"), "203.0.113.0/24")
+	if rt3 == nil {
+		t.Fatal("r3 missing route")
+	}
+	if rt3.Attrs.ASPath.String() != "65002 65001" {
+		t.Errorf("r3 AS path = %q, want '65002 65001'", rt3.Attrs.ASPath)
+	}
+	// FIB end-to-end.
+	e := r.Nodes["r3"].DefaultVRF().FIB.Lookup(ip4.MustParseAddr("203.0.113.50"))
+	if e == nil || e.NextHops[0].Node != "r2" {
+		t.Errorf("r3 FIB wrong: %v", e)
+	}
+}
+
+func TestBGPLoopPrevention(t *testing.T) {
+	// Ring: r1-r2-r3-r1; route must not loop back to r1.
+	net := ebgpChain()
+	r1, r3 := net.Devices["r1"], net.Devices["r3"]
+	addIface(r1, "eth1", "10.0.13.1/30")
+	addIface(r3, "eth1", "10.0.13.3/30")
+	neighbor(r1.VRFs[config.DefaultVRF].BGP, "10.0.13.3", 65003)
+	neighbor(r3.VRFs[config.DefaultVRF].BGP, "10.0.13.1", 65001)
+	r := Run(net, Options{})
+	if !r.Converged {
+		t.Fatalf("no convergence: %v", r.Warnings)
+	}
+	// r1's own prefix candidates must not include one via r3.
+	cands := r.Nodes["r1"].DefaultVRF().BGPRIB.Candidates(ip4.MustParsePrefix("203.0.113.0/24"))
+	for _, c := range cands {
+		if c.NextHopNode == "r3" {
+			t.Errorf("looped route installed: %v", c)
+		}
+	}
+	// r3 should now prefer the direct path (shorter AS path).
+	rt := findRoute(mainRoutes(r, "r3"), "203.0.113.0/24")
+	if rt == nil || rt.Attrs.ASPath.String() != "65001" {
+		t.Errorf("r3 should use direct path: %v", rt)
+	}
+}
+
+func TestBGPSessionCompatibility(t *testing.T) {
+	net := ebgpChain()
+	// Break r2's remote-as for r3.
+	net.Devices["r2"].VRFs[config.DefaultVRF].BGP.Neighbors[1].RemoteAS = 64999
+	r := Run(net, Options{})
+	var down *Session
+	for _, s := range r.Sessions {
+		if !s.Up {
+			down = s
+		}
+	}
+	if down == nil {
+		t.Fatal("mismatched session should be down")
+	}
+	if findRoute(mainRoutes(r, "r3"), "203.0.113.0/24") != nil {
+		t.Error("routes must not flow over a down session")
+	}
+}
+
+func TestBGPSessionBlockedByACL(t *testing.T) {
+	net := ebgpChain()
+	r2 := net.Devices["r2"]
+	// Block TCP/179 inbound on r2's interface to r3.
+	blockBGP := acl.NewLine(acl.Deny, "deny bgp")
+	blockBGP.Protocol = hdr.ProtoTCP
+	blockBGP.DstPorts = []acl.PortRange{{Lo: 179, Hi: 179}}
+	permit := acl.NewLine(acl.Permit, "permit all")
+	r2.ACLs["BLOCK_BGP"] = &acl.ACL{Name: "BLOCK_BGP", Lines: []acl.Line{blockBGP, permit}}
+	r2.Interfaces["eth1"].InACL = "BLOCK_BGP"
+	r := Run(net, Options{})
+	var blocked *Session
+	for _, s := range r.Sessions {
+		if s.LocalNode == "r3" || (s.LocalNode == "r2" && s.PeerNode == "r3") {
+			if !s.Up {
+				blocked = s
+			}
+		}
+	}
+	if blocked == nil {
+		t.Fatalf("ACL-blocked session should be down: %v", r.Sessions)
+	}
+	if !strings.Contains(blocked.DownReason, "BLOCK_BGP") && !strings.Contains(blocked.DownReason, "denied") {
+		t.Errorf("down reason should mention the ACL: %q", blocked.DownReason)
+	}
+	if findRoute(mainRoutes(r, "r3"), "203.0.113.0/24") != nil {
+		t.Error("route must not propagate over ACL-blocked session")
+	}
+}
+
+func TestIBGPWithNextHopSelf(t *testing.T) {
+	// x1 (AS64500) --eBGP-- r1 --iBGP-- r2 (AS65000), next-hop-self on r1.
+	net := config.NewNetwork()
+	x1, r1, r2 := dev(net, "x1"), dev(net, "r1"), dev(net, "r2")
+	addIface(x1, "eth0", "198.51.100.1/30")
+	addIface(r1, "ext0", "198.51.100.2/30")
+	addIface(r1, "eth0", "10.0.0.1/30")
+	addIface(r2, "eth0", "10.0.0.2/30")
+	bx := bgpProc(x1, 64500)
+	neighbor(bx, "198.51.100.2", 65000)
+	bx.Networks = []ip4.Prefix{ip4.MustParsePrefix("203.0.113.0/24")}
+	x1.VRFs[config.DefaultVRF].StaticRoutes = []config.StaticRoute{
+		{Prefix: ip4.MustParsePrefix("203.0.113.0/24"), Drop: true}}
+	b1 := bgpProc(r1, 65000)
+	neighbor(b1, "198.51.100.1", 64500)
+	n12 := neighbor(b1, "10.0.0.2", 65000)
+	n12.NextHopSelf = true
+	b2 := bgpProc(r2, 65000)
+	neighbor(b2, "10.0.0.1", 65000)
+	r := Run(net, Options{})
+	if !r.Converged {
+		t.Fatalf("no convergence: %v", r.Warnings)
+	}
+	rt := findRoute(mainRoutes(r, "r2"), "203.0.113.0/24")
+	if rt == nil {
+		t.Fatal("iBGP route missing at r2")
+	}
+	if rt.Protocol != routing.IBGP {
+		t.Errorf("protocol = %v, want ibgp", rt.Protocol)
+	}
+	if rt.NextHop != ip4.MustParseAddr("10.0.0.1") {
+		t.Errorf("next-hop-self not applied: %v", rt.NextHop)
+	}
+	if rt.Attrs.LocalPref != 100 {
+		t.Errorf("local pref = %d, want 100 (carried over iBGP)", rt.Attrs.LocalPref)
+	}
+}
+
+func TestImportPolicySetsLocalPref(t *testing.T) {
+	net := ebgpChain()
+	r2 := net.Devices["r2"]
+	r2.RouteMaps["LP200"] = &config.RouteMap{Name: "LP200", Clauses: []config.RouteMapClause{
+		{Seq: 10, Action: config.Permit, Sets: []config.Set{{Kind: config.SetLocalPref, Value: 200}}},
+	}}
+	r2.VRFs[config.DefaultVRF].BGP.Neighbors[0].ImportPolicy = "LP200"
+	r := Run(net, Options{})
+	rt := findRoute(mainRoutes(r, "r2"), "203.0.113.0/24")
+	if rt == nil || rt.Attrs.LocalPref != 200 {
+		t.Errorf("import policy not applied: %v", rt)
+	}
+}
+
+func TestExportPolicyFiltersPrefix(t *testing.T) {
+	net := ebgpChain()
+	r2 := net.Devices["r2"]
+	r2.PrefixLists["NONE"] = &config.PrefixList{Name: "NONE", Entries: []config.PrefixListEntry{
+		{Seq: 10, Action: config.Deny, Prefix: ip4.MustParsePrefix("0.0.0.0/0"), Le: 32},
+	}}
+	r2.RouteMaps["DENY_ALL"] = &config.RouteMap{Name: "DENY_ALL", Clauses: []config.RouteMapClause{
+		{Seq: 10, Action: config.Permit, Matches: []config.Match{{Kind: config.MatchPrefixList, Name: "NONE"}}},
+	}}
+	r2.VRFs[config.DefaultVRF].BGP.Neighbors[1].ExportPolicy = "DENY_ALL"
+	r := Run(net, Options{})
+	if findRoute(mainRoutes(r, "r3"), "203.0.113.0/24") != nil {
+		t.Error("export policy should have filtered the route")
+	}
+}
+
+// figure1b builds the paper's Figure 1b: two border routers of AS 65000,
+// each with an external peer advertising 10.0.0.0/8, iBGP between them with
+// an import policy that prefers internal paths (LP 200).
+func figure1b() *config.Network {
+	net := config.NewNetwork()
+	b1, b2 := dev(net, "border1"), dev(net, "border2")
+	x1, x2 := dev(net, "ext1"), dev(net, "ext2")
+	addIface(x1, "eth0", "198.51.100.1/30")
+	addIface(b1, "ext0", "198.51.100.2/30")
+	addIface(x2, "eth0", "198.51.101.1/30")
+	addIface(b2, "ext0", "198.51.101.2/30")
+	addIface(b1, "core0", "10.255.0.1/30")
+	addIface(b2, "core0", "10.255.0.2/30")
+	for _, x := range []*config.Device{x1, x2} {
+		x.VRFs[config.DefaultVRF].StaticRoutes = []config.StaticRoute{
+			{Prefix: ip4.MustParsePrefix("10.0.0.0/8"), Drop: true}}
+	}
+	bx1 := bgpProc(x1, 64501)
+	neighbor(bx1, "198.51.100.2", 65000)
+	bx1.Networks = []ip4.Prefix{ip4.MustParsePrefix("10.0.0.0/8")}
+	bx2 := bgpProc(x2, 64502)
+	neighbor(bx2, "198.51.101.2", 65000)
+	bx2.Networks = []ip4.Prefix{ip4.MustParsePrefix("10.0.0.0/8")}
+	for i, b := range []*config.Device{b1, b2} {
+		b.RouteMaps["PREFER_INTERNAL"] = &config.RouteMap{Name: "PREFER_INTERNAL",
+			Clauses: []config.RouteMapClause{{Seq: 10, Action: config.Permit,
+				Sets: []config.Set{{Kind: config.SetLocalPref, Value: 200}}}}}
+		bp := bgpProc(b, 65000)
+		if i == 0 {
+			neighbor(bp, "198.51.100.1", 64501)
+			n := neighbor(bp, "10.255.0.2", 65000)
+			n.ImportPolicy = "PREFER_INTERNAL"
+			n.NextHopSelf = true
+		} else {
+			neighbor(bp, "198.51.101.1", 64502)
+			n := neighbor(bp, "10.255.0.1", 65000)
+			n.ImportPolicy = "PREFER_INTERNAL"
+			n.NextHopSelf = true
+		}
+	}
+	return net
+}
+
+// TestFigure1bLockstepOscillates reproduces the paper's Figure 1b: with
+// uncontrolled parallelism (lockstep) the two border routers re-advertise
+// in a cycle and never converge.
+func TestFigure1bLockstepOscillates(t *testing.T) {
+	r := Run(figure1b(), Options{Schedule: ScheduleLockstep, MaxIterations: 100})
+	if r.Converged {
+		t.Fatal("lockstep should NOT converge on Figure 1b")
+	}
+	if !r.Oscillation {
+		t.Errorf("expected oscillation detection; warnings: %v", r.Warnings)
+	}
+}
+
+// TestFigure1bColoredConverges shows the production schedule converging
+// deterministically on the same network.
+func TestFigure1bColoredConverges(t *testing.T) {
+	r := Run(figure1b(), Options{Schedule: ScheduleColored})
+	if !r.Converged {
+		t.Fatalf("colored schedule should converge: %v", r.Warnings)
+	}
+	// Exactly one border router should use its external path and the other
+	// the internal path through it.
+	rt1 := findRoute(mainRoutes(r, "border1"), "10.0.0.0/8")
+	rt2 := findRoute(mainRoutes(r, "border2"), "10.0.0.0/8")
+	if rt1 == nil || rt2 == nil {
+		t.Fatal("border routers missing 10/8")
+	}
+	ibgpCount := 0
+	for _, rt := range []*routing.Route{rt1, rt2} {
+		if rt.Protocol == routing.IBGP {
+			ibgpCount++
+		}
+	}
+	if ibgpCount != 1 {
+		t.Errorf("expected exactly one internal path, got %d (r1=%v r2=%v)", ibgpCount, rt1, rt2)
+	}
+}
+
+// TestDeterminism runs the same simulation several times and requires
+// identical RIB state (paper §4.1.2: "consistent results across
+// simulations to aid in debugging").
+func TestDeterminism(t *testing.T) {
+	baseline := uint64(0)
+	for i := 0; i < 3; i++ {
+		r := Run(figure1b(), Options{Schedule: ScheduleColored, Parallelism: 4})
+		e := &Engine{net: r.Network, nodes: r.Nodes}
+		h := e.ribStateHash(func(vs *VRFState) *routing.RIB { return vs.Main })
+		if i == 0 {
+			baseline = h
+		} else if h != baseline {
+			t.Fatalf("run %d produced different state", i)
+		}
+	}
+}
+
+func TestClockTieBreakPrefersOldest(t *testing.T) {
+	// r2 hears the same prefix from two eBGP peers with identical
+	// attributes; the logical clock must keep the first-learned route.
+	net := config.NewNetwork()
+	a, b, r2 := dev(net, "a"), dev(net, "b"), dev(net, "r2")
+	addIface(a, "eth0", "10.0.1.1/30")
+	addIface(b, "eth0", "10.0.2.1/30")
+	addIface(r2, "eth1", "10.0.1.2/30")
+	addIface(r2, "eth2", "10.0.2.2/30")
+	for _, x := range []*config.Device{a, b} {
+		x.VRFs[config.DefaultVRF].StaticRoutes = []config.StaticRoute{
+			{Prefix: ip4.MustParsePrefix("203.0.113.0/24"), Drop: true}}
+	}
+	// Same AS on both advertisers => identical AS path length.
+	ba := bgpProc(a, 64500)
+	neighbor(ba, "10.0.1.2", 65000)
+	ba.Networks = []ip4.Prefix{ip4.MustParsePrefix("203.0.113.0/24")}
+	bb := bgpProc(b, 64500)
+	neighbor(bb, "10.0.2.2", 65000)
+	bb.Networks = []ip4.Prefix{ip4.MustParsePrefix("203.0.113.0/24")}
+	b2 := bgpProc(r2, 65000)
+	neighbor(b2, "10.0.1.1", 64500)
+	neighbor(b2, "10.0.2.1", 64500)
+	r := Run(net, Options{})
+	if !r.Converged {
+		t.Fatalf("no convergence: %v", r.Warnings)
+	}
+	best := r.Nodes["r2"].DefaultVRF().BGPRIB.Best(ip4.MustParsePrefix("203.0.113.0/24"))
+	if len(best) != 1 {
+		t.Fatalf("expected single best, got %v", best)
+	}
+	cands := r.Nodes["r2"].DefaultVRF().BGPRIB.Candidates(ip4.MustParsePrefix("203.0.113.0/24"))
+	if len(cands) != 2 {
+		t.Fatalf("expected 2 candidates, got %d", len(cands))
+	}
+	oldest := cands[0]
+	for _, c := range cands[1:] {
+		if c.Clock < oldest.Clock {
+			oldest = c
+		}
+	}
+	if best[0].Key() != oldest.Key() {
+		t.Errorf("best %v is not the oldest candidate %v", best[0], oldest)
+	}
+}
+
+func TestBGPMultipath(t *testing.T) {
+	// Same topology as clock test but with multipath: both paths in FIB.
+	net := config.NewNetwork()
+	a, b, r2 := dev(net, "a"), dev(net, "b"), dev(net, "r2")
+	addIface(a, "eth0", "10.0.1.1/30")
+	addIface(b, "eth0", "10.0.2.1/30")
+	addIface(r2, "eth1", "10.0.1.2/30")
+	addIface(r2, "eth2", "10.0.2.2/30")
+	for _, x := range []*config.Device{a, b} {
+		x.VRFs[config.DefaultVRF].StaticRoutes = []config.StaticRoute{
+			{Prefix: ip4.MustParsePrefix("203.0.113.0/24"), Drop: true}}
+	}
+	ba := bgpProc(a, 64500)
+	neighbor(ba, "10.0.1.2", 65000)
+	ba.Networks = []ip4.Prefix{ip4.MustParsePrefix("203.0.113.0/24")}
+	bb := bgpProc(b, 64500)
+	neighbor(bb, "10.0.2.2", 65000)
+	bb.Networks = []ip4.Prefix{ip4.MustParsePrefix("203.0.113.0/24")}
+	b2 := bgpProc(r2, 65000)
+	b2.MultipathEBGP = true
+	neighbor(b2, "10.0.1.1", 64500)
+	neighbor(b2, "10.0.2.1", 64500)
+	r := Run(net, Options{})
+	best := r.Nodes["r2"].DefaultVRF().BGPRIB.Best(ip4.MustParsePrefix("203.0.113.0/24"))
+	if len(best) != 2 {
+		t.Fatalf("multipath should keep 2 best, got %v", best)
+	}
+	e := r.Nodes["r2"].DefaultVRF().FIB.Lookup(ip4.MustParseAddr("203.0.113.1"))
+	if e == nil || len(e.NextHops) != 2 {
+		t.Errorf("FIB should have 2 ECMP next hops: %v", e)
+	}
+}
+
+func TestParallelismMatchesSerial(t *testing.T) {
+	h := func(par int) uint64 {
+		r := Run(ospfTriangle(), Options{Parallelism: par})
+		e := &Engine{net: r.Network, nodes: r.Nodes}
+		return e.ribStateHash(func(vs *VRFState) *routing.RIB { return vs.Main })
+	}
+	if h(0) != h(8) {
+		t.Error("parallel simulation diverged from serial")
+	}
+}
+
+func TestInterningSharesAttrs(t *testing.T) {
+	r := Run(ebgpChain(), Options{})
+	st := r.Pool.Stats()
+	if st.UniqueAttrs == 0 {
+		t.Error("no attrs interned")
+	}
+	// r2 and r3 hold routes; attribute objects must be shared per unique
+	// combination (hits > 0 implies reuse happened).
+	if st.AttrMisses == 0 {
+		t.Error("stats not tracking")
+	}
+}
+
+func TestNonBGPNetworkHasNoSessions(t *testing.T) {
+	r := Run(ospfTriangle(), Options{})
+	if len(r.Sessions) != 0 {
+		t.Errorf("unexpected sessions: %v", r.Sessions)
+	}
+}
+
+func TestFullStateConvergenceAblation(t *testing.T) {
+	r := Run(ospfTriangle(), Options{FullStateConvergence: true})
+	if !r.Converged {
+		t.Fatalf("full-state convergence should also converge: %v", r.Warnings)
+	}
+	rt := findRoute(mainRoutes(r, "r1"), "192.168.3.0/24")
+	if rt == nil || rt.Metric != 21 {
+		t.Errorf("ablation changed results: %v", rt)
+	}
+}
+
+func TestShutdownInterfaceExcluded(t *testing.T) {
+	net := twoRouterNet()
+	net.Devices["r2"].Interfaces["eth0"].Active = false
+	r := Run(net, Options{})
+	if len(r.Topology.Edges) != 0 {
+		t.Errorf("shutdown interface should not form edges: %v", r.Topology.Edges)
+	}
+	if findRoute(mainRoutes(r, "r2"), "10.0.0.0/30") != nil {
+		t.Error("shutdown interface should not produce connected routes")
+	}
+}
+
+func TestVRFIsolation(t *testing.T) {
+	// Two parallel customer networks over the same routers, isolated in
+	// separate VRFs: routes must not leak between them.
+	net := config.NewNetwork()
+	r1, r2 := dev(net, "r1"), dev(net, "r2")
+	mkVRF := func(d *config.Device, vrf, iface, addr string) {
+		i := addIface(d, iface, addr)
+		i.VRFName = vrf
+		d.VRF(vrf)
+	}
+	mkVRF(r1, "red", "red0", "10.1.0.1/30")
+	mkVRF(r2, "red", "red0", "10.1.0.2/30")
+	mkVRF(r1, "blue", "blue0", "10.2.0.1/30")
+	mkVRF(r2, "blue", "blue0", "10.2.0.2/30")
+	mkVRF(r1, "red", "redlan", "192.168.1.1/24")
+	mkVRF(r2, "blue", "bluelan", "192.168.1.1/24") // same LAN prefix, different VRF
+	// Static routes within each VRF.
+	r1.VRFs["blue"].StaticRoutes = []config.StaticRoute{
+		{Prefix: ip4.MustParsePrefix("192.168.1.0/24"), NextHop: ip4.MustParseAddr("10.2.0.2")},
+	}
+	r2.VRFs["red"].StaticRoutes = []config.StaticRoute{
+		{Prefix: ip4.MustParsePrefix("192.168.1.0/24"), NextHop: ip4.MustParseAddr("10.1.0.1")},
+	}
+	r := Run(net, Options{})
+	if !r.Converged {
+		t.Fatalf("no convergence: %v", r.Warnings)
+	}
+	redR1 := r.Nodes["r1"].VRFs["red"]
+	blueR1 := r.Nodes["r1"].VRFs["blue"]
+	if redR1 == nil || blueR1 == nil {
+		t.Fatal("VRF states missing")
+	}
+	// red on r1 owns 192.168.1.0/24 as connected; blue reaches it via the
+	// static route — each in its own table.
+	redRt := redR1.Main.Best(ip4.MustParsePrefix("192.168.1.0/24"))
+	if len(redRt) != 1 || redRt[0].Protocol != routing.Connected {
+		t.Errorf("red should have connected LAN: %v", redRt)
+	}
+	blueRt := blueR1.Main.Best(ip4.MustParsePrefix("192.168.1.0/24"))
+	if len(blueRt) != 1 || blueRt[0].Protocol != routing.Static {
+		t.Errorf("blue should have static LAN route: %v", blueRt)
+	}
+	// No leakage: blue must not see red's p2p subnet.
+	if got := blueR1.Main.Best(ip4.MustParsePrefix("10.1.0.0/30")); len(got) != 0 {
+		t.Errorf("blue sees red's subnet: %v", got)
+	}
+	// FIBs exist for every VRF.
+	if redR1.FIB == nil || blueR1.FIB == nil {
+		t.Error("per-VRF FIBs missing")
+	}
+}
+
+func TestOSPFRequiresMatchingVRF(t *testing.T) {
+	// OSPF interfaces in different VRFs on the same subnet must not form
+	// an adjacency.
+	net := twoRouterNet()
+	ospfProc(net.Devices["r1"])
+	ospfProc(net.Devices["r2"])
+	enableOSPF(net.Devices["r1"].Interfaces["eth0"], 0, 10)
+	enableOSPF(net.Devices["r2"].Interfaces["eth0"], 0, 10)
+	enableOSPF(net.Devices["r1"].Interfaces["lan0"], 0, 1)
+	net.Devices["r1"].Interfaces["lan0"].OSPF.Passive = true
+	enableOSPF(net.Devices["r2"].Interfaces["lan0"], 0, 1)
+	net.Devices["r2"].Interfaces["lan0"].OSPF.Passive = true
+	// Sanity: with matching VRFs routes flow.
+	r := Run(net, Options{})
+	if findRoute(mainRoutes(r, "r1"), "192.168.2.0/24") == nil {
+		t.Fatal("baseline OSPF should work")
+	}
+	// Now put r2's side in a VRF.
+	net2 := twoRouterNet()
+	ospfProc(net2.Devices["r1"])
+	enableOSPF(net2.Devices["r1"].Interfaces["eth0"], 0, 10)
+	enableOSPF(net2.Devices["r2"].Interfaces["eth0"], 0, 10)
+	net2.Devices["r2"].Interfaces["eth0"].VRFName = "CUST"
+	cv := net2.Devices["r2"].VRF("CUST")
+	cv.OSPF = &config.OSPFConfig{ProcessID: 2}
+	r2res := Run(net2, Options{})
+	if findRoute(mainRoutes(r2res, "r1"), "192.168.2.0/24") != nil {
+		t.Error("cross-VRF adjacency must not form")
+	}
+}
+
+func TestNonConvergenceReported(t *testing.T) {
+	// Exceeding MaxIterations without a cycle is reported as
+	// non-convergence, not papered over.
+	r := Run(figure1b(), Options{Schedule: ScheduleLockstep, MaxIterations: 3})
+	if r.Converged {
+		t.Error("3 iterations cannot converge figure 1b under lockstep")
+	}
+	if len(r.Warnings) == 0 {
+		t.Error("non-convergence must warn")
+	}
+}
+
+// TestBadGadgetReportedNotForced: a network with no stable BGP solution
+// must be reported as non-convergent even under the production schedule
+// (paper §4.1.2: the convergence techniques do not force convergence on
+// networks that do not converge in reality).
+func TestBadGadgetReportedNotForced(t *testing.T) {
+	r := Run(testnet.BadGadget(), Options{MaxIterations: 200})
+	if r.Converged {
+		t.Fatal("bad gadget has no stable solution; convergence is a bug")
+	}
+	if len(r.Warnings) == 0 {
+		t.Error("non-convergence must be reported")
+	}
+}

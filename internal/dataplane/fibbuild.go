@@ -1,0 +1,27 @@
+package dataplane
+
+import (
+	"repro/internal/config"
+	"repro/internal/fib"
+	"repro/internal/ip4"
+)
+
+// buildFIBs converts every VRF's main RIB into a FIB, resolving recursive
+// next hops against connected interfaces and the topology.
+func (e *Engine) buildFIBs() {
+	e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+		res := fib.Resolver{
+			IfaceForConnected: func(a ip4.Addr) (string, bool) {
+				return e.connIface(node, cv.Name, a)
+			},
+			NodeForNextHop: func(iface string, nh ip4.Addr) string {
+				return e.neighborFor(node, iface, nh)
+			},
+		}
+		f, unresolved := fib.BuildFromRIB(vs.Main, res)
+		for _, rt := range unresolved {
+			e.warnf("%s/%s: route %v has unresolvable next hop", node, cv.Name, rt)
+		}
+		vs.FIB = f
+	})
+}

@@ -1,0 +1,144 @@
+package dataplane
+
+import (
+	"repro/internal/acl"
+	"repro/internal/config"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+)
+
+// reachResult is the outcome of a lightweight forwarding walk.
+type reachResult struct {
+	delivered bool
+	reason    string // when not delivered
+}
+
+// walkPacket pushes a concrete packet from (node, vrf) through FIBs and
+// interface ACLs until it is delivered to a device owning the destination
+// IP, dropped, denied, or it exits the modeled network. It is the
+// data-plane-state probe used for BGP session viability (paper §4.1.1: a
+// session "depends on a successful TCP connection, which can be prevented
+// by misconfigured ACLs") — a restricted sibling of the full traceroute
+// engine.
+func (e *Engine) walkPacket(node, vrfName string, p hdr.Packet) reachResult {
+	const maxHops = 64
+	cur, curVRF := node, vrfName
+	for hop := 0; hop < maxHops; hop++ {
+		d := e.net.Devices[cur]
+		vs := e.vrf(cur, curVRF)
+		// Delivered if this device owns the destination IP in this VRF.
+		if ref := e.ownerAt(cur, curVRF, p.DstIP); ref != "" {
+			return reachResult{delivered: true}
+		}
+		if vs.FIB == nil {
+			return reachResult{reason: "no FIB at " + cur}
+		}
+		entry := vs.FIB.Lookup(p.DstIP)
+		if entry == nil {
+			return reachResult{reason: "no route at " + cur}
+		}
+		// Deterministically take the first next hop (viability only needs
+		// one live path; ECMP branches share fate for session traffic in
+		// our model).
+		nh := entry.NextHops[0]
+		if nh.Drop {
+			return reachResult{reason: "null-routed at " + cur}
+		}
+		// Egress ACL.
+		oi := d.Interfaces[nh.Iface]
+		if oi == nil {
+			return reachResult{reason: "missing out-interface at " + cur}
+		}
+		if denied, name := e.aclDenies(d, oi.OutACL, p); denied {
+			return reachResult{reason: "denied by egress " + name + " at " + cur}
+		}
+		if nh.Node == "" {
+			// Find neighbor by destination IP on the connected subnet.
+			next := e.neighborFor(cur, nh.Iface, firstNonZero(nh.IP, p.DstIP))
+			if next == "" {
+				return reachResult{reason: "exits network at " + cur}
+			}
+			nh.Node = next
+		}
+		// Ingress ACL at the neighbor.
+		nd := e.net.Devices[nh.Node]
+		inIface := e.ingressIface(cur, nh.Iface, nh.Node)
+		if inIface != "" {
+			ii := nd.Interfaces[inIface]
+			if ii != nil {
+				if denied, name := e.aclDenies(nd, ii.InACL, p); denied {
+					return reachResult{reason: "denied by ingress " + name + " at " + nh.Node}
+				}
+				curVRF = ii.VRFOrDefault()
+			}
+		}
+		cur = nh.Node
+	}
+	return reachResult{reason: "hop limit (loop?)"}
+}
+
+func firstNonZero(a, b ip4.Addr) ip4.Addr {
+	if a != 0 {
+		return a
+	}
+	return b
+}
+
+// ownerAt returns the interface name if (node, vrf) owns addr.
+func (e *Engine) ownerAt(node, vrfName string, addr ip4.Addr) string {
+	for _, ref := range e.ipOwner[addr] {
+		if ref.node == node && ref.vrf == vrfName {
+			return ref.iface
+		}
+	}
+	return ""
+}
+
+// ingressIface returns the interface on toNode at the far end of
+// (fromNode, fromIface).
+func (e *Engine) ingressIface(fromNode, fromIface, toNode string) string {
+	for _, ed := range e.topo.EdgesFrom(fromNode, fromIface) {
+		if ed.Node2 == toNode {
+			return ed.Iface2
+		}
+	}
+	return ""
+}
+
+// aclDenies evaluates the named ACL against the packet; an undefined ACL
+// reference permits (the common IOS behavior) and is separately reported by
+// the undefined-reference analysis.
+func (e *Engine) aclDenies(d *config.Device, name string, p hdr.Packet) (bool, string) {
+	if name == "" {
+		return false, ""
+	}
+	a, ok := d.ACLs[name]
+	if !ok {
+		return false, name
+	}
+	if a.Eval(p).Action == acl.Deny {
+		return true, name
+	}
+	return false, name
+}
+
+// sessionViable checks TCP/179 reachability in both directions between the
+// session endpoints over the current partial data plane.
+func (e *Engine) sessionViable(s *Session) (bool, string) {
+	fwd := e.walkPacket(s.LocalNode, s.LocalVRF, hdr.Packet{
+		SrcIP: s.LocalIP, DstIP: s.PeerIP,
+		Protocol: hdr.ProtoTCP, DstPort: 179, SrcPort: 41000,
+	})
+	if !fwd.delivered {
+		return false, "forward: " + fwd.reason
+	}
+	rev := e.walkPacket(s.PeerNode, s.PeerVRF, hdr.Packet{
+		SrcIP: s.PeerIP, DstIP: s.LocalIP,
+		Protocol: hdr.ProtoTCP, SrcPort: 179, DstPort: 41000,
+		TCPFlags: hdr.FlagSYN | hdr.FlagACK,
+	})
+	if !rev.delivered {
+		return false, "reverse: " + rev.reason
+	}
+	return true, ""
+}

@@ -1,0 +1,108 @@
+package fidelity
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dataplane"
+	"repro/internal/fib"
+	"repro/internal/fwdgraph"
+	"repro/internal/ip4"
+	"repro/internal/reach"
+	"repro/internal/testnet"
+)
+
+// TestCrossValidateCleanNetworks runs both differential directions on the
+// canonical scenario networks; any mismatch is a modeling bug in one of
+// the two engines.
+func TestCrossValidateCleanNetworks(t *testing.T) {
+	for name, net := range map[string]*config.Network{
+		"line":     testnet.Line3(),
+		"diamond":  testnet.Diamond(),
+		"broken":   testnet.ECMPWithBrokenBranch(),
+		"figure2":  testnet.Figure2(),
+		"ebgp":     testnet.EBGPChain(),
+		"firewall": testnet.Firewall(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			dp := dataplane.Run(net, dataplane.Options{})
+			if !dp.Converged {
+				t.Fatalf("no convergence: %v", dp.Warnings)
+			}
+			for _, m := range CrossValidate(dp, 3, 200, 42) {
+				t.Errorf("%v", m)
+			}
+		})
+	}
+}
+
+// TestCrossValidateDetectsInjectedBug plants a deliberate model divergence
+// (a FIB change behind the symbolic engine's back) and checks the
+// framework flags it — the framework must be able to fail.
+func TestCrossValidateDetectsInjectedBug(t *testing.T) {
+	net := testnet.Line3()
+	dp := dataplane.Run(net, dataplane.Options{})
+	// Build the symbolic view of the CLEAN data plane first.
+	an := reach.New(fwdgraph.New(dp))
+	// Then hijack r2's route to r3's LAN back toward r1 — only the
+	// concrete engine sees this.
+	vs := dp.Nodes["r2"].DefaultVRF()
+	entry := vs.FIB.Lookup(ip4.MustParseAddr("192.168.3.5"))
+	if entry == nil {
+		t.Fatal("expected entry")
+	}
+	hijacked := *entry
+	hijacked.NextHops = []fib.NextHop{{Iface: "eth0", IP: ip4.MustParseAddr("10.0.12.1"), Node: "r1"}}
+	vs.FIB.Add(hijacked)
+	if ms := symbolicToConcrete(dp, an, 2); len(ms) == 0 {
+		t.Fatal("injected divergence not detected")
+	}
+}
+
+// TestLabsValidate runs the checked-in ground-truth labs (§4.3.1).
+func TestLabsValidate(t *testing.T) {
+	labs, err := LoadAllLabs("labs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labs) < 2 {
+		t.Fatalf("expected >= 2 labs, got %d", len(labs))
+	}
+	for _, lab := range labs {
+		lab := lab
+		t.Run(lab.Name, func(t *testing.T) {
+			if len(lab.Expects) == 0 {
+				t.Fatal("lab has no expectations")
+			}
+			for _, fail := range lab.Validate() {
+				t.Error(fail)
+			}
+		})
+	}
+}
+
+func TestLabParserRejectsGarbage(t *testing.T) {
+	if _, err := parseExpect("frob r1"); err == nil {
+		t.Error("unknown expectation should error")
+	}
+	if _, err := parseExpect("route r1 nonsense ospf 1"); err == nil {
+		t.Error("bad prefix should error")
+	}
+	if _, err := parseExpect("trace r1 e0 1.2.3.4 4.3.2.1 bogus 80 accepted"); err == nil {
+		t.Error("bad protocol should error")
+	}
+}
+
+func TestExpectParsing(t *testing.T) {
+	e, err := parseExpect("trace r1 lan0 192.168.1.10 8.8.8.8 tcp 80 no-route r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Node != "r1" || e.Iface != "lan0" || e.Disposition != "no-route" || e.FinalNode != "r1" {
+		t.Errorf("parsed = %+v", e)
+	}
+	if e.Packet.DstPort != 80 || !strings.HasPrefix(e.Packet.DstIP.String(), "8.8.") {
+		t.Errorf("packet = %+v", e.Packet)
+	}
+}

@@ -1,0 +1,263 @@
+package fidelity
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+	"repro/internal/routing"
+)
+
+// Lab is one ground-truth validation scenario (§4.3.1): a small network
+// exercising features of interest plus hand-verified expected runtime
+// state. In the paper's workflow the expectations come from real device
+// software in emulators (GNS3); here they are golden files checked into
+// the repository and re-validated on every run, "reducing the risk of
+// regressions as Batfish code evolves".
+type Lab struct {
+	Name     string
+	Snapshot *core.Snapshot
+	Expects  []Expect
+}
+
+// Expect is one expected fact about runtime state.
+type Expect struct {
+	Line int
+	Kind string // route | noroute | trace | session
+	Raw  string
+
+	// route/noroute
+	Node   string
+	Prefix ip4.Prefix
+	Proto  string
+	Metric uint32
+
+	// trace
+	Iface       string
+	Packet      hdr.Packet
+	Disposition string
+	FinalNode   string
+
+	// session
+	PeerIP ip4.Addr
+	Up     bool
+}
+
+// LoadLab reads a lab directory: configs/*.cfg plus expected.txt.
+func LoadLab(dir string) (*Lab, error) {
+	snap, err := core.LoadDir(filepath.Join(dir, "configs"))
+	if err != nil {
+		return nil, err
+	}
+	lab := &Lab{Name: filepath.Base(dir), Snapshot: snap}
+	f, err := os.Open(filepath.Join(dir, "expected.txt"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseExpect(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s/expected.txt:%d: %v", dir, lineNo, err)
+		}
+		e.Line = lineNo
+		e.Raw = line
+		lab.Expects = append(lab.Expects, e)
+	}
+	return lab, sc.Err()
+}
+
+// parseExpect parses one expectation line:
+//
+//	route <node> <prefix> <protocol> <metric>
+//	noroute <node> <prefix>
+//	trace <node> <iface> <srcIP> <dstIP> <proto> <dport> <disposition> [finalNode]
+//	session <node> <peerIP> up|down
+func parseExpect(line string) (Expect, error) {
+	w := strings.Fields(line)
+	e := Expect{Kind: w[0]}
+	switch w[0] {
+	case "route":
+		if len(w) != 5 {
+			return e, fmt.Errorf("route needs 4 args")
+		}
+		e.Node = w[1]
+		p, err := ip4.ParsePrefix(w[2])
+		if err != nil {
+			return e, err
+		}
+		e.Prefix = p
+		e.Proto = w[3]
+		m, err := strconv.Atoi(w[4])
+		if err != nil {
+			return e, err
+		}
+		e.Metric = uint32(m)
+	case "noroute":
+		if len(w) != 3 {
+			return e, fmt.Errorf("noroute needs 2 args")
+		}
+		e.Node = w[1]
+		p, err := ip4.ParsePrefix(w[2])
+		if err != nil {
+			return e, err
+		}
+		e.Prefix = p
+	case "trace":
+		if len(w) != 8 && len(w) != 9 {
+			return e, fmt.Errorf("trace needs 7-8 args")
+		}
+		e.Node, e.Iface = w[1], w[2]
+		src, err1 := ip4.ParseAddr(w[3])
+		dst, err2 := ip4.ParseAddr(w[4])
+		if err1 != nil || err2 != nil {
+			return e, fmt.Errorf("bad trace addresses")
+		}
+		proto := map[string]uint8{"tcp": hdr.ProtoTCP, "udp": hdr.ProtoUDP, "icmp": hdr.ProtoICMP}[w[5]]
+		if proto == 0 {
+			return e, fmt.Errorf("bad protocol %q", w[5])
+		}
+		dport, err := strconv.Atoi(w[6])
+		if err != nil {
+			return e, err
+		}
+		e.Packet = hdr.Packet{SrcIP: src, DstIP: dst, Protocol: proto,
+			DstPort: uint16(dport), SrcPort: 40000}
+		e.Disposition = w[7]
+		if len(w) == 9 {
+			e.FinalNode = w[8]
+		}
+	case "session":
+		if len(w) != 4 {
+			return e, fmt.Errorf("session needs 3 args")
+		}
+		e.Node = w[1]
+		p, err := ip4.ParseAddr(w[2])
+		if err != nil {
+			return e, err
+		}
+		e.PeerIP = p
+		e.Up = w[3] == "up"
+	default:
+		return e, fmt.Errorf("unknown expectation %q", w[0])
+	}
+	return e, nil
+}
+
+// Validate checks every expectation; failures describe the divergence
+// between the model and the recorded ground truth.
+func (l *Lab) Validate() []string {
+	var fails []string
+	failf := func(e Expect, format string, args ...any) {
+		fails = append(fails, fmt.Sprintf("%s:%d (%s): %s", l.Name, e.Line, e.Raw, fmt.Sprintf(format, args...)))
+	}
+	dp := l.Snapshot.DataPlane()
+	if !dp.Converged {
+		fails = append(fails, fmt.Sprintf("%s: data plane did not converge: %v", l.Name, dp.Warnings))
+		return fails
+	}
+	for _, e := range l.Expects {
+		switch e.Kind {
+		case "route", "noroute":
+			ns := dp.Nodes[e.Node]
+			if ns == nil {
+				failf(e, "no such node")
+				continue
+			}
+			best := ns.DefaultVRF().Main.Best(e.Prefix)
+			if e.Kind == "noroute" {
+				if len(best) > 0 {
+					failf(e, "route present: %v", best[0])
+				}
+				continue
+			}
+			if len(best) == 0 {
+				failf(e, "route missing")
+				continue
+			}
+			rt := best[0]
+			if rt.Protocol.String() != e.Proto {
+				failf(e, "protocol %s, want %s", rt.Protocol, e.Proto)
+			}
+			if rt.Metric != e.Metric {
+				failf(e, "metric %d, want %d", rt.Metric, e.Metric)
+			}
+		case "trace":
+			d := dp.Network.Devices[e.Node]
+			if d == nil {
+				failf(e, "no such node")
+				continue
+			}
+			vrf := config.DefaultVRF
+			if i, ok := d.Interfaces[e.Iface]; ok {
+				vrf = i.VRFOrDefault()
+			}
+			traces := l.Snapshot.Traceroute().Run(e.Node, vrf, e.Iface, e.Packet)
+			matched := false
+			var got []string
+			for _, t := range traces {
+				got = append(got, fmt.Sprintf("%s@%s", t.Disposition, t.FinalNode))
+				if string(t.Disposition) == e.Disposition &&
+					(e.FinalNode == "" || t.FinalNode == e.FinalNode) {
+					matched = true
+				}
+			}
+			if !matched {
+				failf(e, "got %v", got)
+			}
+		case "session":
+			matched := false
+			for _, sess := range dp.Sessions {
+				if sess.LocalNode == e.Node && sess.PeerIP == e.PeerIP {
+					matched = true
+					if sess.Up != e.Up {
+						failf(e, "state up=%v (%s), want up=%v", sess.Up, sess.DownReason, e.Up)
+					}
+				}
+			}
+			if !matched {
+				failf(e, "no such session")
+			}
+		}
+	}
+	return fails
+}
+
+// LoadAllLabs loads every lab under root.
+func LoadAllLabs(root string) ([]*Lab, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var labs []*Lab
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		lab, err := LoadLab(filepath.Join(root, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		labs = append(labs, lab)
+	}
+	return labs, nil
+}
+
+// The protocol names in expected files are routing.Protocol.String()
+// values ("connected", "static", "ospf", "ospfIA", "ospfE1", "ospfE2",
+// "bgp", "ibgp").
+var _ = routing.OSPF

@@ -1,0 +1,152 @@
+// Package ip4 provides compact IPv4 address and prefix types used
+// throughout the analysis pipeline. Batfish's data-plane model is
+// IPv4-centric (the 261 base BDD variables encode an IPv4 header,
+// paper §4.2.2), and representing addresses as uint32 keeps tries, masks,
+// and interning cheap.
+package ip4
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// Prefix is an IPv4 CIDR prefix. Addr may have bits set beyond Len;
+// Canonical() clears them.
+type Prefix struct {
+	Addr Addr
+	Len  uint8
+}
+
+// MustParseAddr parses a dotted-quad address and panics on error.
+// For use in tests and static tables.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	rest := s
+	for i := 0; i < 4; i++ {
+		var part string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("ip4: invalid address %q", s)
+			}
+			part, rest = rest[:dot], rest[dot+1:]
+		} else {
+			part = rest
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 || v > 255 || (len(part) > 1 && part[0] == '0') {
+			return 0, fmt.Errorf("ip4: invalid address %q", s)
+		}
+		a = a<<8 | Addr(v)
+	}
+	return a, nil
+}
+
+// String returns the dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Octet returns the i-th octet (0 = most significant).
+func (a Addr) Octet(i int) byte { return byte(a >> (24 - 8*i)) }
+
+// MustParsePrefix parses CIDR notation and panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses CIDR notation ("10.0.0.0/8").
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("ip4: missing / in prefix %q", s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	l, err := strconv.Atoi(s[slash+1:])
+	if err != nil || l < 0 || l > 32 {
+		return Prefix{}, fmt.Errorf("ip4: invalid prefix length in %q", s)
+	}
+	return Prefix{Addr: a, Len: uint8(l)}, nil
+}
+
+// String returns CIDR notation of the canonical prefix.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.Canonical().Addr, p.Len)
+}
+
+// Mask returns the netmask for length l.
+func Mask(l uint8) Addr {
+	if l == 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - l))
+}
+
+// Canonical returns p with host bits cleared.
+func (p Prefix) Canonical() Prefix {
+	return Prefix{Addr: p.Addr & Mask(p.Len), Len: p.Len}
+}
+
+// Contains reports whether a is inside p.
+func (p Prefix) Contains(a Addr) bool {
+	return a&Mask(p.Len) == p.Addr&Mask(p.Len)
+}
+
+// ContainsPrefix reports whether q is a subnet of (or equal to) p.
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return q.Len >= p.Len && p.Contains(q.Addr)
+}
+
+// Overlaps reports whether p and q share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.ContainsPrefix(q) || q.ContainsPrefix(p)
+}
+
+// First returns the lowest address in p.
+func (p Prefix) First() Addr { return p.Addr & Mask(p.Len) }
+
+// Last returns the highest address in p.
+func (p Prefix) Last() Addr { return p.Addr&Mask(p.Len) | ^Mask(p.Len) }
+
+// Bit returns bit i of a, where bit 0 is the most significant.
+func (a Addr) Bit(i int) bool { return a&(1<<(31-i)) != 0 }
+
+// HostPrefix returns the /32 prefix for a.
+func HostPrefix(a Addr) Prefix { return Prefix{Addr: a, Len: 32} }
+
+// Compare orders prefixes by (address, length); it defines the canonical
+// RIB display order.
+func (p Prefix) Compare(q Prefix) int {
+	pc, qc := p.Canonical(), q.Canonical()
+	switch {
+	case pc.Addr < qc.Addr:
+		return -1
+	case pc.Addr > qc.Addr:
+		return 1
+	case pc.Len < qc.Len:
+		return -1
+	case pc.Len > qc.Len:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,151 @@
+package ip4
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		err  bool
+	}{
+		{"0.0.0.0", 0, false},
+		{"255.255.255.255", 0xffffffff, false},
+		{"10.0.0.1", 0x0a000001, false},
+		{"192.168.1.2", 0xc0a80102, false},
+		{"1.2.3", 0, true},
+		{"1.2.3.4.5", 0, true},
+		{"256.0.0.1", 0, true},
+		{"01.2.3.4", 0, true},
+		{"a.b.c.d", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseAddr(%q) err=%v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseAddr(%q) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	check := func(a uint32) bool {
+		addr := Addr(a)
+		got, err := ParseAddr(addr.String())
+		return err == nil && got == addr
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.1.2.3/8")
+	if p.Canonical().Addr != MustParseAddr("10.0.0.0") {
+		t.Errorf("canonical wrong: %v", p.Canonical())
+	}
+	if p.String() != "10.0.0.0/8" {
+		t.Errorf("String = %q", p.String())
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := MustParsePrefix("192.168.0.0/16")
+	if !p.Contains(MustParseAddr("192.168.255.1")) {
+		t.Error("should contain")
+	}
+	if p.Contains(MustParseAddr("192.169.0.1")) {
+		t.Error("should not contain")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("8.8.8.8")) {
+		t.Error("default should contain everything")
+	}
+}
+
+func TestContainsPrefixAndOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.1.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.ContainsPrefix(b) || b.ContainsPrefix(a) {
+		t.Error("ContainsPrefix wrong")
+	}
+	if !a.Overlaps(b) || !b.Overlaps(a) || a.Overlaps(c) {
+		t.Error("Overlaps wrong")
+	}
+}
+
+func TestFirstLast(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/30")
+	if p.First() != MustParseAddr("10.0.0.0") || p.Last() != MustParseAddr("10.0.0.3") {
+		t.Errorf("First/Last wrong: %v %v", p.First(), p.Last())
+	}
+	h := HostPrefix(MustParseAddr("1.2.3.4"))
+	if h.First() != h.Last() {
+		t.Error("host prefix first != last")
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 {
+		t.Error("Mask(0) != 0")
+	}
+	if Mask(32) != 0xffffffff {
+		t.Error("Mask(32) wrong")
+	}
+	if Mask(24) != 0xffffff00 {
+		t.Error("Mask(24) wrong")
+	}
+}
+
+func TestBit(t *testing.T) {
+	a := MustParseAddr("128.0.0.1")
+	if !a.Bit(0) || a.Bit(1) || !a.Bit(31) {
+		t.Error("Bit extraction wrong")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		p := Prefix{Addr: Addr(rnd.Uint32()), Len: uint8(rnd.Intn(33))}
+		q := Prefix{Addr: Addr(rnd.Uint32()), Len: uint8(rnd.Intn(33))}
+		if p.Compare(q) != -q.Compare(p) {
+			t.Fatalf("Compare not antisymmetric: %v %v", p, q)
+		}
+		if p.Compare(p) != 0 {
+			t.Fatalf("Compare(p,p) != 0")
+		}
+	}
+}
+
+func TestContainsMatchesFirstLast(t *testing.T) {
+	check := func(a uint32, l8 uint8) bool {
+		p := Prefix{Addr: Addr(a), Len: l8 % 33}
+		return p.Contains(p.First()) && p.Contains(p.Last())
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOctet(t *testing.T) {
+	a := MustParseAddr("1.2.3.4")
+	for i, want := range []byte{1, 2, 3, 4} {
+		if a.Octet(i) != want {
+			t.Errorf("Octet(%d) = %d, want %d", i, a.Octet(i), want)
+		}
+	}
+}

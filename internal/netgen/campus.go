@@ -1,0 +1,145 @@
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/ip4"
+)
+
+// CampusParams size an enterprise campus: an OSPF area-0 core ring,
+// distribution routers (one per non-backbone area, acting as ABRs), and
+// access routers with user LANs protected by ACLs. An internet edge router
+// holds a static default route redistributed into OSPF.
+type CampusParams struct {
+	Name string
+	// Core is the number of area-0 core routers (ring).
+	Core int
+	// Areas is the number of non-backbone OSPF areas.
+	Areas int
+	// AccessPerArea is the number of access routers per area.
+	AccessPerArea int
+	// LansPerAccess is the number of user subnets per access router.
+	LansPerAccess int
+}
+
+// Devices returns the device count (core + per-area distribution + access
+// + 1 edge).
+func (p CampusParams) Devices() int {
+	return p.Core + p.Areas*(1+p.AccessPerArea) + 1
+}
+
+// Campus generates the campus snapshot (all IOS dialect).
+func Campus(p CampusParams) *Snapshot {
+	s := &Snapshot{Name: p.Name, Type: "enterprise"}
+	links := newAlloc("10.64.0.0/12", 30)
+	lans := newAlloc("10.0.0.0/12", 24)
+	loops := newAlloc("172.30.0.0/15", 32)
+
+	type dev struct {
+		c        *iosConfig
+		name     string
+		ifaceN   int
+		loopback ip4.Prefix
+	}
+	mk := func(name string, loopArea uint32) *dev {
+		d := &dev{c: &iosConfig{}, name: name, loopback: loops.alloc()}
+		d.c.line("hostname %s", name)
+		d.c.bang()
+		d.c.line("interface Loopback0")
+		d.c.line(" ip address %s %s", d.loopback.Addr, mask(32))
+		d.c.line(" ip ospf area %d", loopArea)
+		d.c.line(" ip ospf passive")
+		d.c.bang()
+		return d
+	}
+	addLink := func(a, b *dev, area uint32, cost int) {
+		l := links.alloc()
+		ipA := l.First() + 1
+		ipB := l.First() + 2
+		for _, pair := range []struct {
+			d  *dev
+			ip ip4.Addr
+			to string
+		}{{a, ipA, b.name}, {b, ipB, a.name}} {
+			pair.d.ifaceN++
+			pair.d.c.line("interface Gi0/%d", pair.d.ifaceN)
+			pair.d.c.line(" description to %s", pair.to)
+			pair.d.c.line(" ip address %s %s", pair.ip, mask(30))
+			pair.d.c.line(" ip ospf area %d", area)
+			pair.d.c.line(" ip ospf cost %d", cost)
+			pair.d.c.bang()
+		}
+	}
+
+	cores := make([]*dev, p.Core)
+	for i := range cores {
+		cores[i] = mk(fmt.Sprintf("%s-core%02d", p.Name, i+1), 0)
+	}
+	for i := range cores {
+		addLink(cores[i], cores[(i+1)%len(cores)], 0, 10)
+	}
+
+	var dists, accesses []*dev
+	for a := 0; a < p.Areas; a++ {
+		area := uint32(a + 1)
+		dist := mk(fmt.Sprintf("%s-dist%02d", p.Name, a+1), 0)
+		// Dual-home each distribution router to two core routers (ABR).
+		addLink(dist, cores[a%len(cores)], 0, 10)
+		addLink(dist, cores[(a+1)%len(cores)], 0, 10)
+		dists = append(dists, dist)
+		for j := 0; j < p.AccessPerArea; j++ {
+			acc := mk(fmt.Sprintf("%s-a%02d-acc%02d", p.Name, a+1, j+1), area)
+			addLink(acc, dist, area, 10)
+			for k := 0; k < p.LansPerAccess; k++ {
+				lan := lans.alloc()
+				gw := lan.First() + 1
+				acc.ifaceN++
+				acc.c.line("interface Vlan%d", 100+k)
+				acc.c.line(" description user lan")
+				acc.c.line(" ip address %s %s", gw, mask(24))
+				acc.c.line(" ip ospf area %d", area)
+				acc.c.line(" ip ospf passive")
+				acc.c.line(" ip access-group USER_IN in")
+				acc.c.bang()
+			}
+			acc.c.line("ip access-list extended USER_IN")
+			acc.c.line(" deny ip any 192.0.2.0 0.0.0.255")
+			acc.c.line(" deny tcp any any eq 445")
+			acc.c.line(" permit tcp any any established")
+			acc.c.line(" permit tcp any any eq 80")
+			acc.c.line(" permit tcp any any eq 443")
+			acc.c.line(" permit tcp any any eq 22")
+			acc.c.line(" permit udp any any eq 53")
+			acc.c.line(" permit udp any gt 1023 any")
+			acc.c.line(" permit icmp any any")
+			acc.c.bang()
+			accesses = append(accesses, acc)
+		}
+	}
+
+	// Internet edge: default static redistributed into OSPF as E2.
+	edge := mk(p.Name+"-edge01", 0)
+	addLink(edge, cores[0], 0, 10)
+	edge.ifaceN++
+	edge.c.line("interface Gi0/%d", edge.ifaceN)
+	edge.c.line(" description to ISP")
+	edge.c.line(" ip address 203.0.113.2 255.255.255.252")
+	edge.c.bang()
+	edge.c.line("ip route 0.0.0.0 0.0.0.0 203.0.113.1")
+	edge.c.bang()
+
+	all := append(append(append([]*dev{}, cores...), dists...), accesses...)
+	all = append(all, edge)
+	for _, d := range all {
+		d.c.line("router ospf 1")
+		d.c.line(" router-id %s", d.loopback.Addr)
+		if d == edge {
+			d.c.line(" redistribute static metric 10 metric-type 2")
+		}
+		d.c.bang()
+		iosMgmt(d.c, "192.0.2.10", "192.0.2.11")
+		d.c.line("end")
+		s.Devices = append(s.Devices, DeviceText{Hostname: d.name, Dialect: IOS, Text: d.c.b.String()})
+	}
+	return s
+}

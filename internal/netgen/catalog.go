@@ -1,0 +1,77 @@
+package netgen
+
+// Spec describes one network of the benchmark suite — our synthetic
+// regeneration of the paper's Table 1 inventory (the real networks are
+// proprietary; sizes and types mirror the paper's spread of 75–2735
+// devices across data center, paired-DC, WAN, and enterprise designs).
+type Spec struct {
+	Name string
+	Type string
+	Gen  func() *Snapshot
+	// ExpectDevices is the generated device count, for Table 1.
+	ExpectDevices int
+}
+
+// Catalog returns the 11-network suite. NET1 doubles as the Figure 3
+// workload (it is the network the original-vs-current comparison runs on)
+// and NET2 is sized at 92 devices for the §6.2 APT comparison.
+func Catalog() []Spec {
+	specs := []Spec{
+		{Name: "NET1", Type: "enterprise", Gen: func() *Snapshot {
+			return Campus(CampusParams{Name: "net1", Core: 4, Areas: 7, AccessPerArea: 9, LansPerAccess: 2})
+		}},
+		{Name: "NET2", Type: "data center", Gen: func() *Snapshot {
+			return Fabric(FabricParams{Name: "net2", Spines: 4, Pods: 8, AggPerPod: 2, TorPerPod: 9,
+				HostNetsPerTor: 2, Multipath: true, EdgeACLs: true})
+		}},
+		{Name: "NET3", Type: "WAN", Gen: func() *Snapshot {
+			return WAN(WANParams{Name: "net3", Nodes: 140, CoreMesh: 12, TransitPeers: 8, Chords: 10})
+		}},
+		{Name: "NET4", Type: "paired DCs", Gen: func() *Snapshot {
+			return PairedDC("net4", FabricParams{Spines: 4, Pods: 5, AggPerPod: 2, TorPerPod: 18,
+				HostNetsPerTor: 1, Multipath: true})
+		}},
+		{Name: "NET5", Type: "enterprise", Gen: func() *Snapshot {
+			return Campus(CampusParams{Name: "net5", Core: 6, Areas: 12, AccessPerArea: 20, LansPerAccess: 2})
+		}},
+		{Name: "NET6", Type: "data center", Gen: func() *Snapshot {
+			return Fabric(FabricParams{Name: "net6", Spines: 8, Pods: 16, AggPerPod: 2, TorPerPod: 24,
+				HostNetsPerTor: 1, Multipath: true, EdgeACLs: true})
+		}},
+		{Name: "NET7", Type: "WAN", Gen: func() *Snapshot {
+			return WAN(WANParams{Name: "net7", Nodes: 500, CoreMesh: 24, TransitPeers: 16, Chords: 30})
+		}},
+		{Name: "NET8", Type: "enterprise", Gen: func() *Snapshot {
+			return Campus(CampusParams{Name: "net8", Core: 8, Areas: 23, AccessPerArea: 29, LansPerAccess: 2})
+		}},
+		{Name: "NET9", Type: "data center", Gen: func() *Snapshot {
+			return Fabric(FabricParams{Name: "net9", Spines: 12, Pods: 32, AggPerPod: 2, TorPerPod: 32,
+				HostNetsPerTor: 1, Multipath: true})
+		}},
+		{Name: "NET10", Type: "paired DCs", Gen: func() *Snapshot {
+			return PairedDC("net10", FabricParams{Spines: 8, Pods: 20, AggPerPod: 2, TorPerPod: 38,
+				HostNetsPerTor: 1, Multipath: true})
+		}},
+		{Name: "NET11", Type: "data center", Gen: func() *Snapshot {
+			return Fabric(FabricParams{Name: "net11", Spines: 15, Pods: 64, AggPerPod: 2, TorPerPod: 40,
+				HostNetsPerTor: 1, Multipath: true})
+		}},
+	}
+	expect := []int{
+		CampusParams{Core: 4, Areas: 7, AccessPerArea: 9, LansPerAccess: 2}.Devices(),
+		FabricParams{Spines: 4, Pods: 8, AggPerPod: 2, TorPerPod: 9}.Devices(),
+		WANParams{Nodes: 140, TransitPeers: 8}.Devices(),
+		2 * FabricParams{Spines: 4, Pods: 5, AggPerPod: 2, TorPerPod: 18}.Devices(),
+		CampusParams{Core: 6, Areas: 12, AccessPerArea: 20, LansPerAccess: 2}.Devices(),
+		FabricParams{Spines: 8, Pods: 16, AggPerPod: 2, TorPerPod: 24}.Devices(),
+		WANParams{Nodes: 500, TransitPeers: 16}.Devices(),
+		CampusParams{Core: 8, Areas: 23, AccessPerArea: 29, LansPerAccess: 2}.Devices(),
+		FabricParams{Spines: 12, Pods: 32, AggPerPod: 2, TorPerPod: 32}.Devices(),
+		2 * FabricParams{Spines: 8, Pods: 20, AggPerPod: 2, TorPerPod: 38}.Devices(),
+		FabricParams{Spines: 15, Pods: 64, AggPerPod: 2, TorPerPod: 40}.Devices(),
+	}
+	for i := range specs {
+		specs[i].ExpectDevices = expect[i]
+	}
+	return specs
+}

@@ -1,0 +1,266 @@
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/ip4"
+)
+
+// FabricParams size a 3-tier eBGP Clos fabric (spine / pod-aggregation /
+// top-of-rack), the dominant data-center design in the paper's Table 1
+// networks.
+type FabricParams struct {
+	Name      string
+	Spines    int
+	Pods      int
+	AggPerPod int
+	TorPerPod int
+	// HostNetsPerTor is the number of /24 server subnets per ToR.
+	HostNetsPerTor int
+	// Multipath enables BGP ECMP fabric-wide.
+	Multipath bool
+	// EdgeACLs attaches a server-protection ACL on host-facing ports.
+	EdgeACLs bool
+	// ASNOffset shifts every AS number; paired fabrics use distinct
+	// offsets so eBGP loop prevention does not discard cross-DC routes.
+	ASNOffset uint32
+	// Address pool overrides (defaults cover a single fabric).
+	LinkBase, HostBase, LoopBase string
+}
+
+func (p *FabricParams) defaults() {
+	if p.LinkBase == "" {
+		p.LinkBase = "10.128.0.0/9"
+	}
+	if p.HostBase == "" {
+		p.HostBase = "10.0.0.0/10"
+	}
+	if p.LoopBase == "" {
+		p.LoopBase = "172.16.0.0/12"
+	}
+}
+
+// Devices returns the total device count.
+func (p FabricParams) Devices() int {
+	return p.Spines + p.Pods*(p.AggPerPod+p.TorPerPod)
+}
+
+// Fabric generates the fabric snapshot. AS numbering follows the standard
+// design: one AS for the spine tier, one per pod for aggs, one per ToR.
+func Fabric(p FabricParams) *Snapshot {
+	p.defaults()
+	s := &Snapshot{Name: p.Name, Type: "data center"}
+	links := newAlloc(p.LinkBase, 31)
+	hosts := newAlloc(p.HostBase, 24)
+	loops := newAlloc(p.LoopBase, 32)
+
+	spineAS := 65000 + p.ASNOffset
+	aggAS := func(pod int) uint32 { return 65101 + p.ASNOffset + uint32(pod) }
+	torAS := func(pod, tor int) uint32 { return 4200000000 + p.ASNOffset*100000 + uint32(pod*256+tor) }
+
+	type iface struct {
+		name   string
+		prefix ip4.Prefix
+		peerIP ip4.Addr
+		peerAS uint32
+		desc   string
+	}
+	type dev struct {
+		name     string
+		asn      uint32
+		loopback ip4.Prefix
+		fabric   []iface
+		hostNets []ip4.Prefix
+	}
+
+	spines := make([]*dev, p.Spines)
+	for i := range spines {
+		spines[i] = &dev{name: fmt.Sprintf("%s-spine%02d", p.Name, i+1), asn: spineAS, loopback: loops.alloc()}
+	}
+	var aggs, tors []*dev
+	for pod := 0; pod < p.Pods; pod++ {
+		podAggs := make([]*dev, p.AggPerPod)
+		for a := range podAggs {
+			podAggs[a] = &dev{
+				name: fmt.Sprintf("%s-p%02d-agg%d", p.Name, pod+1, a+1),
+				asn:  aggAS(pod), loopback: loops.alloc(),
+			}
+			// Connect to every spine.
+			for si, sp := range spines {
+				link := links.alloc()
+				aIP, sIP := link.First(), link.Last()
+				podAggs[a].fabric = append(podAggs[a].fabric, iface{
+					name:   fmt.Sprintf("up%d", si+1),
+					prefix: ip4.Prefix{Addr: aIP, Len: 31},
+					peerIP: sIP, peerAS: spineAS,
+					desc: "to " + sp.name,
+				})
+				sp.fabric = append(sp.fabric, iface{
+					name:   fmt.Sprintf("down%d", len(sp.fabric)+1),
+					prefix: ip4.Prefix{Addr: sIP, Len: 31},
+					peerIP: aIP, peerAS: podAggs[a].asn,
+					desc: "to " + podAggs[a].name,
+				})
+			}
+		}
+		for t := 0; t < p.TorPerPod; t++ {
+			tor := &dev{
+				name: fmt.Sprintf("%s-p%02d-tor%02d", p.Name, pod+1, t+1),
+				asn:  torAS(pod, t), loopback: loops.alloc(),
+			}
+			for a, agg := range podAggs {
+				link := links.alloc()
+				tIP, aIP := link.First(), link.Last()
+				tor.fabric = append(tor.fabric, iface{
+					name:   fmt.Sprintf("up%d", a+1),
+					prefix: ip4.Prefix{Addr: tIP, Len: 31},
+					peerIP: aIP, peerAS: agg.asn,
+					desc: "to " + agg.name,
+				})
+				agg.fabric = append(agg.fabric, iface{
+					name:   fmt.Sprintf("down%d", len(agg.fabric)-p.Spines+1),
+					prefix: ip4.Prefix{Addr: aIP, Len: 31},
+					peerIP: tIP, peerAS: tor.asn,
+					desc: "to " + tor.name,
+				})
+			}
+			for h := 0; h < p.HostNetsPerTor; h++ {
+				tor.hostNets = append(tor.hostNets, hosts.alloc())
+			}
+			tors = append(tors, tor)
+		}
+		aggs = append(aggs, podAggs...)
+	}
+
+	emit := func(d *dev, isTor bool) DeviceText {
+		c := &iosConfig{}
+		c.line("hostname %s", d.name)
+		c.bang()
+		c.line("interface Loopback0")
+		c.line(" ip address %s %s", d.loopback.Addr, mask(32))
+		c.bang()
+		for _, f := range d.fabric {
+			c.line("interface %s", f.name)
+			c.line(" description %s", f.desc)
+			c.line(" ip address %s %s", f.prefix.Addr, mask(31))
+			c.bang()
+		}
+		for h, hn := range d.hostNets {
+			c.line("interface host%d", h+1)
+			c.line(" description servers")
+			gw := hn.First() + 1
+			c.line(" ip address %s %s", gw, mask(24))
+			if p.EdgeACLs {
+				c.line(" ip access-group SERVER_PROTECT out")
+			}
+			c.bang()
+		}
+		if p.EdgeACLs && isTor {
+			c.line("ip access-list extended SERVER_PROTECT")
+			c.line(" deny tcp any any eq 23")
+			c.line(" deny udp any any eq 161")
+			c.line(" permit tcp any gt 1023 any established")
+			c.line(" permit tcp any any eq 22")
+			c.line(" permit tcp any any eq 80")
+			c.line(" permit tcp any any eq 443")
+			c.line(" permit udp any any")
+			c.line(" permit icmp any any")
+			c.bang()
+		}
+		c.line("router bgp %d", d.asn)
+		c.line(" bgp router-id %s", d.loopback.Addr)
+		if p.Multipath {
+			c.line(" maximum-paths 16")
+		}
+		c.line(" network %s mask %s", d.loopback.First(), mask(32))
+		for _, hn := range d.hostNets {
+			c.line(" network %s mask %s", hn.First(), mask(24))
+		}
+		for _, f := range d.fabric {
+			c.line(" neighbor %s remote-as %d", f.peerIP, f.peerAS)
+			c.line(" neighbor %s description %s", f.peerIP, f.desc)
+			c.line(" neighbor %s send-community", f.peerIP)
+		}
+		c.bang()
+		// Loopback and host networks must be in the RIB for the network
+		// statements; connected covers them. Host nets also get a
+		// static null fallback so aggregates stay stable.
+		iosMgmt(c, "192.0.2.10", "192.0.2.11")
+		c.line("end")
+		return DeviceText{Hostname: d.name, Dialect: IOS, Text: c.b.String()}
+	}
+
+	for _, d := range spines {
+		s.Devices = append(s.Devices, emit(d, false))
+	}
+	for _, d := range aggs {
+		s.Devices = append(s.Devices, emit(d, false))
+	}
+	for _, d := range tors {
+		s.Devices = append(s.Devices, emit(d, true))
+	}
+	return s
+}
+
+// PairedDC generates two half-size fabrics joined by eBGP data-center
+// interconnect links between their spines ("two nearby data centers that
+// provide backup connectivity to each other", Table 1).
+func PairedDC(name string, half FabricParams) *Snapshot {
+	a := half
+	a.Name = name + "a"
+	a.LinkBase, a.HostBase, a.LoopBase = "10.128.0.0/10", "10.0.0.0/11", "172.16.0.0/13"
+	b := half
+	b.Name = name + "b"
+	b.ASNOffset = half.ASNOffset + 500
+	b.LinkBase, b.HostBase, b.LoopBase = "10.192.0.0/10", "10.32.0.0/11", "172.24.0.0/13"
+	sa, sb := Fabric(a), Fabric(b)
+	out := &Snapshot{Name: name, Type: "paired DCs"}
+	out.Devices = append(out.Devices, sa.Devices...)
+	out.Devices = append(out.Devices, sb.Devices...)
+	// Join spine i of A to spine i of B with a /31 and an eBGP session.
+	dci := newAlloc("192.168.240.0/20", 31)
+	for i := 0; i < half.Spines; i++ {
+		link := dci.alloc()
+		ipA, ipB := link.First(), link.Last()
+		aName := fmt.Sprintf("%s-spine%02d", a.Name, i+1)
+		bName := fmt.Sprintf("%s-spine%02d", b.Name, i+1)
+		appendIOS(out, aName, func(c *iosConfig) {
+			c.line("interface dci%d", i+1)
+			c.line(" description to %s", bName)
+			c.line(" ip address %s %s", ipA, mask(31))
+			c.bang()
+			c.line("router bgp %d", 65000+half.ASNOffset)
+			c.line(" neighbor %s remote-as %d", ipB, 65000+half.ASNOffset+500)
+		})
+		appendIOS(out, bName, func(c *iosConfig) {
+			c.line("interface dci%d", i+1)
+			c.line(" description to %s", aName)
+			c.line(" ip address %s %s", ipB, mask(31))
+			c.bang()
+			c.line("router bgp %d", 65000+half.ASNOffset+500)
+			c.line(" neighbor %s remote-as %d", ipA, 65000+half.ASNOffset)
+		})
+	}
+	return out
+}
+
+// appendIOS appends extra IOS config to an existing device's text.
+// The parser merges repeated "router bgp" blocks by process.
+func appendIOS(s *Snapshot, hostname string, fn func(*iosConfig)) {
+	for i := range s.Devices {
+		if s.Devices[i].Hostname != hostname {
+			continue
+		}
+		c := &iosConfig{}
+		fn(c)
+		// Insert before the trailing "end".
+		t := s.Devices[i].Text
+		if idx := len(t) - len("end\n"); idx >= 0 && t[idx:] == "end\n" {
+			s.Devices[i].Text = t[:idx] + c.b.String() + "end\n"
+		} else {
+			s.Devices[i].Text = t + c.b.String()
+		}
+		return
+	}
+	panic("netgen: unknown device " + hostname)
+}

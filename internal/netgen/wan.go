@@ -1,0 +1,225 @@
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/ip4"
+)
+
+// WANParams size a wide-area backbone: an OSPF underlay over a ring with
+// chords, an iBGP mesh among core routers (update-source loopback,
+// next-hop-self), and eBGP transit peers at the edges.
+type WANParams struct {
+	Name string
+	// Nodes is the router count; the first CoreMesh of them form the iBGP
+	// full mesh and carry prefixes learned from the edges.
+	Nodes    int
+	CoreMesh int
+	// TransitPeers is the number of external eBGP peers (extra devices),
+	// attached to the first core routers.
+	TransitPeers int
+	// Chords adds extra OSPF links across the ring for path diversity.
+	Chords int
+}
+
+// Devices returns the device count (routers + external peers).
+func (p WANParams) Devices() int { return p.Nodes + p.TransitPeers }
+
+type wanLink struct {
+	peer   string
+	iface  string
+	prefix ip4.Prefix
+}
+
+type wanDev struct {
+	name     string
+	loopback ip4.Prefix
+	links    []wanLink
+	junos    bool
+	// eBGP edge state (zero when not an edge).
+	extPeerIP ip4.Addr
+	extPeerAS uint32
+	custNet   ip4.Prefix
+}
+
+// WAN generates the backbone snapshot. Core routers use the Junos dialect
+// and the rest IOS, exercising both parsers in one network (the vendor
+// diversity of Table 1).
+func WAN(p WANParams) *Snapshot {
+	if p.CoreMesh > p.Nodes {
+		p.CoreMesh = p.Nodes
+	}
+	s := &Snapshot{Name: p.Name, Type: "WAN"}
+	links := newAlloc("10.200.0.0/13", 31)
+	loops := newAlloc("172.20.0.0/14", 32)
+	custNets := newAlloc("198.18.0.0/15", 24)
+	extLinks := newAlloc("192.168.128.0/18", 31)
+	const localAS = uint32(64700)
+
+	routers := make([]*wanDev, p.Nodes)
+	for i := range routers {
+		routers[i] = &wanDev{
+			name:     fmt.Sprintf("%s-r%03d", p.Name, i+1),
+			loopback: loops.alloc(),
+			junos:    i < p.CoreMesh,
+		}
+	}
+	connect := func(a, b *wanDev) {
+		l := links.alloc()
+		ipA, ipB := l.First(), l.Last()
+		a.links = append(a.links, wanLink{peer: b.name,
+			iface: fmt.Sprintf("ge-0/0/%d", len(a.links)), prefix: ip4.Prefix{Addr: ipA, Len: 31}})
+		b.links = append(b.links, wanLink{peer: a.name,
+			iface: fmt.Sprintf("ge-0/0/%d", len(b.links)), prefix: ip4.Prefix{Addr: ipB, Len: 31}})
+	}
+	for i := range routers {
+		connect(routers[i], routers[(i+1)%len(routers)])
+	}
+	if p.Chords > 0 && p.Nodes > 4 {
+		step := p.Nodes / (p.Chords + 1)
+		if step < 2 {
+			step = 2
+		}
+		for i := 0; i < p.Chords; i++ {
+			a := (i * step) % p.Nodes
+			b := (a + p.Nodes/2) % p.Nodes
+			if a != b {
+				connect(routers[a], routers[b])
+			}
+		}
+	}
+
+	var externals []*wanDev
+	for i := 0; i < p.TransitPeers; i++ {
+		edge := routers[i%p.CoreMesh]
+		l := extLinks.alloc()
+		edgeIP, peerIP := l.First(), l.Last()
+		edge.links = append(edge.links, wanLink{peer: fmt.Sprintf("%s-ext%02d", p.Name, i+1),
+			iface: fmt.Sprintf("ge-0/0/%d", len(edge.links)), prefix: ip4.Prefix{Addr: edgeIP, Len: 31}})
+		edge.extPeerIP = peerIP
+		edge.extPeerAS = uint32(64900 + i)
+		ext := &wanDev{
+			name:      fmt.Sprintf("%s-ext%02d", p.Name, i+1),
+			loopback:  loops.alloc(),
+			extPeerIP: edgeIP,
+			extPeerAS: localAS,
+			custNet:   custNets.alloc(),
+		}
+		ext.links = append(ext.links, wanLink{peer: edge.name, iface: "ge-0/0/0",
+			prefix: ip4.Prefix{Addr: peerIP, Len: 31}})
+		externals = append(externals, ext)
+	}
+
+	mesh := routers[:p.CoreMesh]
+	for _, d := range routers {
+		if d.junos {
+			s.Devices = append(s.Devices, emitWANJunos(d, mesh, localAS))
+		} else {
+			s.Devices = append(s.Devices, emitWANIOS(d, mesh, localAS))
+		}
+	}
+	for _, ext := range externals {
+		s.Devices = append(s.Devices, emitWANExternal(ext))
+	}
+	return s
+}
+
+// emitWANJunos renders a core router: OSPF on all links and loopback,
+// iBGP mesh to other cores via loopbacks, optional eBGP edge session with
+// import policy (LP 120 + community) and export policy.
+func emitWANJunos(d *wanDev, mesh []*wanDev, localAS uint32) DeviceText {
+	c := &junosConfig{}
+	c.set("system host-name %s", d.name)
+	c.set("interfaces lo0 unit 0 family inet address %s/32", d.loopback.Addr)
+	c.set("protocols ospf area 0 interface lo0 passive")
+	for _, l := range d.links {
+		c.set("interfaces %s description \"to %s\"", l.iface, l.peer)
+		c.set("interfaces %s unit 0 family inet address %s/31", l.iface, l.prefix.Addr)
+		c.set("protocols ospf area 0 interface %s metric 10", l.iface)
+	}
+	c.set("routing-options autonomous-system %d", localAS)
+	c.set("routing-options router-id %s", d.loopback.Addr)
+	for _, m := range mesh {
+		if m.name == d.name {
+			continue
+		}
+		c.set("protocols bgp group ibgp type internal")
+		c.set("protocols bgp group ibgp neighbor %s peer-as %d", m.loopback.Addr, localAS)
+	}
+	c.set("protocols bgp group ibgp next-hop-self")
+	c.set("protocols bgp group ibgp local-address %s", d.loopback.Addr)
+	if d.extPeerIP != 0 {
+		c.set("policy-options policy-statement FROM_TRANSIT term all then local-preference 120")
+		c.set("policy-options policy-statement FROM_TRANSIT term all then accept")
+		c.set("policy-options prefix-list LOOPS %s/32", d.loopback.Addr)
+		c.set("policy-options policy-statement TO_TRANSIT term block from prefix-list LOOPS")
+		c.set("policy-options policy-statement TO_TRANSIT term block then reject")
+		c.set("policy-options policy-statement TO_TRANSIT term rest then accept")
+		c.set("protocols bgp group transit type external")
+		c.set("protocols bgp group transit import FROM_TRANSIT")
+		c.set("protocols bgp group transit export TO_TRANSIT")
+		c.set("protocols bgp group transit neighbor %s peer-as %d", d.extPeerIP, d.extPeerAS)
+	}
+	return DeviceText{Hostname: d.name, Dialect: Junos, Text: c.b.String()}
+}
+
+// emitWANIOS renders a non-core router: pure OSPF underlay.
+func emitWANIOS(d *wanDev, mesh []*wanDev, localAS uint32) DeviceText {
+	c := &iosConfig{}
+	c.line("hostname %s", d.name)
+	c.bang()
+	c.line("interface Loopback0")
+	c.line(" ip address %s %s", d.loopback.Addr, mask(32))
+	c.line(" ip ospf area 0")
+	c.line(" ip ospf passive")
+	c.bang()
+	for _, l := range d.links {
+		c.line("interface %s", l.iface)
+		c.line(" description to %s", l.peer)
+		c.line(" ip address %s %s", l.prefix.Addr, mask(31))
+		c.line(" ip ospf area 0")
+		c.line(" ip ospf cost 10")
+		c.bang()
+	}
+	c.line("router ospf 1")
+	c.line(" router-id %s", d.loopback.Addr)
+	c.bang()
+	iosMgmt(c, "192.0.2.10", "192.0.2.11")
+	c.line("end")
+	return DeviceText{Hostname: d.name, Dialect: IOS, Text: c.b.String()}
+}
+
+// emitWANExternal renders a transit peer originating one customer prefix.
+func emitWANExternal(d *wanDev) DeviceText {
+	c := &iosConfig{}
+	c.line("hostname %s", d.name)
+	c.bang()
+	c.line("interface Loopback0")
+	c.line(" ip address %s %s", d.loopback.Addr, mask(32))
+	c.bang()
+	l := d.links[0]
+	c.line("interface ext0")
+	c.line(" description to %s", l.peer)
+	c.line(" ip address %s %s", l.prefix.Addr, mask(31))
+	c.bang()
+	c.line("ip route %s %s Null0", d.custNet.First(), mask(24))
+	c.bang()
+	// This device's own AS is whatever the edge's remote-as says; derive
+	// from the fact that it peers with localAS.
+	c.line("router bgp %d", d.ownAS())
+	c.line(" bgp router-id %s", d.loopback.Addr)
+	c.line(" network %s mask %s", d.custNet.First(), mask(24))
+	c.line(" neighbor %s remote-as %d", d.extPeerIP, d.extPeerAS)
+	c.line(" neighbor %s send-community", d.extPeerIP)
+	c.bang()
+	c.line("end")
+	return DeviceText{Hostname: d.name, Dialect: IOS, Text: c.b.String()}
+}
+
+// ownAS infers the external device's AS from its name suffix, matching the
+// edge router's neighbor statement (64900 + index).
+func (d *wanDev) ownAS() uint32 {
+	var idx int
+	fmt.Sscanf(d.name[len(d.name)-2:], "%d", &idx)
+	return uint32(64900 + idx - 1)
+}

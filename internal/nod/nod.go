@@ -1,0 +1,656 @@
+// Package nod is the "Network Optimized Datalog"-style verification
+// baseline: it encodes the network's forwarding behavior as a CNF formula
+// (a bounded unrolling of the forwarding relation over a symbolic packet)
+// and answers reachability and multipath-consistency queries with the CDCL
+// solver in package sat. This reproduces the original Batfish's Stage 3
+// architecture (paper §2: NoD + Z3), the baseline that the BDD engine's
+// 12x verification speedup in Figure 3 is measured against.
+//
+// The model covers the same forwarding semantics as the BDD engine for the
+// protocol-free data plane: exact longest-prefix matching, ECMP,
+// own-IP acceptance, connected-subnet delivery, null routes, and
+// interface ACLs with prefix, protocol, and port-range matches. (NAT and
+// zone firewalls are outside this baseline, as they were for NoD.)
+package nod
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/acl"
+	"repro/internal/config"
+	"repro/internal/dataplane"
+	"repro/internal/fib"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+	"repro/internal/sat"
+)
+
+// Disposition labels for terminal locations; aligned with the other two
+// engines so verdicts are directly comparable.
+const (
+	SinkAccepted  = "accepted"
+	SinkDelivered = "delivered" // host delivery or exits network
+	SinkDenied    = "denied"
+	SinkNoRoute   = "no-route"
+	SinkNull      = "null-routed"
+)
+
+// Encoder builds CNF encodings over a computed data plane.
+type Encoder struct {
+	dp    *dataplane.Result
+	nodes []string // device names, sorted
+}
+
+// New creates an encoder.
+func New(dp *dataplane.Result) *Encoder {
+	return &Encoder{dp: dp, nodes: dp.Network.DeviceNames()}
+}
+
+// cnf is one query's growing formula: a solver plus the shared symbolic
+// packet and memoized structure variables.
+type cnf struct {
+	s  *sat.Solver
+	dp *dataplane.Result
+
+	// Packet bits, MSB first.
+	dstIP, srcIP     []int
+	dstPort, srcPort []int
+	proto            []int
+
+	prefixMatch map[string]int // field-in-prefix vars, keyed by field+prefix
+	aclPermit   map[string]int // device/acl permit vars
+	rangeVars   map[string]int
+}
+
+func newCNF(dp *dataplane.Result) *cnf {
+	c := &cnf{
+		s: sat.New(), dp: dp,
+		prefixMatch: make(map[string]int),
+		aclPermit:   make(map[string]int),
+		rangeVars:   make(map[string]int),
+	}
+	alloc := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = c.s.NewVar()
+		}
+		return out
+	}
+	c.dstIP = alloc(32)
+	c.srcIP = alloc(32)
+	c.dstPort = alloc(16)
+	c.srcPort = alloc(16)
+	c.proto = alloc(8)
+	return c
+}
+
+func lit(v int, neg bool) sat.Lit { return sat.MkLit(v, neg) }
+
+// freshTrue returns a var constrained true (used as constant).
+func (c *cnf) constTrue() int {
+	v := c.s.NewVar()
+	c.s.AddClause(lit(v, false))
+	return v
+}
+
+func (c *cnf) constFalse() int {
+	v := c.s.NewVar()
+	c.s.AddClause(lit(v, true))
+	return v
+}
+
+// andVar returns a var equivalent to the conjunction of the literals.
+func (c *cnf) andVar(ls ...sat.Lit) int {
+	v := c.s.NewVar()
+	// v -> each l
+	for _, l := range ls {
+		c.s.AddClause(lit(v, true), l)
+	}
+	// all l -> v
+	cl := make([]sat.Lit, 0, len(ls)+1)
+	for _, l := range ls {
+		cl = append(cl, l.Not())
+	}
+	cl = append(cl, lit(v, false))
+	c.s.AddClause(cl...)
+	return v
+}
+
+// orVar returns a var equivalent to the disjunction of the literals.
+func (c *cnf) orVar(ls ...sat.Lit) int {
+	v := c.s.NewVar()
+	for _, l := range ls {
+		c.s.AddClause(lit(v, false), l.Not())
+	}
+	cl := make([]sat.Lit, 0, len(ls)+1)
+	for _, l := range ls {
+		cl = append(cl, l)
+	}
+	cl = append(cl, lit(v, true))
+	c.s.AddClause(cl...)
+	return v
+}
+
+// fieldBits returns the bit variables for a field.
+func (c *cnf) fieldBits(f hdr.Field) []int {
+	switch f {
+	case hdr.DstIP:
+		return c.dstIP
+	case hdr.SrcIP:
+		return c.srcIP
+	case hdr.DstPort:
+		return c.dstPort
+	case hdr.SrcPort:
+		return c.srcPort
+	case hdr.Protocol:
+		return c.proto
+	}
+	panic("nod: unsupported field " + f.String())
+}
+
+// prefixVar returns a var equivalent to "field ∈ prefix".
+func (c *cnf) prefixVar(f hdr.Field, p ip4.Prefix) int {
+	p = p.Canonical()
+	key := fmt.Sprintf("%d/%s", f, p)
+	if v, ok := c.prefixMatch[key]; ok {
+		return v
+	}
+	bits := c.fieldBits(f)
+	if p.Len == 0 {
+		v := c.constTrue()
+		c.prefixMatch[key] = v
+		return v
+	}
+	ls := make([]sat.Lit, 0, p.Len)
+	for b := 0; b < int(p.Len); b++ {
+		ls = append(ls, lit(bits[b], !p.Addr.Bit(b)))
+	}
+	v := c.andVar(ls...)
+	c.prefixMatch[key] = v
+	return v
+}
+
+// eqVar returns a var equivalent to "field == value" over all bits.
+func (c *cnf) eqVar(f hdr.Field, val uint32) int {
+	bits := c.fieldBits(f)
+	w := len(bits)
+	ls := make([]sat.Lit, w)
+	for b := 0; b < w; b++ {
+		ls[b] = lit(bits[b], val&(1<<(w-1-b)) == 0)
+	}
+	return c.andVar(ls...)
+}
+
+// geVar returns a var equivalent to "field >= k" via a big-endian
+// comparison chain.
+func (c *cnf) geVar(f hdr.Field, k uint32) int {
+	key := fmt.Sprintf("ge/%d/%d", f, k)
+	if v, ok := c.rangeVars[key]; ok {
+		return v
+	}
+	bits := c.fieldBits(f)
+	w := len(bits)
+	// ge_i: the number formed by bits[i..] >= k's suffix. ge_w = true.
+	ge := c.constTrue()
+	for i := w - 1; i >= 0; i-- {
+		ki := k&(1<<(w-1-i)) != 0
+		if ki {
+			ge = c.andVar(lit(bits[i], false), lit(ge, false))
+		} else {
+			ge = c.orVar(lit(bits[i], false), lit(ge, false))
+		}
+	}
+	c.rangeVars[key] = ge
+	return ge
+}
+
+// leVar returns a var equivalent to "field <= k".
+func (c *cnf) leVar(f hdr.Field, k uint32) int {
+	key := fmt.Sprintf("le/%d/%d", f, k)
+	if v, ok := c.rangeVars[key]; ok {
+		return v
+	}
+	bits := c.fieldBits(f)
+	w := len(bits)
+	le := c.constTrue()
+	for i := w - 1; i >= 0; i-- {
+		ki := k&(1<<(w-1-i)) != 0
+		if ki {
+			le = c.orVar(lit(bits[i], true), lit(le, false))
+		} else {
+			le = c.andVar(lit(bits[i], true), lit(le, false))
+		}
+	}
+	c.rangeVars[key] = le
+	return le
+}
+
+// lineMatchVar encodes one ACL line's match condition.
+func (c *cnf) lineMatchVar(l *acl.Line) int {
+	var conj []sat.Lit
+	if l.Protocol >= 0 {
+		conj = append(conj, lit(c.eqVar(hdr.Protocol, uint32(l.Protocol)), false))
+	}
+	orPrefixes := func(f hdr.Field, ps []ip4.Prefix) {
+		if len(ps) == 0 {
+			return
+		}
+		ls := make([]sat.Lit, len(ps))
+		for i, p := range ps {
+			ls[i] = lit(c.prefixVar(f, p), false)
+		}
+		conj = append(conj, lit(c.orVar(ls...), false))
+	}
+	orPrefixes(hdr.SrcIP, l.SrcIPs)
+	orPrefixes(hdr.DstIP, l.DstIPs)
+	orRanges := func(f hdr.Field, rs []acl.PortRange) {
+		if len(rs) == 0 {
+			return
+		}
+		// Ports only constrain TCP/UDP; other protocols don't match.
+		tcpudp := c.orVar(
+			lit(c.eqVar(hdr.Protocol, hdr.ProtoTCP), false),
+			lit(c.eqVar(hdr.Protocol, hdr.ProtoUDP), false))
+		conj = append(conj, lit(tcpudp, false))
+		ls := make([]sat.Lit, len(rs))
+		for i, r := range rs {
+			ls[i] = lit(c.andVar(
+				lit(c.geVar(f, uint32(r.Lo)), false),
+				lit(c.leVar(f, uint32(r.Hi)), false)), false)
+		}
+		conj = append(conj, lit(c.orVar(ls...), false))
+	}
+	orRanges(hdr.SrcPort, l.SrcPorts)
+	orRanges(hdr.DstPort, l.DstPorts)
+	// ICMP and TCP-flag matches are outside the NoD baseline's packet
+	// model; lines using them match nothing here (the baseline benchmarks
+	// avoid them).
+	if l.ICMPType >= 0 || l.ICMPCode >= 0 || l.TCPFlags != nil {
+		return c.constFalse()
+	}
+	if len(conj) == 0 {
+		return c.constTrue()
+	}
+	return c.andVar(conj...)
+}
+
+// aclPermitVar encodes first-match permit semantics of a named ACL.
+func (c *cnf) aclPermitVar(d *config.Device, name string) int {
+	if name == "" {
+		return c.constTrue()
+	}
+	key := d.Hostname + "/" + name
+	if v, ok := c.aclPermit[key]; ok {
+		return v
+	}
+	a, ok := d.ACLs[name]
+	var v int
+	if !ok {
+		v = c.constTrue() // undefined reference permits (engine parity)
+	} else {
+		// eff_i = match_i AND none earlier; permit = OR of permit-line effs.
+		noneEarlier := c.constTrue()
+		var permits []sat.Lit
+		for i := range a.Lines {
+			m := c.lineMatchVar(&a.Lines[i])
+			eff := c.andVar(lit(m, false), lit(noneEarlier, false))
+			if a.Lines[i].Action == acl.Permit {
+				permits = append(permits, lit(eff, false))
+			}
+			noneEarlier = c.andVar(lit(noneEarlier, false), lit(m, true))
+		}
+		if len(permits) == 0 {
+			v = c.constFalse()
+		} else {
+			v = c.orVar(permits...)
+		}
+	}
+	c.aclPermit[key] = v
+	return v
+}
+
+// location space: devices plus shared sinks. Terminal sinks absorb.
+type locSpace struct {
+	names []string // location names; devices first, then sinks
+	index map[string]int
+}
+
+func (e *Encoder) locations() *locSpace {
+	ls := &locSpace{index: make(map[string]int)}
+	add := func(n string) {
+		ls.index[n] = len(ls.names)
+		ls.names = append(ls.names, n)
+	}
+	for _, n := range e.nodes {
+		add(n)
+	}
+	for _, n := range e.nodes {
+		add("acc:" + n)
+	}
+	add(SinkDelivered)
+	add(SinkDenied)
+	add(SinkNoRoute)
+	add(SinkNull)
+	return ls
+}
+
+func (ls *locSpace) isSink(i int) bool {
+	return ls.names[i] == SinkDelivered || ls.names[i] == SinkDenied || ls.names[i] == SinkNoRoute || ls.names[i] == SinkNull || len(ls.names[i]) > 4 && ls.names[i][:4] == "acc:"
+}
+
+// chain is one unrolled location sequence sharing the packet variables.
+type chain struct {
+	loc [][]int // loc[k][location]
+}
+
+// buildChain unrolls the forwarding relation for maxHops steps with its own
+// ECMP choice variables.
+func (e *Encoder) buildChain(c *cnf, ls *locSpace, maxHops int) *chain {
+	ch := &chain{}
+	K := maxHops
+	for k := 0; k <= K; k++ {
+		row := make([]int, len(ls.names))
+		for i := range row {
+			row[i] = c.s.NewVar()
+		}
+		ch.loc = append(ch.loc, row)
+		// Exactly one location per step.
+		all := make([]sat.Lit, len(row))
+		for i, v := range row {
+			all[i] = lit(v, false)
+		}
+		c.s.AddClause(all...)
+		for i := 0; i < len(row); i++ {
+			for j := i + 1; j < len(row); j++ {
+				c.s.AddClause(lit(row[i], true), lit(row[j], true))
+			}
+		}
+	}
+	// Sink absorption.
+	for k := 0; k < K; k++ {
+		for i := range ls.names {
+			if ls.isSink(i) {
+				c.s.AddClause(lit(ch.loc[k][i], true), lit(ch.loc[k+1][i], false))
+			}
+		}
+	}
+	// Per-device forwarding.
+	for _, name := range e.nodes {
+		e.encodeDevice(c, ls, ch, name, K)
+	}
+	return ch
+}
+
+// encodeDevice adds transition clauses for one device across all steps.
+func (e *Encoder) encodeDevice(c *cnf, ls *locSpace, ch *chain, name string, K int) {
+	d := e.dp.Network.Devices[name]
+	vs := e.dp.Nodes[name].DefaultVRF()
+	u := ls.index[name]
+	accU := ls.index["acc:"+name]
+
+	// Own-IP acceptance.
+	var ownLits []sat.Lit
+	for _, in := range d.InterfaceNames() {
+		i := d.Interfaces[in]
+		if !i.Active {
+			continue
+		}
+		for _, p := range i.Addresses {
+			ownLits = append(ownLits, lit(c.prefixVar(hdr.DstIP, ip4.HostPrefix(p.Addr)), false))
+		}
+	}
+	own := c.constFalse()
+	if len(ownLits) > 0 {
+		own = c.orVar(ownLits...)
+	}
+	for k := 0; k < K; k++ {
+		c.s.AddClause(lit(ch.loc[k][u], true), lit(own, true), lit(ch.loc[k+1][accU], false))
+	}
+	if vs == nil || vs.FIB == nil {
+		for k := 0; k < K; k++ {
+			c.s.AddClause(lit(ch.loc[k][u], true), lit(own, false), lit(ch.loc[k+1][ls.index[SinkNoRoute]], false))
+		}
+		return
+	}
+
+	// FIB entries, longest prefix first for the "no longer match" chain.
+	entries := vs.FIB.Entries()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Prefix.Len > entries[j].Prefix.Len })
+	// selected_e = match_e AND no longer entry matches.
+	selected := make([]int, len(entries))
+	var matchedLonger []sat.Lit // match vars of strictly longer prefixes
+	lastLen := -1
+	var longerAtLen []sat.Lit
+	for i := range entries {
+		if int(entries[i].Prefix.Len) != lastLen {
+			matchedLonger = append(matchedLonger, longerAtLen...)
+			longerAtLen = nil
+			lastLen = int(entries[i].Prefix.Len)
+		}
+		m := c.prefixVar(hdr.DstIP, entries[i].Prefix)
+		conj := []sat.Lit{lit(m, false)}
+		for _, ml := range matchedLonger {
+			conj = append(conj, ml.Not())
+		}
+		selected[i] = c.andVar(conj...)
+		longerAtLen = append(longerAtLen, lit(m, false))
+	}
+	// No-route: at u, not own, nothing selected.
+	for k := 0; k < K; k++ {
+		cl := []sat.Lit{lit(ch.loc[k][u], true), lit(own, false)}
+		for _, s := range selected {
+			cl = append(cl, lit(s, false))
+		}
+		cl = append(cl, lit(ch.loc[k+1][ls.index[SinkNoRoute]], false))
+		c.s.AddClause(cl...)
+	}
+
+	// Per-entry transitions.
+	for i := range entries {
+		e.encodeEntry(c, ls, ch, d, u, selected[i], own, &entries[i], K)
+	}
+}
+
+// encodeEntry adds the transition clauses for one selected FIB entry,
+// with chain-local ECMP choice variables (paths for a fixed packet are
+// simple, so one choice per entry suffices).
+func (e *Encoder) encodeEntry(c *cnf, ls *locSpace, ch *chain, d *config.Device,
+	u, sel, own int, entry *fib.Entry, K int) {
+
+	var choice []int
+	if len(entry.NextHops) > 1 {
+		choice = make([]int, len(entry.NextHops))
+		for i := range choice {
+			choice[i] = c.s.NewVar()
+		}
+		cl := make([]sat.Lit, len(choice))
+		for i, v := range choice {
+			cl[i] = lit(v, false)
+		}
+		c.s.AddClause(cl...)
+	}
+	e.emitEntryClauses(c, ls, ch, d, u, sel, own, entry, choice, K)
+}
+
+func outACLOf(d *config.Device, iface string) string {
+	if i, ok := d.Interfaces[iface]; ok {
+		return i.OutACL
+	}
+	return ""
+}
+
+// emitEntryClauses writes the transition clauses for one entry.
+func (e *Encoder) emitEntryClauses(c *cnf, ls *locSpace, ch *chain, d *config.Device,
+	u, sel, own int, entry *fib.Entry, choice []int, K int) {
+
+	name := d.Hostname
+	for ni, nh := range entry.NextHops {
+		var guard []sat.Lit // extra guard literals (negated in clauses)
+		if choice != nil {
+			guard = append(guard, lit(choice[ni], true))
+		}
+		emit := func(k int, cond []sat.Lit, target int) {
+			cl := []sat.Lit{lit(ch.loc[k][u], true), lit(own, false), lit(sel, true)}
+			cl = append(cl, guard...)
+			cl = append(cl, cond...)
+			cl = append(cl, lit(ch.loc[k+1][target], false))
+			c.s.AddClause(cl...)
+		}
+		if nh.Drop {
+			for k := 0; k < K; k++ {
+				emit(k, nil, ls.index[SinkNull])
+			}
+			continue
+		}
+		outPermit := c.aclPermitVar(d, outACLOf(d, nh.Iface))
+		// Egress denied.
+		for k := 0; k < K; k++ {
+			emit(k, []sat.Lit{lit(outPermit, false)}, ls.index[SinkDenied])
+		}
+		if nh.Node != "" {
+			// Known neighbor: ingress ACL at the far end.
+			inName, inIface := e.ingressOf(name, nh.Iface, nh.Node)
+			nd := e.dp.Network.Devices[nh.Node]
+			inPermit := c.constTrue()
+			if inIface != "" && nd != nil {
+				if ii, ok := nd.Interfaces[inIface]; ok {
+					inPermit = c.aclPermitVar(nd, ii.InACL)
+				}
+			}
+			_ = inName
+			v := ls.index[nh.Node]
+			for k := 0; k < K; k++ {
+				// outPermit ∧ inPermit → arrive at v; outPermit ∧ ¬inPermit
+				// → denied at the far end's ingress filter.
+				emit(k, []sat.Lit{lit(outPermit, true), lit(inPermit, true)}, v)
+				emit(k, []sat.Lit{lit(outPermit, true), lit(inPermit, false)}, ls.index[SinkDenied])
+			}
+			continue
+		}
+		// Connected delivery: split by neighbor-owned IPs on the link.
+		type nbOwn struct {
+			node string
+			in   string
+			eq   int
+		}
+		var nbs []nbOwn
+		linkLits := []sat.Lit{}
+		for _, ed := range e.dp.Topology.EdgesFrom(name, nh.Iface) {
+			ri := e.dp.Network.Devices[ed.Node2].Interfaces[ed.Iface2]
+			if ri == nil {
+				continue
+			}
+			var eqs []sat.Lit
+			for _, p := range ri.Addresses {
+				eqs = append(eqs, lit(c.prefixVar(hdr.DstIP, ip4.HostPrefix(p.Addr)), false))
+			}
+			if len(eqs) == 0 {
+				continue
+			}
+			eq := c.orVar(eqs...)
+			nbs = append(nbs, nbOwn{node: ed.Node2, in: ed.Iface2, eq: eq})
+			linkLits = append(linkLits, lit(eq, false))
+		}
+		anyNb := c.constFalse()
+		if len(linkLits) > 0 {
+			anyNb = c.orVar(linkLits...)
+		}
+		for _, nb := range nbs {
+			nd := e.dp.Network.Devices[nb.node]
+			inPermit := c.constTrue()
+			if ii, ok := nd.Interfaces[nb.in]; ok {
+				inPermit = c.aclPermitVar(nd, ii.InACL)
+			}
+			v := ls.index[nb.node]
+			for k := 0; k < K; k++ {
+				emit(k, []sat.Lit{lit(outPermit, true), lit(nb.eq, true), lit(inPermit, true)}, v)
+				emit(k, []sat.Lit{lit(outPermit, true), lit(nb.eq, true), lit(inPermit, false)}, ls.index[SinkDenied])
+			}
+		}
+		// Everything else on the entry: delivered (host or exits network).
+		for k := 0; k < K; k++ {
+			emit(k, []sat.Lit{lit(outPermit, true), lit(anyNb, false)}, ls.index[SinkDelivered])
+		}
+	}
+}
+
+func (e *Encoder) ingressOf(fromNode, fromIface, toNode string) (string, string) {
+	for _, ed := range e.dp.Topology.EdgesFrom(fromNode, fromIface) {
+		if ed.Node2 == toNode {
+			return ed.Node2, ed.Iface2
+		}
+	}
+	return "", ""
+}
+
+// extractPacket decodes the packet from a model.
+func (c *cnf) extractPacket(m []bool) hdr.Packet {
+	read := func(bits []int) uint32 {
+		var v uint32
+		for i, b := range bits {
+			if m[b] {
+				v |= 1 << (len(bits) - 1 - i)
+			}
+		}
+		return v
+	}
+	return hdr.Packet{
+		DstIP:    ip4.Addr(read(c.dstIP)),
+		SrcIP:    ip4.Addr(read(c.srcIP)),
+		DstPort:  uint16(read(c.dstPort)),
+		SrcPort:  uint16(read(c.srcPort)),
+		Protocol: uint8(read(c.proto)),
+	}
+}
+
+// Reachable asks: does some packet injected at startNode reach acc:dst
+// within maxHops? Returns a witness packet when satisfiable.
+func (e *Encoder) Reachable(startNode, dstDevice string, maxHops int) (bool, hdr.Packet) {
+	c := newCNF(e.dp)
+	ls := e.locations()
+	ch := e.buildChain(c, ls, maxHops)
+	c.s.AddClause(lit(ch.loc[0][ls.index[startNode]], false))
+	c.s.AddClause(lit(ch.loc[maxHops][ls.index["acc:"+dstDevice]], false))
+	if !c.s.Solve() {
+		return false, hdr.Packet{}
+	}
+	return true, c.extractPacket(c.s.Model())
+}
+
+// Violation is a multipath-consistency counterexample.
+type Violation struct {
+	Start  string
+	Packet hdr.Packet
+}
+
+// MultipathConsistency searches, per start device, for a packet that one
+// ECMP path delivers and another drops — the Figure 3 verification query.
+func (e *Encoder) MultipathConsistency(maxHops int) []Violation {
+	var out []Violation
+	for _, start := range e.nodes {
+		c := newCNF(e.dp)
+		ls := e.locations()
+		a := e.buildChain(c, ls, maxHops)
+		b := e.buildChain(c, ls, maxHops)
+		c.s.AddClause(lit(a.loc[0][ls.index[start]], false))
+		c.s.AddClause(lit(b.loc[0][ls.index[start]], false))
+		// Chain A ends in success, chain B in failure.
+		var succ []sat.Lit
+		for i, n := range ls.names {
+			if n == SinkDelivered || len(n) > 4 && n[:4] == "acc:" {
+				succ = append(succ, lit(a.loc[maxHops][i], false))
+			}
+		}
+		c.s.AddClause(succ...)
+		var fail []sat.Lit
+		for _, n := range []string{SinkDenied, SinkNoRoute, SinkNull} {
+			fail = append(fail, lit(b.loc[maxHops][ls.index[n]], false))
+		}
+		c.s.AddClause(fail...)
+		if c.s.Solve() {
+			out = append(out, Violation{Start: start, Packet: c.extractPacket(c.s.Model())})
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package policy evaluates routing policies (route maps) against routes.
+// It is the imperative replacement for the Datalog encoding the paper's
+// Lesson 1 describes as unmaintainable: route maps here support regular
+// expressions (community/AS-path lists) and arithmetic (metric increments)
+// directly.
+package policy
+
+import (
+	"repro/internal/config"
+	"repro/internal/ip4"
+	"repro/internal/routing"
+)
+
+// View is the mutable picture of a route as a policy sees it. Protocol
+// engines convert to a View, run policies, and convert back.
+type View struct {
+	Prefix      ip4.Prefix
+	Metric      uint32
+	Tag         uint32
+	NextHop     ip4.Addr
+	LocalPref   uint32
+	MED         uint32
+	Weight      uint32
+	Origin      routing.Origin
+	ASPath      routing.ASPath
+	Communities routing.CommunitySet
+	SrcProtocol routing.Protocol
+}
+
+// ViewOf builds a View from a route.
+func ViewOf(r routing.Route) View {
+	v := View{
+		Prefix:      r.Prefix,
+		Metric:      r.Metric,
+		Tag:         r.Tag,
+		NextHop:     r.NextHop,
+		SrcProtocol: r.Protocol,
+	}
+	if r.Attrs != nil {
+		v.LocalPref = r.Attrs.LocalPref
+		v.MED = r.Attrs.MED
+		v.Weight = r.Attrs.Weight
+		v.Origin = r.Attrs.Origin
+		v.ASPath = r.Attrs.ASPath
+		v.Communities = r.Attrs.Communities
+	}
+	return v
+}
+
+// Result reports the outcome of a policy evaluation.
+type Result struct {
+	Permit bool
+	// MatchedClause is the sequence number of the deciding clause, or -1
+	// for the implicit deny / default action. Used to annotate examples
+	// (paper §4.4.3).
+	MatchedClause int
+}
+
+// Env supplies the structures a policy may reference, plus the intern pool
+// for attribute rewrites.
+type Env struct {
+	Device *config.Device
+	Pool   *routing.Pool
+}
+
+// Eval runs the named route map over the view, mutating it when permitted.
+//
+// Undocumented-semantics choice (Lesson 3): a reference to a route map that
+// is not defined anywhere permits all routes unchanged. The model surfaces
+// the situation through the undefined-reference analysis rather than
+// guessing a more restrictive behavior; the fidelity labs (§4.3.1) pin this
+// choice down.
+func (e Env) Eval(name string, v *View) Result {
+	if name == "" {
+		return Result{Permit: true, MatchedClause: -1}
+	}
+	rm, ok := e.Device.RouteMaps[name]
+	if !ok {
+		return Result{Permit: true, MatchedClause: -1}
+	}
+	for ci := range rm.Clauses {
+		c := &rm.Clauses[ci]
+		if !e.clauseMatches(c, v) {
+			continue
+		}
+		if c.Action == config.Deny {
+			return Result{Permit: false, MatchedClause: c.Seq}
+		}
+		e.applySets(c, v)
+		return Result{Permit: true, MatchedClause: c.Seq}
+	}
+	// No clause matched: implicit deny.
+	return Result{Permit: false, MatchedClause: -1}
+}
+
+func (e Env) clauseMatches(c *config.RouteMapClause, v *View) bool {
+	for _, m := range c.Matches {
+		if !e.matchOne(m, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e Env) matchOne(m config.Match, v *View) bool {
+	switch m.Kind {
+	case config.MatchPrefixList:
+		pl, ok := e.Device.PrefixLists[m.Name]
+		if !ok {
+			// Undefined prefix list matches nothing (and is reported by
+			// the undefined-reference analysis).
+			return false
+		}
+		return pl.Permits(v.Prefix)
+	case config.MatchCommunityList:
+		cl, ok := e.Device.CommunityLists[m.Name]
+		if !ok {
+			return false
+		}
+		rendered := make([]string, v.Communities.Len())
+		for i := range rendered {
+			rendered[i] = routing.CommunityString(v.Communities.At(i))
+		}
+		return cl.MatchesCommunities(rendered)
+	case config.MatchASPathList:
+		al, ok := e.Device.ASPathLists[m.Name]
+		if !ok {
+			return false
+		}
+		return al.MatchesPath(v.ASPath.String())
+	case config.MatchMetric:
+		return v.Metric == m.Value
+	case config.MatchTag:
+		return v.Tag == m.Value
+	case config.MatchSourceProtocol:
+		switch m.Proto {
+		case "connected":
+			return v.SrcProtocol == routing.Connected || v.SrcProtocol == routing.Local
+		case "static":
+			return v.SrcProtocol == routing.Static
+		case "ospf":
+			return v.SrcProtocol.IsOSPF()
+		case "bgp":
+			return v.SrcProtocol.IsBGP()
+		}
+		return false
+	}
+	return false
+}
+
+func (e Env) applySets(c *config.RouteMapClause, v *View) {
+	for _, s := range c.Sets {
+		switch s.Kind {
+		case config.SetLocalPref:
+			v.LocalPref = s.Value
+		case config.SetMetric:
+			v.Metric = s.Value
+			v.MED = s.Value
+		case config.SetMetricAdd:
+			v.Metric += s.Value
+			v.MED += s.Value
+		case config.SetCommunity:
+			v.Communities = e.Pool.CommunitySet(s.Communities...)
+		case config.SetCommunityAdditive:
+			vals := append(v.Communities.Values(), s.Communities...)
+			v.Communities = e.Pool.CommunitySet(vals...)
+		case config.SetASPathPrepend:
+			v.ASPath = e.Pool.Prepend(v.ASPath, s.PrependASN, s.PrependN)
+		case config.SetNextHop:
+			v.NextHop = s.NextHop
+		case config.SetWeight:
+			v.Weight = s.Value
+		case config.SetTag:
+			v.Tag = s.Value
+		case config.SetOriginIGP:
+			v.Origin = routing.OriginIGP
+		case config.SetOriginIncomplete:
+			v.Origin = routing.OriginIncomplete
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package reach is the BDD-based data plane verification engine (paper
+// §4.2): a dataflow analysis over the forwarding graph that computes, for
+// every node, the set of packets that can reach it. On top of the core
+// forward fixed point it implements the paper's extensions and
+// optimizations — graph compression, backward propagation for
+// single-destination queries, waypoint tracking, multipath-consistency
+// checking, and bidirectional reachability through stateful devices.
+package reach
+
+import (
+	"sort"
+
+	"repro/internal/bdd"
+	"repro/internal/fwdgraph"
+	"repro/internal/hdr"
+)
+
+// Options tune the analysis.
+type Options struct {
+	// Compress removes simple pass-through nodes before propagation
+	// (paper §4.2.3 "graph compression"). On by default via New.
+	Compress bool
+}
+
+// Analysis owns a (possibly compressed) view of the forwarding graph.
+type Analysis struct {
+	G     *fwdgraph.Graph
+	Enc   *hdr.Enc
+	edges []fwdgraph.Edge
+	out   [][]int32
+	in    [][]int32
+	// origin maps compressed-away node ids to themselves; kept for sinks
+	// and sources which are never compressed.
+}
+
+// New builds an analysis with graph compression enabled.
+func New(g *fwdgraph.Graph) *Analysis {
+	return NewWithOptions(g, Options{Compress: true})
+}
+
+// NewWithOptions builds an analysis with explicit options.
+func NewWithOptions(g *fwdgraph.Graph, opts Options) *Analysis {
+	a := &Analysis{G: g, Enc: g.Enc}
+	a.edges = append([]fwdgraph.Edge(nil), g.Edges...)
+	if opts.Compress {
+		a.compress()
+	}
+	a.reindex()
+	return a
+}
+
+func (a *Analysis) reindex() {
+	n := len(a.G.Nodes)
+	a.out = make([][]int32, n)
+	a.in = make([][]int32, n)
+	for i := range a.edges {
+		e := &a.edges[i]
+		a.out[e.From] = append(a.out[e.From], int32(i))
+		a.in[e.To] = append(a.in[e.To], int32(i))
+	}
+}
+
+// EdgeCount returns the number of edges after compression.
+func (a *Analysis) EdgeCount() int { return len(a.edges) }
+
+// compress collapses pass-through nodes: a node with exactly one incoming
+// and one outgoing edge, that is neither a source nor a sink, whose
+// incoming edge is a pure label (no transformation or zone/waypoint
+// effects), merges into a single edge with the conjoined label
+// (paper §4.2.3: such nodes "only slow down the graph traversal").
+func (a *Analysis) compress() {
+	for {
+		out := make([][]int32, len(a.G.Nodes))
+		in := make([][]int32, len(a.G.Nodes))
+		alive := make([]bool, len(a.edges))
+		for i := range a.edges {
+			alive[i] = true
+			e := &a.edges[i]
+			out[e.From] = append(out[e.From], int32(i))
+			in[e.To] = append(in[e.To], int32(i))
+		}
+		changed := false
+		touched := make([]bool, len(a.G.Nodes))
+		for id := range a.G.Nodes {
+			node := &a.G.Nodes[id]
+			if node.Kind == fwdgraph.KindSource || node.Kind == fwdgraph.KindSink {
+				continue
+			}
+			if touched[id] || len(in[id]) != 1 || len(out[id]) != 1 {
+				continue
+			}
+			ei, eo := in[id][0], out[id][0]
+			if !alive[ei] || !alive[eo] {
+				continue
+			}
+			e1, e2 := a.edges[ei], a.edges[eo]
+			if touched[e1.From] || touched[e2.To] {
+				continue // adjacency stale within this sweep; next sweep
+			}
+			if e1.From == e2.To || e1.From == id {
+				continue // avoid self loops
+			}
+			if !pureLabel(&e1) {
+				continue
+			}
+			merged := e2
+			merged.From = e1.From
+			merged.Label = a.Enc.F.And(e1.Label, e2.Label)
+			if e2.Raw != bdd.False {
+				merged.Raw = a.Enc.F.And(e1.Label, e2.Raw)
+			}
+			a.edges[ei] = merged
+			alive[eo] = false
+			changed = true
+			touched[e1.From] = true
+			touched[e2.To] = true
+			touched[id] = true
+		}
+		kept := a.edges[:0]
+		for i := range a.edges {
+			if alive[i] {
+				kept = append(kept, a.edges[i])
+			}
+		}
+		a.edges = kept
+		if !changed {
+			return
+		}
+	}
+}
+
+func pureLabel(e *fwdgraph.Edge) bool {
+	return e.Tr == nil && e.ZoneSet == nil && !e.ClearZone && len(e.SetBits) == 0
+}
+
+// Forward runs the forward dataflow fixed point from the given start sets
+// (node id -> packet set) and returns the reachable set per node. Sets only
+// grow, unions are monotone, and the variable count is fixed, so the fixed
+// point terminates even on cyclic graphs (forwarding loops).
+func (a *Analysis) Forward(start map[int]bdd.Ref) []bdd.Ref {
+	return a.forward(start, nil)
+}
+
+// forward optionally takes a per-device session fast-path map (device ->
+// return-flow set) used by bidirectional analysis.
+func (a *Analysis) forward(start map[int]bdd.Ref, fastPath map[string]bdd.Ref) []bdd.Ref {
+	f := a.Enc.F
+	reach := make([]bdd.Ref, len(a.G.Nodes))
+	inQueue := make([]bool, len(a.G.Nodes))
+	var queue []int
+	push := func(n int) {
+		if !inQueue[n] {
+			inQueue[n] = true
+			queue = append(queue, n)
+		}
+	}
+	starts := make([]int, 0, len(start))
+	for n := range start {
+		starts = append(starts, n)
+	}
+	sort.Ints(starts)
+	for _, n := range starts {
+		reach[n] = f.Or(reach[n], start[n])
+		push(n)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		inQueue[n] = false
+		set := reach[n]
+		if set == bdd.False {
+			continue
+		}
+		for _, ei := range a.out[n] {
+			e := &a.edges[ei]
+			contribution := e.Apply(a.Enc, set)
+			if fastPath != nil && e.Raw != bdd.False {
+				if fp, ok := fastPath[a.G.Nodes[e.From].Node_]; ok && fp != bdd.False {
+					// Session fast path: matching return traffic bypasses
+					// the filter (Raw is the unfiltered label).
+					bypass := f.And(f.And(set, fp), e.Raw)
+					contribution = f.Or(contribution, bypass)
+				}
+			}
+			if contribution == bdd.False {
+				continue
+			}
+			next := f.Or(reach[e.To], contribution)
+			if next != reach[e.To] {
+				reach[e.To] = next
+				push(e.To)
+			}
+		}
+	}
+	return reach
+}
+
+// Backward computes, for every node, the set of packets that — if present
+// at that node — would eventually reach one of the given sink sets. For a
+// single-destination query this walks only the destination's forwarding
+// cone instead of the whole graph (paper §4.2.3 "single-destination
+// reverse propagation").
+func (a *Analysis) Backward(sinks map[int]bdd.Ref) []bdd.Ref {
+	f := a.Enc.F
+	sets := make([]bdd.Ref, len(a.G.Nodes))
+	inQueue := make([]bool, len(a.G.Nodes))
+	var queue []int
+	push := func(n int) {
+		if !inQueue[n] {
+			inQueue[n] = true
+			queue = append(queue, n)
+		}
+	}
+	ns := make([]int, 0, len(sinks))
+	for n := range sinks {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	for _, n := range ns {
+		sets[n] = f.Or(sets[n], sinks[n])
+		push(n)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		inQueue[n] = false
+		set := sets[n]
+		if set == bdd.False {
+			continue
+		}
+		for _, ei := range a.in[n] {
+			e := &a.edges[ei]
+			contribution := e.ApplyReverse(a.Enc, set)
+			if contribution == bdd.False {
+				continue
+			}
+			next := f.Or(sets[e.From], contribution)
+			if next != sets[e.From] {
+				sets[e.From] = next
+				push(e.From)
+			}
+		}
+	}
+	return sets
+}
+
+// SourceSets builds the default start map: every interface source node
+// carries the given header space, constrained to zone/waypoint bits = 0.
+func (a *Analysis) SourceSets(hs bdd.Ref) map[int]bdd.Ref {
+	f := a.Enc.F
+	if a.Enc.L.ExtBits() > 0 {
+		hs = f.And(hs, a.Enc.ExtEq(0, a.Enc.L.ExtBits(), 0))
+	}
+	start := make(map[int]bdd.Ref)
+	for id := range a.G.Nodes {
+		if a.G.Nodes[id].Kind == fwdgraph.KindSource {
+			start[id] = hs
+		}
+	}
+	return start
+}
+
+// SingleSource builds a start map for one interface source.
+func (a *Analysis) SingleSource(device, iface string, hs bdd.Ref) (map[int]bdd.Ref, bool) {
+	id, ok := a.G.Lookup(fwdgraph.SourceName(device, iface))
+	if !ok {
+		return nil, false
+	}
+	f := a.Enc.F
+	if a.Enc.L.ExtBits() > 0 {
+		hs = f.And(hs, a.Enc.ExtEq(0, a.Enc.L.ExtBits(), 0))
+	}
+	return map[int]bdd.Ref{id: hs}, true
+}
+
+// SinkSets groups reachable sets by sink kind, with zone/waypoint bits
+// erased for presentation.
+func (a *Analysis) SinkSets(reach []bdd.Ref) map[string]bdd.Ref {
+	f := a.Enc.F
+	out := make(map[string]bdd.Ref)
+	for id, set := range reach {
+		if set == bdd.False || a.G.Nodes[id].Kind != fwdgraph.KindSink {
+			continue
+		}
+		kind := a.G.Nodes[id].Extra
+		out[kind] = f.Or(out[kind], a.Enc.ClearExt(set))
+	}
+	return out
+}
+
+// SuccessSinks are the dispositions that count as "delivered".
+var SuccessSinks = map[string]bool{
+	fwdgraph.SinkAccepted:        true,
+	fwdgraph.SinkExitsNetwork:    true,
+	fwdgraph.SinkDeliveredToHost: true,
+}
+
+// Partition splits sink sets into delivered and failed packet sets.
+func Partition(sinks map[string]bdd.Ref, f *bdd.Factory) (success, failure bdd.Ref) {
+	success, failure = bdd.False, bdd.False
+	for kind, set := range sinks {
+		if SuccessSinks[kind] {
+			success = f.Or(success, set)
+		} else {
+			failure = f.Or(failure, set)
+		}
+	}
+	return success, failure
+}

@@ -1,0 +1,365 @@
+package routing
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/ip4"
+)
+
+// Clock is the logical clock of paper §4.1.2: every route merged into any
+// RIB is stamped with a monotonically increasing arrival time, letting the
+// BGP decision process prefer the oldest equally-good path, like routers
+// do, which removes pathological re-advertisement loops.
+//
+// The counter is atomic so that nodes of the same color class can merge in
+// parallel; only the relative order of merges *within* one node matters for
+// tie-breaking, and each node's merges are sequential.
+type Clock struct {
+	t atomic.Uint64
+}
+
+// Next returns the next timestamp.
+func (c *Clock) Next() uint64 { return c.t.Add(1) }
+
+// Now returns the current timestamp without advancing.
+func (c *Clock) Now() uint64 { return c.t.Load() }
+
+// Comparator orders candidate routes for the same prefix: positive if a is
+// preferred over b, negative if b over a, zero if equally good (ECMP).
+type Comparator func(a, b Route) int
+
+// Delta records changes to a RIB's best-route set during one iteration —
+// the unit of exchange in the queue-free hybrid scheme of §4.1.3. Receivers
+// pull deltas directly from their neighbors' RIBs instead of having routes
+// pushed onto per-session queues.
+type Delta struct {
+	Added   []Route
+	Removed []Route
+}
+
+// Empty reports whether the delta carries no changes.
+func (d Delta) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// Len returns the total number of changes.
+func (d Delta) Len() int { return len(d.Added) + len(d.Removed) }
+
+type entry struct {
+	candidates []Route
+	best       []Route
+}
+
+// RIB holds routes for one protocol (or the main RIB), maintaining the
+// best-route set per prefix under a Comparator and accumulating a Delta of
+// best-set changes.
+type RIB struct {
+	cmp      Comparator
+	clock    *Clock
+	entries  map[ip4.Prefix]*entry
+	delta    Delta
+	nRoutes  int // total candidates, for memory accounting
+	maxCands int
+}
+
+// NewRIB creates a RIB with the given comparator and logical clock.
+// The clock may be shared across RIBs (one per simulated network).
+func NewRIB(cmp Comparator, clock *Clock) *RIB {
+	return &RIB{cmp: cmp, clock: clock, entries: make(map[ip4.Prefix]*entry)}
+}
+
+// Merge adds a candidate route, stamping its Clock. If a candidate with the
+// same Key already exists, the merge is a no-op (the existing route keeps
+// its original arrival time). Returns true if the best set changed.
+func (r *RIB) Merge(rt Route) bool {
+	rt.Prefix = rt.Prefix.Canonical()
+	e := r.entries[rt.Prefix]
+	if e == nil {
+		e = &entry{}
+		r.entries[rt.Prefix] = e
+	}
+	k := rt.Key()
+	for _, c := range e.candidates {
+		if c.Key() == k {
+			return false
+		}
+	}
+	rt.Clock = r.clock.Next()
+	e.candidates = append(e.candidates, rt)
+	r.nRoutes++
+	if len(e.candidates) > r.maxCands {
+		r.maxCands = len(e.candidates)
+	}
+	return r.recompute(rt.Prefix, e)
+}
+
+// Withdraw removes the candidate with the same Key, if present. Returns
+// true if the best set changed.
+func (r *RIB) Withdraw(rt Route) bool {
+	rt.Prefix = rt.Prefix.Canonical()
+	e := r.entries[rt.Prefix]
+	if e == nil {
+		return false
+	}
+	k := rt.Key()
+	for i, c := range e.candidates {
+		if c.Key() == k {
+			e.candidates = append(e.candidates[:i], e.candidates[i+1:]...)
+			r.nRoutes--
+			return r.recompute(rt.Prefix, e)
+		}
+	}
+	return false
+}
+
+// RemoveWhere withdraws all candidates for prefix that satisfy pred —
+// the implicit-withdraw step when a neighbor re-advertises a prefix.
+// Returns true if the best set changed.
+func (r *RIB) RemoveWhere(prefix ip4.Prefix, pred func(Route) bool) bool {
+	prefix = prefix.Canonical()
+	e := r.entries[prefix]
+	if e == nil {
+		return false
+	}
+	kept := e.candidates[:0]
+	removed := 0
+	for _, c := range e.candidates {
+		if pred(c) {
+			removed++
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	if removed == 0 {
+		return false
+	}
+	e.candidates = kept
+	r.nRoutes -= removed
+	return r.recompute(prefix, e)
+}
+
+// recompute rebuilds the best set for prefix and updates the delta.
+// It returns true if the best set changed.
+func (r *RIB) recompute(prefix ip4.Prefix, e *entry) bool {
+	var best []Route
+	for _, c := range e.candidates {
+		if len(best) == 0 {
+			best = append(best, c)
+			continue
+		}
+		switch d := r.cmp(c, best[0]); {
+		case d > 0:
+			best = append(best[:0], c)
+		case d == 0:
+			best = append(best, c)
+		}
+	}
+	// Canonical order for deterministic output and cheap comparison.
+	sortRoutes(best)
+	if routesEqual(best, e.best) {
+		return false
+	}
+	old := e.best
+	e.best = best
+	// Record best-set changes in the delta (withdrawn first, then added,
+	// matching how a router would announce).
+	for _, o := range old {
+		if !containsKey(best, o.Key()) {
+			r.delta.Removed = append(r.delta.Removed, o)
+		}
+	}
+	for _, b := range best {
+		if !containsKey(old, b.Key()) {
+			r.delta.Added = append(r.delta.Added, b)
+		}
+	}
+	if len(e.candidates) == 0 {
+		delete(r.entries, prefix)
+	}
+	return true
+}
+
+func sortRoutes(rs []Route) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if c := a.Prefix.Compare(b.Prefix); c != 0 {
+			return c < 0
+		}
+		if a.NextHop != b.NextHop {
+			return a.NextHop < b.NextHop
+		}
+		if a.NextHopNode != b.NextHopNode {
+			return a.NextHopNode < b.NextHopNode
+		}
+		if a.NextHopIface != b.NextHopIface {
+			return a.NextHopIface < b.NextHopIface
+		}
+		return a.Protocol < b.Protocol
+	})
+}
+
+func routesEqual(a, b []Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+func containsKey(rs []Route, k Key) bool {
+	for _, r := range rs {
+		if r.Key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+// TakeDelta returns the accumulated best-set delta and resets it. The
+// simulator calls this once per iteration to rotate current → previous.
+func (r *RIB) TakeDelta() Delta {
+	d := r.delta
+	r.delta = Delta{}
+	return d
+}
+
+// PendingDelta reports whether changes have accumulated since TakeDelta.
+func (r *RIB) PendingDelta() bool { return !r.delta.Empty() }
+
+// Best returns the best-route set for prefix (nil if none).
+func (r *RIB) Best(prefix ip4.Prefix) []Route {
+	if e := r.entries[prefix.Canonical()]; e != nil {
+		return e.best
+	}
+	return nil
+}
+
+// Candidates returns all candidate routes for prefix.
+func (r *RIB) Candidates(prefix ip4.Prefix) []Route {
+	if e := r.entries[prefix.Canonical()]; e != nil {
+		return e.candidates
+	}
+	return nil
+}
+
+// Prefixes returns all prefixes with at least one candidate, sorted.
+func (r *RIB) Prefixes() []ip4.Prefix {
+	out := make([]ip4.Prefix, 0, len(r.entries))
+	for p := range r.entries {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// AllBest returns every best route in canonical prefix order.
+func (r *RIB) AllBest() []Route {
+	var out []Route
+	for _, p := range r.Prefixes() {
+		out = append(out, r.entries[p].best...)
+	}
+	return out
+}
+
+// LongestMatch returns the best-route set for the longest prefix
+// containing a, or nil. RIB lookup is linear in prefix lengths; the FIB
+// (package fib) provides the trie used on the forwarding path.
+func (r *RIB) LongestMatch(a ip4.Addr) []Route {
+	for l := 32; l >= 0; l-- {
+		p := ip4.Prefix{Addr: a, Len: uint8(l)}.Canonical()
+		if e, ok := r.entries[p]; ok && len(e.best) > 0 {
+			return e.best
+		}
+	}
+	return nil
+}
+
+// Size returns the number of best routes across all prefixes.
+func (r *RIB) Size() int {
+	n := 0
+	for _, e := range r.entries {
+		n += len(e.best)
+	}
+	return n
+}
+
+// CandidateCount returns the total number of candidates held.
+func (r *RIB) CandidateCount() int { return r.nRoutes }
+
+// StateHash returns a hash of the best-route sets, used by the simulator
+// to detect oscillation (non-convergence, §4.1.2).
+func (r *RIB) StateHash() uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	for _, p := range r.Prefixes() {
+		mix(uint64(p.Addr)<<8 | uint64(p.Len))
+		for _, rt := range r.entries[p].best {
+			mix(uint64(rt.NextHop))
+			mix(uint64(rt.Protocol)<<32 | uint64(rt.Metric))
+			mix(uint64(rt.AD))
+			for _, ch := range rt.NextHopNode {
+				mix(uint64(ch))
+			}
+			if rt.Attrs != nil {
+				mix(uint64(rt.Attrs.LocalPref)<<16 ^ uint64(rt.Attrs.MED))
+				for _, ch := range rt.Attrs.ASPath.asns {
+					mix(uint64(ch))
+				}
+			}
+		}
+	}
+	return h
+}
+
+// MainComparator orders routes for the main RIB: lower administrative
+// distance wins; within the same protocol, lower metric wins; routes from
+// different protocols with equal AD and different metrics are incomparable
+// and treated as equally good only if metrics match.
+func MainComparator(a, b Route) int {
+	if a.AD != b.AD {
+		return int(b.AD) - int(a.AD)
+	}
+	if a.Protocol != b.Protocol {
+		return int(b.Protocol) - int(a.Protocol)
+	}
+	if a.Metric != b.Metric {
+		if a.Metric < b.Metric {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// OSPFComparator orders OSPF routes: intra-area > inter-area > E1 > E2,
+// then lower cost; equal-cost routes are ECMP.
+func OSPFComparator(a, b Route) int {
+	if a.Protocol != b.Protocol {
+		return int(b.Protocol) - int(a.Protocol) // OSPF < OSPFIA < ... so smaller enum preferred
+	}
+	if a.Metric != b.Metric {
+		if a.Metric < b.Metric {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// ConnectedComparator treats all connected/static candidates for the same
+// prefix as equally good (resolution happens in the main RIB).
+func ConnectedComparator(a, b Route) int {
+	if a.Metric != b.Metric {
+		if a.Metric < b.Metric {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}

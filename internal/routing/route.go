@@ -1,0 +1,406 @@
+// Package routing defines routes, RIBs, and the memory-optimization
+// machinery of paper §4.1.3: interned routing attributes (AS paths,
+// community sets, and the combined 13-property BGP attribute object),
+// RIB deltas for the hybrid queue-free convergence scheme, and logical
+// clocks for arrival-time tie-breaking (§4.1.2).
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ip4"
+)
+
+// Protocol identifies the routing protocol that produced a route.
+type Protocol uint8
+
+// Protocols, ordered roughly by typical administrative preference.
+const (
+	Connected Protocol = iota
+	Local              // interface /32 host routes
+	Static
+	OSPF   // intra-area
+	OSPFIA // inter-area
+	OSPFE1 // external type 1
+	OSPFE2 // external type 2
+	EBGP
+	IBGP
+	Aggregate
+	numProtocols
+)
+
+var protoNames = [numProtocols]string{
+	"connected", "local", "static", "ospf", "ospfIA", "ospfE1", "ospfE2",
+	"bgp", "ibgp", "aggregate",
+}
+
+func (p Protocol) String() string {
+	if int(p) < len(protoNames) {
+		return protoNames[p]
+	}
+	return fmt.Sprintf("proto(%d)", uint8(p))
+}
+
+// DefaultAdminDistance returns the Cisco-style default administrative
+// distance for the protocol.
+func (p Protocol) DefaultAdminDistance() uint8 {
+	switch p {
+	case Connected, Local:
+		return 0
+	case Static:
+		return 1
+	case EBGP:
+		return 20
+	case OSPF, OSPFIA, OSPFE1, OSPFE2:
+		return 110
+	case IBGP:
+		return 200
+	case Aggregate:
+		return 200
+	}
+	return 255
+}
+
+// IsBGP reports whether the protocol is a BGP variant.
+func (p Protocol) IsBGP() bool { return p == EBGP || p == IBGP }
+
+// IsOSPF reports whether the protocol is an OSPF variant.
+func (p Protocol) IsOSPF() bool {
+	return p == OSPF || p == OSPFIA || p == OSPFE1 || p == OSPFE2
+}
+
+// Origin is the BGP origin attribute.
+type Origin uint8
+
+// BGP origin codes; lower is preferred.
+const (
+	OriginIGP Origin = iota
+	OriginEGP
+	OriginIncomplete
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "igp"
+	case OriginEGP:
+		return "egp"
+	}
+	return "incomplete"
+}
+
+// ASPath is an interned BGP AS path. Compare with ==; construct only
+// through a Pool.
+type ASPath struct {
+	asns string // 4 bytes per ASN, big-endian, so == works
+}
+
+// Len returns the number of ASNs in the path.
+func (p ASPath) Len() int { return len(p.asns) / 4 }
+
+// At returns the i-th ASN.
+func (p ASPath) At(i int) uint32 {
+	b := p.asns[i*4:]
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// Contains reports whether the path contains asn (the BGP loop check).
+func (p ASPath) Contains(asn uint32) bool {
+	for i := 0; i < p.Len(); i++ {
+		if p.At(i) == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the path as space-separated ASNs ("65001 65002"), the
+// form AS-path regexes match against.
+func (p ASPath) String() string {
+	var b strings.Builder
+	for i := 0; i < p.Len(); i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", p.At(i))
+	}
+	return b.String()
+}
+
+// CommunitySet is an interned, sorted set of BGP standard communities.
+// Compare with ==; construct only through a Pool.
+type CommunitySet struct {
+	comms string // 4 bytes per community, sorted ascending
+}
+
+// Len returns the number of communities.
+func (c CommunitySet) Len() int { return len(c.comms) / 4 }
+
+// At returns the i-th community (ascending order).
+func (c CommunitySet) At(i int) uint32 {
+	b := c.comms[i*4:]
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// Has reports whether community v is in the set.
+func (c CommunitySet) Has(v uint32) bool {
+	lo, hi := 0, c.Len()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.At(mid) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < c.Len() && c.At(lo) == v
+}
+
+// Values returns the communities as a fresh slice.
+func (c CommunitySet) Values() []uint32 {
+	out := make([]uint32, c.Len())
+	for i := range out {
+		out[i] = c.At(i)
+	}
+	return out
+}
+
+// CommunityString renders a community in new-format "asn:value".
+func CommunityString(v uint32) string {
+	return fmt.Sprintf("%d:%d", v>>16, v&0xffff)
+}
+
+// String renders the set as space-separated "asn:value" pairs.
+func (c CommunitySet) String() string {
+	parts := make([]string, c.Len())
+	for i := range parts {
+		parts[i] = CommunityString(c.At(i))
+	}
+	return strings.Join(parts, " ")
+}
+
+// BGPAttrs is the combined attribute object of paper §4.1.3: the 13 BGP
+// route properties that typically repeat across many routes, moved into a
+// single interned value so each route carries one pointer. "There are
+// typically 10x–20x fewer combinations of those properties than routes."
+type BGPAttrs struct {
+	AdminDistance uint8        // 1
+	LocalPref     uint32       // 2
+	MED           uint32       // 3
+	Weight        uint32       // 4
+	Origin        Origin       // 5
+	ASPath        ASPath       // 6 (itself interned)
+	Communities   CommunitySet // 7 (itself interned)
+	OriginatorID  ip4.Addr     // 8
+	FromAS        uint32       // 9  neighbor AS the route came from
+	ReceivedFrom  ip4.Addr     // 10 neighbor IP
+	SrcProtocol   Protocol     // 11 redistribution source
+	Tag           uint32       // 12
+	IGPMetric     uint32       // 13 IGP cost to the BGP next hop
+}
+
+// Route is a single RIB entry. Identity (for delta computation and
+// equality) covers every field except Clock, which records logical arrival
+// time and participates only in tie-breaking.
+type Route struct {
+	Prefix       ip4.Prefix
+	Protocol     Protocol
+	NextHop      ip4.Addr // 0 for connected/local
+	NextHopIface string   // set for connected and interface static routes
+	NextHopNode  string   // simulation-level: neighbor that sent the route
+	Metric       uint32
+	AD           uint8
+	Tag          uint32
+	Area         uint32    // OSPF area the route belongs to (OSPF protocols only)
+	Drop         bool      // null route (discard)
+	Attrs        *BGPAttrs // interned; nil unless Protocol.IsBGP()
+
+	// Clock is the logical arrival time (§4.1.2): monotonically increasing
+	// across RIB merges, used to prefer the oldest equally-good eBGP path
+	// like real routers do. Not part of route identity.
+	Clock uint64
+}
+
+// Key is the identity of a route, excluding Clock. Routes with equal Keys
+// are the same route for delta and convergence purposes.
+type Key struct {
+	Prefix       ip4.Prefix
+	Protocol     Protocol
+	NextHop      ip4.Addr
+	NextHopIface string
+	NextHopNode  string
+	Metric       uint32
+	AD           uint8
+	Tag          uint32
+	Area         uint32
+	Drop         bool
+	Attrs        *BGPAttrs
+}
+
+// Key returns the identity key of r.
+func (r Route) Key() Key {
+	return Key{
+		Prefix: r.Prefix, Protocol: r.Protocol, NextHop: r.NextHop,
+		NextHopIface: r.NextHopIface, NextHopNode: r.NextHopNode,
+		Metric: r.Metric, AD: r.AD, Tag: r.Tag, Area: r.Area, Drop: r.Drop,
+		Attrs: r.Attrs,
+	}
+}
+
+func (r Route) String() string {
+	s := fmt.Sprintf("%s via %s", r.Prefix, r.Protocol)
+	if r.Drop {
+		return s + " drop"
+	}
+	if r.NextHop != 0 {
+		s += fmt.Sprintf(" nh=%s", r.NextHop)
+	}
+	if r.NextHopIface != "" {
+		s += fmt.Sprintf(" if=%s", r.NextHopIface)
+	}
+	s += fmt.Sprintf(" metric=%d ad=%d", r.Metric, r.AD)
+	if r.Attrs != nil {
+		s += fmt.Sprintf(" lp=%d as=[%s]", r.Attrs.LocalPref, r.Attrs.ASPath)
+	}
+	return s
+}
+
+// Pool interns AS paths, community sets, and BGPAttrs objects, so that
+// equality is pointer/value equality and attribute memory is shared across
+// routes (paper §4.1.3). A Pool is not safe for concurrent use; the
+// simulator owns one per run and serializes interning through merges.
+type Pool struct {
+	mu       sync.Mutex
+	asPaths  map[string]ASPath
+	commSets map[string]CommunitySet
+	attrs    map[BGPAttrs]*BGPAttrs
+	attrHits uint64
+	attrMiss uint64
+	pathHits uint64
+	pathMiss uint64
+}
+
+// NewPool returns an empty intern pool.
+func NewPool() *Pool {
+	return &Pool{
+		asPaths:  make(map[string]ASPath),
+		commSets: make(map[string]CommunitySet),
+		attrs:    make(map[BGPAttrs]*BGPAttrs),
+	}
+}
+
+// ASPath interns the given ASN sequence.
+func (p *Pool) ASPath(asns ...uint32) ASPath {
+	b := make([]byte, len(asns)*4)
+	for i, a := range asns {
+		b[i*4] = byte(a >> 24)
+		b[i*4+1] = byte(a >> 16)
+		b[i*4+2] = byte(a >> 8)
+		b[i*4+3] = byte(a)
+	}
+	k := string(b)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.asPaths[k]; ok {
+		p.pathHits++
+		return v
+	}
+	p.pathMiss++
+	v := ASPath{asns: k}
+	p.asPaths[k] = v
+	return v
+}
+
+// Prepend interns path with asn prepended n times.
+func (p *Pool) Prepend(path ASPath, asn uint32, n int) ASPath {
+	asns := make([]uint32, 0, path.Len()+n)
+	for i := 0; i < n; i++ {
+		asns = append(asns, asn)
+	}
+	for i := 0; i < path.Len(); i++ {
+		asns = append(asns, path.At(i))
+	}
+	return p.ASPath(asns...)
+}
+
+// CommunitySet interns the given communities (deduplicated, sorted).
+func (p *Pool) CommunitySet(comms ...uint32) CommunitySet {
+	sorted := append([]uint32(nil), comms...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	dedup := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	b := make([]byte, len(dedup)*4)
+	for i, c := range dedup {
+		b[i*4] = byte(c >> 24)
+		b[i*4+1] = byte(c >> 16)
+		b[i*4+2] = byte(c >> 8)
+		b[i*4+3] = byte(c)
+	}
+	k := string(b)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.commSets[k]; ok {
+		return v
+	}
+	v := CommunitySet{comms: k}
+	p.commSets[k] = v
+	return v
+}
+
+// AddCommunity interns set ∪ {comm}.
+func (p *Pool) AddCommunity(set CommunitySet, comm uint32) CommunitySet {
+	return p.CommunitySet(append(set.Values(), comm)...)
+}
+
+// RemoveCommunities interns the set minus all communities matching pred.
+func (p *Pool) RemoveCommunities(set CommunitySet, pred func(uint32) bool) CommunitySet {
+	keep := set.Values()[:0]
+	for _, v := range set.Values() {
+		if !pred(v) {
+			keep = append(keep, v)
+		}
+	}
+	return p.CommunitySet(keep...)
+}
+
+// Attrs interns a BGPAttrs value, returning the canonical pointer.
+func (p *Pool) Attrs(a BGPAttrs) *BGPAttrs {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.attrs[a]; ok {
+		p.attrHits++
+		return v
+	}
+	p.attrMiss++
+	v := new(BGPAttrs)
+	*v = a
+	p.attrs[a] = v
+	return v
+}
+
+// Stats reports pool population and hit counts, used by the §4.1.3 memory
+// experiment to show the attribute-combination ratio.
+type Stats struct {
+	UniqueAttrs, UniqueASPaths, UniqueCommSets int
+	AttrHits, AttrMisses                       uint64
+}
+
+// Stats returns current interning statistics.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		UniqueAttrs:    len(p.attrs),
+		UniqueASPaths:  len(p.asPaths),
+		UniqueCommSets: len(p.commSets),
+		AttrHits:       p.attrHits,
+		AttrMisses:     p.attrMiss,
+	}
+}

@@ -1,0 +1,392 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver over CNF formulas: two-watched-literal propagation, first-UIP
+// clause learning, activity-based branching, and geometric restarts.
+//
+// It is the stand-in for the Z3 solver that the original Batfish used for
+// data plane verification via Network Optimized Datalog (paper §2 Stage 3);
+// package nod builds the CNF encodings it solves.
+package sat
+
+import "sort"
+
+// Lit is a literal: variable index v (1-based) encoded as 2v for positive,
+// 2v+1 for negated.
+type Lit int32
+
+// MkLit builds a literal from a 1-based variable and a sign.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's 1-based variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learned bool
+}
+
+// Solver is a CDCL SAT solver. Add variables with NewVar, clauses with
+// AddClause, then call Solve.
+type Solver struct {
+	nvars   int
+	clauses []*clause
+	watches [][]*clause // watches[lit]: clauses watching lit
+
+	assign []lbool // per var
+	level  []int32
+	reason []*clause
+	trail  []Lit
+	// trailLim records trail lengths at each decision level.
+	trailLim []int
+
+	activity []float64
+	varInc   float64
+
+	propagations uint64
+	conflicts    uint64
+	decisions    uint64
+
+	unsat bool
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1}
+	s.watches = make([][]*clause, 2)
+	s.assign = make([]lbool, 1)
+	s.level = make([]int32, 1)
+	s.reason = make([]*clause, 1)
+	s.activity = make([]float64, 1)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its 1-based index.
+func (s *Solver) NewVar() int {
+	s.nvars++
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	return s.nvars
+}
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return s.nvars }
+
+// Stats reports work counters.
+func (s *Solver) Stats() (propagations, conflicts, decisions uint64) {
+	return s.propagations, s.conflicts, s.decisions
+}
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// AddClause adds a clause; empty clauses make the instance trivially
+// unsatisfiable. Must be called before Solve (no incremental interface).
+func (s *Solver) AddClause(lits ...Lit) {
+	// Deduplicate and drop tautologies.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	for i, l := range ls {
+		if i > 0 && l == ls[i-1] {
+			continue
+		}
+		if i > 0 && l == ls[i-1].Not() {
+			return // tautology
+		}
+		out = append(out, l)
+	}
+	ls = out
+	switch len(ls) {
+	case 0:
+		s.unsat = true
+		return
+	case 1:
+		// Unit clause: assign at level 0 during Solve; store it.
+		s.clauses = append(s.clauses, &clause{lits: ls})
+		return
+	}
+	c := &clause{lits: ls}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate processes the trail; returns a conflicting clause or nil.
+func (s *Solver) propagate(qhead *int) *clause {
+	for *qhead < len(s.trail) {
+		l := s.trail[*qhead]
+		*qhead++
+		s.propagations++
+		ws := s.watches[l]
+		s.watches[l] = ws[:0:0] // detach; re-add the keepers
+		kept := s.watches[l]
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			// Ensure the false literal is at position 1.
+			if c.lits[0].Not() == l {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If first watch is true, clause satisfied.
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflict.
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: restore remaining watches and report.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[l] = kept
+				return c
+			}
+		}
+		s.watches[l] = kept
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nvars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze learns a 1UIP clause from the conflict; returns the clause and
+// the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learned := []Lit{0} // slot for the asserting literal
+	seen := make(map[int]bool)
+	counter := 0
+	curLevel := len(s.trailLim)
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	reasonLits := func(c *clause, skip Lit) []Lit {
+		out := make([]Lit, 0, len(c.lits))
+		for _, q := range c.lits {
+			if q != skip {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+
+	c := confl
+	for {
+		var lits []Lit
+		if p == -1 {
+			lits = c.lits
+		} else {
+			lits = reasonLits(c, p)
+		}
+		for _, q := range lits {
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) == curLevel {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Pick the next literal on the trail at the current level.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		seen[p.Var()] = false
+		idx--
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+	}
+	learned[0] = p.Not()
+	// Backtrack level: max level among other literals.
+	back := 0
+	for i := 1; i < len(learned); i++ {
+		if int(s.level[learned[i].Var()]) > back {
+			back = int(s.level[learned[i].Var()])
+		}
+	}
+	// Put a literal of the backtrack level at position 1 for watching.
+	for i := 1; i < len(learned); i++ {
+		if int(s.level[learned[i].Var()]) == back {
+			learned[1], learned[i] = learned[i], learned[1]
+			break
+		}
+	}
+	return learned, back
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if len(s.trailLim) <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+}
+
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nvars; v++ {
+		if s.assign[v] == lUndef && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// Solve decides satisfiability. On SAT, Model returns assignments.
+func (s *Solver) Solve() bool {
+	if s.unsat {
+		return false
+	}
+	qhead := 0
+	// Assert unit clauses at level 0.
+	for _, c := range s.clauses {
+		if len(c.lits) == 1 {
+			if !s.enqueue(c.lits[0], nil) {
+				return false
+			}
+		}
+	}
+	if s.propagate(&qhead) != nil {
+		return false
+	}
+	conflictsSinceRestart := 0
+	restartLimit := 100
+	for {
+		confl := s.propagate(&qhead)
+		if confl != nil {
+			s.conflicts++
+			conflictsSinceRestart++
+			if len(s.trailLim) == 0 {
+				return false
+			}
+			learned, back := s.analyze(confl)
+			s.cancelUntil(back)
+			qhead = len(s.trail)
+			if len(learned) == 1 {
+				if !s.enqueue(learned[0], nil) {
+					return false
+				}
+			} else {
+				c := &clause{lits: learned, learned: true}
+				s.clauses = append(s.clauses, c)
+				s.watch(c)
+				s.enqueue(learned[0], c)
+			}
+			s.varInc /= 0.95
+			continue
+		}
+		if conflictsSinceRestart > restartLimit {
+			conflictsSinceRestart = 0
+			restartLimit = restartLimit * 3 / 2
+			s.cancelUntil(0)
+			qhead = 0
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			return true // all assigned, no conflict
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		// Phase heuristic: try false first (packets tend to 0-bits).
+		s.enqueue(MkLit(v, true), nil)
+	}
+}
+
+// Model returns the satisfying assignment (valid after Solve returns true):
+// index by 1-based variable.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.nvars+1)
+	for v := 1; v <= s.nvars; v++ {
+		m[v] = s.assign[v] == lTrue
+	}
+	return m
+}

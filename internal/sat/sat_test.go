@@ -1,0 +1,194 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if !s.Solve() {
+		t.Fatal("single positive unit should be SAT")
+	}
+	if !s.Model()[a] {
+		t.Error("model should set a true")
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true))
+	if s.Solve() {
+		t.Fatal("a AND NOT a should be UNSAT")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	s.AddClause()
+	if s.Solve() {
+		t.Fatal("empty clause should be UNSAT")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(a, true))
+	if !s.Solve() {
+		t.Fatal("tautology-only instance should be SAT")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// x1 -> x2 -> ... -> x20, x1 forced true, check all true.
+	s := New()
+	vars := make([]int, 20)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddClause(MkLit(vars[0], false))
+	for i := 0; i+1 < len(vars); i++ {
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+	}
+	if !s.Solve() {
+		t.Fatal("chain should be SAT")
+	}
+	m := s.Model()
+	for i, v := range vars {
+		if !m[v] {
+			t.Fatalf("x%d should be true", i+1)
+		}
+	}
+}
+
+// TestPigeonhole: n+1 pigeons in n holes is UNSAT and exercises clause
+// learning heavily.
+func TestPigeonhole(t *testing.T) {
+	const holes = 5
+	const pigeons = holes + 1
+	s := New()
+	x := make([][]int, pigeons)
+	for p := range x {
+		x[p] = make([]int, holes)
+		for h := range x[p] {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = MkLit(x[p][h], false)
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(MkLit(x[p1][h], true), MkLit(x[p2][h], true))
+			}
+		}
+	}
+	if s.Solve() {
+		t.Fatal("pigeonhole should be UNSAT")
+	}
+	if _, conflicts, _ := s.Stats(); conflicts == 0 {
+		t.Error("pigeonhole should require conflicts")
+	}
+}
+
+// bruteForce decides satisfiability of a small CNF by enumeration.
+func bruteForce(nvars int, cls [][]Lit) bool {
+	for m := 0; m < 1<<nvars; m++ {
+		ok := true
+		for _, cl := range cls {
+			clOK := false
+			for _, l := range cl {
+				val := m&(1<<(l.Var()-1)) != 0
+				if val != l.Neg() {
+					clOK = true
+					break
+				}
+			}
+			if !clOK {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		nvars := 4 + rnd.Intn(6)
+		ncls := 3 + rnd.Intn(25)
+		var cls [][]Lit
+		s := New()
+		for i := 0; i < nvars; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < ncls; i++ {
+			k := 1 + rnd.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(1+rnd.Intn(nvars), rnd.Intn(2) == 0)
+			}
+			cls = append(cls, cl)
+			s.AddClause(cl...)
+		}
+		want := bruteForce(nvars, cls)
+		got := s.Solve()
+		if got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v cls=%v", trial, got, want, cls)
+		}
+		if got {
+			// Verify the model satisfies every clause.
+			m := s.Model()
+			for _, cl := range cls {
+				ok := false
+				for _, l := range cl {
+					if m[l.Var()] != l.Neg() {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: model does not satisfy %v", trial, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestParity(t *testing.T) {
+	// XOR chain: x1 xor x2 xor x3 = 1 encoded in CNF; satisfiable.
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	// odd number of trues
+	s.AddClause(MkLit(a, false), MkLit(b, false), MkLit(c, false))
+	s.AddClause(MkLit(a, false), MkLit(b, true), MkLit(c, true))
+	s.AddClause(MkLit(a, true), MkLit(b, false), MkLit(c, true))
+	s.AddClause(MkLit(a, true), MkLit(b, true), MkLit(c, false))
+	if !s.Solve() {
+		t.Fatal("parity should be SAT")
+	}
+	m := s.Model()
+	trues := 0
+	for _, v := range []int{a, b, c} {
+		if m[v] {
+			trues++
+		}
+	}
+	if trues%2 != 1 {
+		t.Errorf("parity violated: %d trues", trues)
+	}
+}

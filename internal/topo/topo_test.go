@@ -1,0 +1,159 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/ip4"
+)
+
+func netWith(t *testing.T, links [][4]string) *config.Network {
+	t.Helper()
+	net := config.NewNetwork()
+	dev := func(name string) *config.Device {
+		if d, ok := net.Devices[name]; ok {
+			return d
+		}
+		d := config.NewDevice(name, "vi")
+		net.Devices[name] = d
+		return d
+	}
+	for _, l := range links {
+		a, ai, b, bi := l[0], l[1], l[2], l[3]
+		_ = dev(a)
+		_ = dev(b)
+		// allocate a /30 per link
+		base := uint32(0x0a000000 + len(net.Devices)*256 + len(dev(a).Interfaces)*8 + len(dev(b).Interfaces)*64)
+		dev(a).Interfaces[ai] = &config.Interface{Name: ai, Active: true,
+			Addresses: []ip4.Prefix{{Addr: ip4.Addr(base + 1), Len: 30}}}
+		dev(b).Interfaces[bi] = &config.Interface{Name: bi, Active: true,
+			Addresses: []ip4.Prefix{{Addr: ip4.Addr(base + 2), Len: 30}}}
+	}
+	return net
+}
+
+func TestInferPointToPoint(t *testing.T) {
+	net := netWith(t, [][4]string{{"a", "e0", "b", "e0"}})
+	topo := Infer(net)
+	if len(topo.Edges) != 2 {
+		t.Fatalf("edges = %v", topo.Edges)
+	}
+	e, ok := topo.EdgeFrom("a", "e0")
+	if !ok || e.Node2 != "b" || e.Iface2 != "e0" {
+		t.Errorf("EdgeFrom wrong: %v %v", e, ok)
+	}
+	if _, ok := topo.EdgeFrom("a", "missing"); ok {
+		t.Error("missing iface should not resolve")
+	}
+}
+
+func TestInferMultiAccess(t *testing.T) {
+	net := config.NewNetwork()
+	for i, name := range []string{"a", "b", "c"} {
+		d := config.NewDevice(name, "vi")
+		d.Interfaces["e0"] = &config.Interface{Name: "e0", Active: true,
+			Addresses: []ip4.Prefix{{Addr: ip4.Addr(0x0a000001 + uint32(i)), Len: 24}}}
+		net.Devices[name] = d
+	}
+	topo := Infer(net)
+	// 3 devices pairwise both directions = 6 edges.
+	if len(topo.Edges) != 6 {
+		t.Fatalf("edges = %d, want 6", len(topo.Edges))
+	}
+	// EdgeFrom is ambiguous on multi-access links.
+	if _, ok := topo.EdgeFrom("a", "e0"); ok {
+		t.Error("multi-access EdgeFrom should be ambiguous")
+	}
+	if got := len(topo.EdgesFrom("a", "e0")); got != 2 {
+		t.Errorf("EdgesFrom = %d, want 2", got)
+	}
+}
+
+func TestInferIgnoresInactiveAndHost(t *testing.T) {
+	net := netWith(t, [][4]string{{"a", "e0", "b", "e0"}})
+	net.Devices["b"].Interfaces["e0"].Active = false
+	if topo := Infer(net); len(topo.Edges) != 0 {
+		t.Errorf("inactive iface formed edges: %v", topo.Edges)
+	}
+	// /32 addresses never form subnets.
+	net2 := config.NewNetwork()
+	for _, n := range []string{"x", "y"} {
+		d := config.NewDevice(n, "vi")
+		d.Interfaces["lo"] = &config.Interface{Name: "lo", Active: true,
+			Addresses: []ip4.Prefix{{Addr: ip4.MustParseAddr("1.1.1.1"), Len: 32}}}
+		net2.Devices[n] = d
+	}
+	if topo := Infer(net2); len(topo.Edges) != 0 {
+		t.Errorf("/32 formed edges: %v", topo.Edges)
+	}
+}
+
+func TestEdgeReverse(t *testing.T) {
+	e := Edge{Node1: "a", Iface1: "x", Node2: "b", Iface2: "y"}
+	r := e.Reverse()
+	if r.Node1 != "b" || r.Iface2 != "x" {
+		t.Errorf("Reverse = %v", r)
+	}
+	if r.Reverse() != e {
+		t.Error("double reverse should be identity")
+	}
+}
+
+func TestColorGraphProper(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rnd.Intn(30)
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		var edges [][2]string
+		for i := 0; i < n*2; i++ {
+			a, b := nodes[rnd.Intn(n)], nodes[rnd.Intn(n)]
+			edges = append(edges, [2]string{a, b})
+		}
+		c := ColorGraph(nodes, edges)
+		if !c.Valid(edges) {
+			t.Fatalf("improper coloring for %v", edges)
+		}
+		// Every node colored; classes partition the node set.
+		seen := 0
+		for _, class := range c.Order {
+			seen += len(class)
+		}
+		if seen != n {
+			t.Fatalf("classes cover %d of %d nodes", seen, n)
+		}
+	}
+}
+
+func TestColorGraphDeterministic(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	edges := [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "a"}}
+	c1 := ColorGraph(nodes, edges)
+	c2 := ColorGraph(nodes, edges)
+	for _, n := range nodes {
+		if c1.Color[n] != c2.Color[n] {
+			t.Fatal("coloring not deterministic")
+		}
+	}
+	// Even cycle is 2-colorable.
+	if c1.NumColors != 2 {
+		t.Errorf("cycle of 4 should use 2 colors, got %d", c1.NumColors)
+	}
+}
+
+func TestColorGraphCompleteGraph(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	var edges [][2]string
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			edges = append(edges, [2]string{nodes[i], nodes[j]})
+		}
+	}
+	c := ColorGraph(nodes, edges)
+	if c.NumColors != len(nodes) {
+		t.Errorf("complete graph needs n colors, got %d", c.NumColors)
+	}
+}

@@ -1,0 +1,455 @@
+// Package traceroute is the concrete-packet forwarding engine: it pushes a
+// single packet through the computed data plane and records every step.
+// It is one of Batfish's two independent forwarding engines — the symbolic
+// BDD engine (package reach) is the other — and the pair is differentially
+// tested against each other to find modeling bugs (paper §4.3.2).
+//
+// The engine models the generalized device pipeline of paper §7.2:
+// ingress ACL → destination NAT → forwarding lookup → source NAT →
+// egress ACL, plus firewall session state for return traffic.
+package traceroute
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/acl"
+	"repro/internal/config"
+	"repro/internal/dataplane"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+)
+
+// Disposition classifies where a flow ended up, mirroring the sink nodes of
+// the dataflow graph so the two engines are directly comparable.
+type Disposition string
+
+// Dispositions.
+const (
+	Accepted        Disposition = "accepted"          // delivered to a device that owns the dst IP
+	DeniedIn        Disposition = "denied-in"         // dropped by an ingress ACL
+	DeniedOut       Disposition = "denied-out"        // dropped by an egress ACL
+	DeniedZone      Disposition = "denied-zone"       // dropped by a zone policy
+	NoRoute         Disposition = "no-route"          // no FIB entry
+	NullRouted      Disposition = "null-routed"       // discarded by a null route
+	ExitsNetwork    Disposition = "exits-network"     // left the modeled network
+	DeliveredToHost Disposition = "delivered-to-host" // delivered into an edge subnet
+	Loop            Disposition = "loop"              // forwarding loop detected
+)
+
+// Success reports whether the disposition counts as "delivered" for
+// reachability purposes (matching the reach engine's success sinks).
+func (d Disposition) Success() bool {
+	return d == Accepted || d == ExitsNetwork || d == DeliveredToHost
+}
+
+// Hop is one step of the trace, annotated with the state that explains it
+// (paper §4.4.3: "we annotate example packets with as much context as
+// possible, such as the routing and ACL entries that they hit").
+type Hop struct {
+	Node    string
+	VRF     string
+	InIface string // empty for the first hop
+	// Steps lists pipeline events on this node, in order.
+	Steps []string
+	// OutIface is where the packet left ("" if it terminated here).
+	OutIface string
+	Packet   hdr.Packet // packet as it arrived at this node (pre-NAT)
+}
+
+// Trace is one simulated path (ECMP produces several).
+type Trace struct {
+	Disposition Disposition
+	Hops        []Hop
+	FinalNode   string
+	FinalPacket hdr.Packet
+}
+
+func (t Trace) String() string {
+	var b strings.Builder
+	for i, h := range t.Hops {
+		fmt.Fprintf(&b, "%d. %s", i+1, h.Node)
+		if h.InIface != "" {
+			fmt.Fprintf(&b, " in=%s", h.InIface)
+		}
+		if h.OutIface != "" {
+			fmt.Fprintf(&b, " out=%s", h.OutIface)
+		}
+		for _, s := range h.Steps {
+			fmt.Fprintf(&b, "\n     %s", s)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "=> %s", t.Disposition)
+	return b.String()
+}
+
+// Session is firewall state installed by a forward flow, matched by return
+// traffic (paper §4.2.3 "stateful devices").
+type Session struct {
+	Node    string
+	Proto   uint8
+	SrcIP   ip4.Addr // forward-direction source, post-NAT (as sent onward)
+	DstIP   ip4.Addr
+	SrcPort uint16
+	DstPort uint16
+	// Pre-NAT source, for reverse translation of return traffic.
+	OrigSrcIP   ip4.Addr
+	OrigSrcPort uint16
+}
+
+// Engine runs traceroutes over a computed data plane.
+type Engine struct {
+	dp *dataplane.Result
+	// sessions installed by forward flows, per node.
+	sessions map[string][]Session
+}
+
+// New creates a traceroute engine.
+func New(dp *dataplane.Result) *Engine {
+	return &Engine{dp: dp, sessions: make(map[string][]Session)}
+}
+
+// MaxHops bounds path length before declaring a loop.
+const MaxHops = 64
+
+// Run traces the packet from (node, vrf, inIface); inIface may be "" for a
+// packet originated by the node itself. All ECMP branches are explored.
+func (e *Engine) Run(node, vrf, inIface string, p hdr.Packet) []Trace {
+	var traces []Trace
+	seen := make(map[visitKey]bool)
+	e.step(node, vrf, inIface, p, Trace{}, seen, &traces, true)
+	return traces
+}
+
+type visitKey struct {
+	node string
+	p    hdr.Packet
+}
+
+func (e *Engine) step(node, vrf, inIface string, p hdr.Packet, acc Trace, seen map[visitKey]bool, out *[]Trace, first bool) {
+	vk := visitKey{node: node, p: p}
+	if seen[vk] {
+		acc.Disposition = Loop
+		acc.FinalNode = node
+		acc.FinalPacket = p
+		*out = append(*out, acc)
+		return
+	}
+	seen[vk] = true
+	defer delete(seen, vk) // backtracking share across ECMP branches
+
+	d := e.dp.Network.Devices[node]
+	ns := e.dp.Nodes[node]
+	hop := Hop{Node: node, VRF: vrf, InIface: inIface, Packet: p}
+
+	finish := func(disp Disposition) {
+		acc.Hops = append(acc.Hops, hop)
+		acc.Disposition = disp
+		acc.FinalNode = node
+		acc.FinalPacket = p
+		*out = append(*out, acc)
+	}
+
+	// Session fast path: established return traffic bypasses filters
+	// (paper §4.2.3).
+	sessionMatched := false
+	for _, s := range e.sessions[node] {
+		if s.Proto == p.Protocol && s.SrcIP == p.DstIP && s.DstIP == p.SrcIP &&
+			s.SrcPort == p.DstPort && s.DstPort == p.SrcPort {
+			hop.Steps = append(hop.Steps, "matched session (fast path)")
+			// Reverse-translate NATed return traffic.
+			if s.OrigSrcIP != s.SrcIP || s.OrigSrcPort != s.SrcPort {
+				hop.Steps = append(hop.Steps, fmt.Sprintf("session un-NAT %s -> %s", p.DstIP, s.OrigSrcIP))
+				p.DstIP = s.OrigSrcIP
+				p.DstPort = s.OrigSrcPort
+			}
+			sessionMatched = true
+			break
+		}
+	}
+
+	// Ingress processing (not for locally originated packets).
+	if inIface != "" && !sessionMatched {
+		ii := d.Interfaces[inIface]
+		if ii != nil && ii.InACL != "" {
+			if a, ok := d.ACLs[ii.InACL]; ok {
+				disp := a.Eval(p)
+				hop.Steps = append(hop.Steps, fmt.Sprintf("ingress acl %s: %s (%s)", ii.InACL, disp.Action, disp.LineName))
+				if disp.Action == acl.Deny {
+					finish(DeniedIn)
+					return
+				}
+			}
+		}
+		// Destination NAT on ingress.
+		for _, nr := range d.NATRules {
+			if nr.Kind != config.DestNAT {
+				continue
+			}
+			if nr.Iface != "" && nr.Iface != inIface {
+				continue
+			}
+			if !natMatches(d, nr, p) {
+				continue
+			}
+			old := p.DstIP
+			p.DstIP = nr.PoolLo
+			if nr.PortLo != 0 {
+				p.DstPort = nr.PortLo
+			}
+			hop.Steps = append(hop.Steps, fmt.Sprintf("dest NAT %s -> %s", old, p.DstIP))
+			break
+		}
+	}
+
+	// Accepted if the device owns the destination IP.
+	if ownsIP(d, p.DstIP) {
+		hop.Steps = append(hop.Steps, "destination IP owned by device")
+		finish(Accepted)
+		return
+	}
+
+	// Forwarding lookup.
+	vs := ns.VRFs[vrf]
+	if vs == nil || vs.FIB == nil {
+		finish(NoRoute)
+		return
+	}
+	entry := vs.FIB.Lookup(p.DstIP)
+	if entry == nil {
+		hop.Steps = append(hop.Steps, "no FIB entry")
+		finish(NoRoute)
+		return
+	}
+	hop.Steps = append(hop.Steps, fmt.Sprintf("fib match %s -> %d next hop(s)", entry.Prefix, len(entry.NextHops)))
+
+	// Zone policy: traffic crossing from inIface's zone to the egress
+	// zone must be permitted by the zone policy (checked per next hop).
+	for _, nh := range entry.NextHops {
+		// Deep-copy the hop and accumulated trace for this ECMP branch so
+		// branches never share append targets.
+		branch := hop
+		branch.Steps = append([]string(nil), hop.Steps...)
+		bp := p
+		branchAcc := acc
+		branchAcc.Hops = append([]Hop(nil), acc.Hops...)
+		if nh.Drop {
+			branch.Steps = append(branch.Steps, "null route")
+			branchAcc.Hops = append(branchAcc.Hops, branch)
+			branchAcc.Disposition = NullRouted
+			branchAcc.FinalNode = node
+			branchAcc.FinalPacket = bp
+			*out = append(*out, branchAcc)
+			continue
+		}
+		oi := d.Interfaces[nh.Iface]
+		if oi == nil {
+			branch.Steps = append(branch.Steps, "missing out interface "+nh.Iface)
+			branchAcc.Hops = append(branchAcc.Hops, branch)
+			branchAcc.Disposition = NoRoute
+			branchAcc.FinalNode = node
+			branchAcc.FinalPacket = bp
+			*out = append(*out, branchAcc)
+			continue
+		}
+		// Zone check.
+		if !sessionMatched && inIface != "" {
+			fromZone := d.ZoneOf(inIface)
+			toZone := d.ZoneOf(nh.Iface)
+			if denied, why := zoneDenies(d, fromZone, toZone, bp); denied {
+				branch.Steps = append(branch.Steps, why)
+				branchAcc.Hops = append(branchAcc.Hops, branch)
+				branchAcc.Disposition = DeniedZone
+				branchAcc.FinalNode = node
+				branchAcc.FinalPacket = bp
+				*out = append(*out, branchAcc)
+				continue
+			} else if why != "" {
+				branch.Steps = append(branch.Steps, why)
+			}
+		}
+		// Source NAT on egress.
+		if !sessionMatched {
+			for _, nr := range d.NATRules {
+				if nr.Kind != config.SourceNAT {
+					continue
+				}
+				if nr.Iface != "" && nr.Iface != nh.Iface {
+					continue
+				}
+				if !natMatches(d, nr, bp) {
+					continue
+				}
+				old := bp.SrcIP
+				bp.SrcIP = nr.PoolLo
+				if nr.PortLo != 0 {
+					bp.SrcPort = nr.PortLo
+				}
+				branch.Steps = append(branch.Steps, fmt.Sprintf("source NAT %s -> %s", old, bp.SrcIP))
+				break
+			}
+		}
+		// Egress ACL (post-NAT headers, the vendor-general pipeline).
+		if !sessionMatched && oi.OutACL != "" {
+			if a, ok := d.ACLs[oi.OutACL]; ok {
+				disp := a.Eval(bp)
+				branch.Steps = append(branch.Steps, fmt.Sprintf("egress acl %s: %s (%s)", oi.OutACL, disp.Action, disp.LineName))
+				if disp.Action == acl.Deny {
+					branchAcc.Hops = append(branchAcc.Hops, branch)
+					branchAcc.Disposition = DeniedOut
+					branchAcc.FinalNode = node
+					branchAcc.FinalPacket = bp
+					*out = append(*out, branchAcc)
+					continue
+				}
+			}
+		}
+		// Install a firewall session on stateful devices.
+		if d.Stateful && !sessionMatched {
+			e.sessions[node] = append(e.sessions[node], Session{
+				Node: node, Proto: bp.Protocol,
+				SrcIP: bp.SrcIP, DstIP: bp.DstIP,
+				SrcPort: bp.SrcPort, DstPort: bp.DstPort,
+				OrigSrcIP: p.SrcIP, OrigSrcPort: p.SrcPort,
+			})
+			branch.Steps = append(branch.Steps, "session installed")
+		}
+		branch.OutIface = nh.Iface
+		// Determine the neighbor: explicit resolution, else by who owns
+		// the destination on this subnet.
+		next, nextIface := e.neighborOn(node, nh.Iface, nh.IP, bp.DstIP)
+		if next == "" {
+			branch.Steps = append(branch.Steps, "no neighbor on "+nh.Iface)
+			branchAcc.Hops = append(branchAcc.Hops, branch)
+			branchAcc.FinalNode = node
+			branchAcc.FinalPacket = bp
+			if e.ifaceSubnetContains(d, nh.Iface, bp.DstIP) {
+				branchAcc.Disposition = DeliveredToHost
+			} else {
+				branchAcc.Disposition = ExitsNetwork
+			}
+			*out = append(*out, branchAcc)
+			continue
+		}
+		branchAcc.Hops = append(branchAcc.Hops, branch)
+		nextVRF := config.DefaultVRF
+		if nd := e.dp.Network.Devices[next]; nd != nil {
+			if nif := nd.Interfaces[nextIface]; nif != nil {
+				nextVRF = nif.VRFOrDefault()
+			}
+		}
+		e.step(next, nextVRF, nextIface, bp, branchAcc, seen, out, false)
+	}
+	_ = first
+}
+
+// neighborOn resolves the next device: prefer the ARP next-hop IP's owner
+// on the link, else (connected route) the owner of the destination itself.
+func (e *Engine) neighborOn(node, iface string, nhIP, dstIP ip4.Addr) (string, string) {
+	target := nhIP
+	if target == 0 {
+		target = dstIP
+	}
+	for _, ed := range e.dp.Topology.EdgesFrom(node, iface) {
+		rd := e.dp.Network.Devices[ed.Node2]
+		ri := rd.Interfaces[ed.Iface2]
+		if ri == nil {
+			continue
+		}
+		for _, p := range ri.Addresses {
+			if p.Addr == target {
+				return ed.Node2, ed.Iface2
+			}
+		}
+	}
+	return "", ""
+}
+
+func (e *Engine) ifaceSubnetContains(d *config.Device, iface string, a ip4.Addr) bool {
+	i := d.Interfaces[iface]
+	if i == nil {
+		return false
+	}
+	for _, p := range i.Addresses {
+		if p.Len < 32 && p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func ownsIP(d *config.Device, a ip4.Addr) bool {
+	for _, i := range d.Interfaces {
+		if !i.Active {
+			continue
+		}
+		for _, p := range i.Addresses {
+			if p.Addr == a {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func natMatches(d *config.Device, nr config.NATRule, p hdr.Packet) bool {
+	if nr.MatchACL == "" {
+		return true
+	}
+	a, ok := d.ACLs[nr.MatchACL]
+	if !ok {
+		return false
+	}
+	return a.Eval(p).Action == acl.Permit
+}
+
+func zoneDenies(d *config.Device, from, to string, p hdr.Packet) (bool, string) {
+	if len(d.Zones) == 0 || from == "" && to == "" {
+		return false, ""
+	}
+	if from == to {
+		return false, "intra-zone traffic permitted"
+	}
+	for _, zp := range d.ZonePolicies {
+		if zp.FromZone != from || zp.ToZone != to {
+			continue
+		}
+		if zp.ACL == "" {
+			return false, fmt.Sprintf("zone policy %s->%s permits", from, to)
+		}
+		if a, ok := d.ACLs[zp.ACL]; ok {
+			if a.Eval(p).Action == acl.Permit {
+				return false, fmt.Sprintf("zone policy %s->%s acl %s permits", from, to, zp.ACL)
+			}
+			return true, fmt.Sprintf("zone policy %s->%s acl %s denies", from, to, zp.ACL)
+		}
+		return false, fmt.Sprintf("zone policy %s->%s references undefined acl", from, to)
+	}
+	return true, fmt.Sprintf("no zone policy %s->%s (default deny)", from, to)
+}
+
+// ClearSessions removes all installed firewall sessions.
+func (e *Engine) ClearSessions() { e.sessions = make(map[string][]Session) }
+
+// Bidirectional traces the forward flow and, for each delivered forward
+// trace, the reverse flow with firewall sessions installed — the
+// bidirectional reachability analysis of paper §4.2.3 at the concrete
+// level.
+func (e *Engine) Bidirectional(node, vrf, inIface string, p hdr.Packet) (fwd, rev []Trace) {
+	e.ClearSessions()
+	fwd = e.Run(node, vrf, inIface, p)
+	for _, t := range fwd {
+		if !t.Disposition.Success() {
+			continue
+		}
+		back := t.FinalPacket
+		back.SrcIP, back.DstIP = back.DstIP, back.SrcIP
+		back.SrcPort, back.DstPort = back.DstPort, back.SrcPort
+		if back.Protocol == hdr.ProtoTCP {
+			back.TCPFlags = hdr.FlagSYN | hdr.FlagACK
+		}
+		rev = append(rev, e.Run(t.FinalNode, vrf, "", back)...)
+	}
+	return fwd, rev
+}

@@ -1,0 +1,334 @@
+package traceroute
+
+import (
+	"testing"
+
+	"repro/internal/acl"
+	"repro/internal/config"
+	"repro/internal/dataplane"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+)
+
+// lineNet builds r1 -- r2 -- r3 with a LAN on r1 and r3, OSPF everywhere.
+func lineNet() *config.Network {
+	net := config.NewNetwork()
+	mk := func(name string) *config.Device {
+		d := config.NewDevice(name, "vi")
+		net.Devices[name] = d
+		d.VRFs[config.DefaultVRF].OSPF = &config.OSPFConfig{ProcessID: 1}
+		return d
+	}
+	r1, r2, r3 := mk("r1"), mk("r2"), mk("r3")
+	add := func(d *config.Device, name, addr string, passive bool) {
+		i := &config.Interface{Name: name, Active: true,
+			Addresses: []ip4.Prefix{ip4.MustParsePrefix(addr)},
+			OSPF:      &config.OSPFInterface{Area: 0, Cost: 10, Passive: passive}}
+		d.Interfaces[name] = i
+	}
+	add(r1, "eth0", "10.0.12.1/30", false)
+	add(r2, "eth0", "10.0.12.2/30", false)
+	add(r2, "eth1", "10.0.23.2/30", false)
+	add(r3, "eth0", "10.0.23.3/30", false)
+	add(r1, "lan0", "192.168.1.1/24", true)
+	add(r3, "lan0", "192.168.3.1/24", true)
+	return net
+}
+
+func pkt(src, dst string) hdr.Packet {
+	return hdr.Packet{
+		SrcIP: ip4.MustParseAddr(src), DstIP: ip4.MustParseAddr(dst),
+		Protocol: hdr.ProtoTCP, SrcPort: 40000, DstPort: 80,
+	}
+}
+
+func runDP(net *config.Network, t *testing.T) *dataplane.Result {
+	t.Helper()
+	r := dataplane.Run(net, dataplane.Options{})
+	if !r.Converged {
+		t.Fatalf("dataplane did not converge: %v", r.Warnings)
+	}
+	return r
+}
+
+func TestAcceptedAtRouter(t *testing.T) {
+	dp := runDP(lineNet(), t)
+	e := New(dp)
+	// Packet to r3's interface IP.
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "10.0.23.3"))
+	if len(ts) != 1 {
+		t.Fatalf("expected 1 trace, got %d", len(ts))
+	}
+	if ts[0].Disposition != Accepted || ts[0].FinalNode != "r3" {
+		t.Errorf("wrong outcome: %v at %s", ts[0].Disposition, ts[0].FinalNode)
+	}
+	if len(ts[0].Hops) != 3 {
+		t.Errorf("expected 3 hops, got %d:\n%s", len(ts[0].Hops), ts[0])
+	}
+}
+
+func TestDeliveredToHostSubnet(t *testing.T) {
+	dp := runDP(lineNet(), t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "192.168.3.77"))
+	if len(ts) != 1 || ts[0].Disposition != DeliveredToHost {
+		t.Fatalf("expected delivered-to-host: %+v", ts)
+	}
+	if ts[0].FinalNode != "r3" {
+		t.Errorf("should end at r3, got %s", ts[0].FinalNode)
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	dp := runDP(lineNet(), t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "8.8.8.8"))
+	if len(ts) != 1 || ts[0].Disposition != NoRoute {
+		t.Fatalf("expected no-route: %+v", ts)
+	}
+}
+
+func TestDeniedByIngressACL(t *testing.T) {
+	net := lineNet()
+	r2 := net.Devices["r2"]
+	deny := acl.NewLine(acl.Deny, "deny http")
+	deny.Protocol = hdr.ProtoTCP
+	deny.DstPorts = []acl.PortRange{{Lo: 80, Hi: 80}}
+	permit := acl.NewLine(acl.Permit, "permit rest")
+	r2.ACLs["NO_HTTP"] = &acl.ACL{Name: "NO_HTTP", Lines: []acl.Line{deny, permit}}
+	r2.Interfaces["eth0"].InACL = "NO_HTTP"
+	dp := runDP(net, t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "192.168.3.77"))
+	if len(ts) != 1 || ts[0].Disposition != DeniedIn || ts[0].FinalNode != "r2" {
+		t.Fatalf("expected denied-in at r2: %+v", ts)
+	}
+	// Non-HTTP traffic passes.
+	ssh := pkt("192.168.1.10", "192.168.3.77")
+	ssh.DstPort = 22
+	ts = e.Run("r1", config.DefaultVRF, "lan0", ssh)
+	if ts[0].Disposition != DeliveredToHost {
+		t.Errorf("ssh should pass: %v", ts[0].Disposition)
+	}
+}
+
+func TestDeniedByEgressACL(t *testing.T) {
+	net := lineNet()
+	r3 := net.Devices["r3"]
+	deny := acl.NewLine(acl.Deny, "deny to lan")
+	deny.DstIPs = []ip4.Prefix{ip4.MustParsePrefix("192.168.3.0/24")}
+	r3.ACLs["PROTECT"] = &acl.ACL{Name: "PROTECT", Lines: []acl.Line{deny}}
+	r3.Interfaces["lan0"].OutACL = "PROTECT"
+	dp := runDP(net, t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "192.168.3.77"))
+	if len(ts) != 1 || ts[0].Disposition != DeniedOut || ts[0].FinalNode != "r3" {
+		t.Fatalf("expected denied-out at r3: %+v", ts)
+	}
+}
+
+func TestNullRoute(t *testing.T) {
+	net := lineNet()
+	net.Devices["r2"].VRFs[config.DefaultVRF].StaticRoutes = []config.StaticRoute{
+		{Prefix: ip4.MustParsePrefix("192.168.3.0/24"), Drop: true},
+	}
+	dp := runDP(net, t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "192.168.3.77"))
+	// Static null (AD 1) beats the OSPF route at r2.
+	if len(ts) != 1 || ts[0].Disposition != NullRouted || ts[0].FinalNode != "r2" {
+		t.Fatalf("expected null-routed at r2: %+v", ts)
+	}
+}
+
+func TestECMPBranches(t *testing.T) {
+	// Diamond: r1 -> {a, b} -> r4, equal costs.
+	net := config.NewNetwork()
+	mk := func(name string) *config.Device {
+		d := config.NewDevice(name, "vi")
+		net.Devices[name] = d
+		d.VRFs[config.DefaultVRF].OSPF = &config.OSPFConfig{ProcessID: 1}
+		return d
+	}
+	r1, a, b, r4 := mk("r1"), mk("ra"), mk("rb"), mk("r4")
+	add := func(d *config.Device, name, addr string, passive bool) {
+		d.Interfaces[name] = &config.Interface{Name: name, Active: true,
+			Addresses: []ip4.Prefix{ip4.MustParsePrefix(addr)},
+			OSPF:      &config.OSPFInterface{Area: 0, Cost: 10, Passive: passive}}
+	}
+	add(r1, "up0", "10.0.1.1/30", false)
+	add(a, "down0", "10.0.1.2/30", false)
+	add(r1, "up1", "10.0.2.1/30", false)
+	add(b, "down0", "10.0.2.2/30", false)
+	add(a, "up0", "10.0.3.1/30", false)
+	add(r4, "down0", "10.0.3.2/30", false)
+	add(b, "up0", "10.0.4.1/30", false)
+	add(r4, "down1", "10.0.4.2/30", false)
+	add(r1, "lan0", "192.168.1.1/24", true)
+	add(r4, "lan0", "192.168.4.1/24", true)
+	dp := runDP(net, t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "192.168.4.10"))
+	if len(ts) != 2 {
+		t.Fatalf("expected 2 ECMP traces, got %d", len(ts))
+	}
+	mids := map[string]bool{}
+	for _, tr := range ts {
+		if tr.Disposition != DeliveredToHost {
+			t.Errorf("branch not delivered: %v", tr.Disposition)
+		}
+		if len(tr.Hops) != 3 {
+			t.Errorf("branch hops = %d, want 3", len(tr.Hops))
+		}
+		mids[tr.Hops[1].Node] = true
+	}
+	if !mids["ra"] || !mids["rb"] {
+		t.Errorf("branches should cross ra and rb: %v", mids)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	// Two routers pointing default routes at each other.
+	net := config.NewNetwork()
+	mk := func(name string) *config.Device {
+		d := config.NewDevice(name, "vi")
+		net.Devices[name] = d
+		return d
+	}
+	r1, r2 := mk("r1"), mk("r2")
+	r1.Interfaces["eth0"] = &config.Interface{Name: "eth0", Active: true,
+		Addresses: []ip4.Prefix{ip4.MustParsePrefix("10.0.0.1/30")}}
+	r2.Interfaces["eth0"] = &config.Interface{Name: "eth0", Active: true,
+		Addresses: []ip4.Prefix{ip4.MustParsePrefix("10.0.0.2/30")}}
+	r1.VRFs[config.DefaultVRF].StaticRoutes = []config.StaticRoute{
+		{Prefix: ip4.MustParsePrefix("0.0.0.0/0"), NextHop: ip4.MustParseAddr("10.0.0.2")}}
+	r2.VRFs[config.DefaultVRF].StaticRoutes = []config.StaticRoute{
+		{Prefix: ip4.MustParsePrefix("0.0.0.0/0"), NextHop: ip4.MustParseAddr("10.0.0.1")}}
+	dp := runDP(net, t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "", pkt("10.0.0.1", "8.8.8.8"))
+	if len(ts) != 1 || ts[0].Disposition != Loop {
+		t.Fatalf("expected loop: %+v", ts)
+	}
+}
+
+func TestSourceNAT(t *testing.T) {
+	net := lineNet()
+	r2 := net.Devices["r2"]
+	match := acl.NewLine(acl.Permit, "lan sources")
+	match.SrcIPs = []ip4.Prefix{ip4.MustParsePrefix("192.168.1.0/24")}
+	r2.ACLs["NAT_MATCH"] = &acl.ACL{Name: "NAT_MATCH", Lines: []acl.Line{match}}
+	r2.NATRules = []config.NATRule{{
+		Kind: config.SourceNAT, Iface: "eth1", MatchACL: "NAT_MATCH",
+		PoolLo: ip4.MustParseAddr("100.64.0.1"), PoolHi: ip4.MustParseAddr("100.64.0.1"),
+	}}
+	dp := runDP(net, t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "192.168.3.77"))
+	if len(ts) != 1 || !ts[0].Disposition.Success() {
+		t.Fatalf("flow should be delivered: %+v", ts)
+	}
+	if ts[0].FinalPacket.SrcIP != ip4.MustParseAddr("100.64.0.1") {
+		t.Errorf("source not NATed: %v", ts[0].FinalPacket.SrcIP)
+	}
+}
+
+func TestZonePolicyDefaultDeny(t *testing.T) {
+	net := lineNet()
+	r2 := net.Devices["r2"]
+	r2.Zones["inside"] = &config.Zone{Name: "inside", Interfaces: []string{"eth0"}}
+	r2.Zones["outside"] = &config.Zone{Name: "outside", Interfaces: []string{"eth1"}}
+	// No policy inside->outside: default deny.
+	dp := runDP(net, t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "192.168.3.77"))
+	if len(ts) != 1 || ts[0].Disposition != DeniedZone {
+		t.Fatalf("expected denied-zone: %+v", ts)
+	}
+	// Add a policy with an ACL allowing TCP/80.
+	allow := acl.NewLine(acl.Permit, "allow http")
+	allow.Protocol = hdr.ProtoTCP
+	allow.DstPorts = []acl.PortRange{{Lo: 80, Hi: 80}}
+	r2.ACLs["Z_HTTP"] = &acl.ACL{Name: "Z_HTTP", Lines: []acl.Line{allow}}
+	r2.ZonePolicies = []config.ZonePolicy{{FromZone: "inside", ToZone: "outside", ACL: "Z_HTTP"}}
+	ts = e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "192.168.3.77"))
+	if ts[0].Disposition != DeliveredToHost {
+		t.Errorf("http should pass zone policy: %v", ts[0].Disposition)
+	}
+	ssh := pkt("192.168.1.10", "192.168.3.77")
+	ssh.DstPort = 22
+	ts = e.Run("r1", config.DefaultVRF, "lan0", ssh)
+	if ts[0].Disposition != DeniedZone {
+		t.Errorf("ssh should be zone-denied: %v", ts[0].Disposition)
+	}
+}
+
+func TestBidirectionalWithStatefulFirewall(t *testing.T) {
+	net := lineNet()
+	r2 := net.Devices["r2"]
+	r2.Stateful = true
+	// Egress ACL on the return path: only established (ACK) traffic may
+	// flow r3->r1 direction... modeled as ingress ACL on eth1 denying
+	// fresh SYNs from the r3 side.
+	denySyn := acl.NewLine(acl.Deny, "no inbound syn")
+	denySyn.Protocol = hdr.ProtoTCP
+	denySyn.TCPFlags = &acl.TCPFlagsMatch{Mask: hdr.FlagSYN | hdr.FlagACK, Value: hdr.FlagSYN}
+	permit := acl.NewLine(acl.Permit, "rest")
+	r2.ACLs["NO_SYN"] = &acl.ACL{Name: "NO_SYN", Lines: []acl.Line{denySyn, permit}}
+	r2.Interfaces["eth1"].InACL = "NO_SYN"
+	dp := runDP(net, t)
+	e := New(dp)
+	// Forward flow from r1 LAN establishes a session on r2.
+	syn := pkt("192.168.1.10", "192.168.3.77")
+	syn.TCPFlags = hdr.FlagSYN
+	fwd, rev := e.Bidirectional("r1", config.DefaultVRF, "lan0", syn)
+	if len(fwd) != 1 || !fwd[0].Disposition.Success() {
+		t.Fatalf("forward failed: %+v", fwd)
+	}
+	if len(rev) != 1 || !rev[0].Disposition.Success() {
+		t.Fatalf("return should use session fast path: %+v", rev)
+	}
+	// A fresh SYN from the r3 side must be blocked.
+	e.ClearSessions()
+	freshSyn := pkt("192.168.3.77", "192.168.1.10")
+	freshSyn.TCPFlags = hdr.FlagSYN
+	ts := e.Run("r3", config.DefaultVRF, "lan0", freshSyn)
+	if len(ts) != 1 || ts[0].Disposition != DeniedIn {
+		t.Errorf("fresh SYN should be denied: %+v", ts)
+	}
+}
+
+func TestDestNAT(t *testing.T) {
+	net := lineNet()
+	r3 := net.Devices["r3"]
+	match := acl.NewLine(acl.Permit, "vip")
+	match.DstIPs = []ip4.Prefix{ip4.MustParsePrefix("10.0.23.3/32")}
+	match.Protocol = hdr.ProtoTCP
+	match.DstPorts = []acl.PortRange{{Lo: 80, Hi: 80}}
+	r3.ACLs["VIP"] = &acl.ACL{Name: "VIP", Lines: []acl.Line{match}}
+	r3.NATRules = []config.NATRule{{
+		Kind: config.DestNAT, MatchACL: "VIP",
+		PoolLo: ip4.MustParseAddr("192.168.3.80"), PoolHi: ip4.MustParseAddr("192.168.3.80"),
+	}}
+	dp := runDP(net, t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "10.0.23.3"))
+	if len(ts) != 1 {
+		t.Fatalf("expected 1 trace: %+v", ts)
+	}
+	if ts[0].Disposition != DeliveredToHost {
+		t.Fatalf("DNAT flow should reach the server subnet: %v\n%s", ts[0].Disposition, ts[0])
+	}
+	if ts[0].FinalPacket.DstIP != ip4.MustParseAddr("192.168.3.80") {
+		t.Errorf("dst not translated: %v", ts[0].FinalPacket.DstIP)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	dp := runDP(lineNet(), t)
+	e := New(dp)
+	ts := e.Run("r1", config.DefaultVRF, "lan0", pkt("192.168.1.10", "10.0.23.3"))
+	if len(ts) == 0 || ts[0].String() == "" {
+		t.Error("trace rendering empty")
+	}
+}

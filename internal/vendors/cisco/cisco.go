@@ -1,0 +1,1035 @@
+// Package cisco parses an IOS-style configuration dialect into the
+// vendor-independent model (pipeline Stage 1, paper §2). The parser is
+// hand-written and line-oriented, mirroring the structure of Cisco IOS
+// configurations: top-level statements plus indented blocks for
+// interfaces, routing processes, ACLs, and route maps.
+//
+// Unrecognized lines become warnings rather than errors — real
+// configurations have a long tail of constructs (Lesson 3), and a
+// verification tool must degrade loudly but gracefully.
+package cisco
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/acl"
+	"repro/internal/config"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+)
+
+// Parse parses one device's configuration text.
+func Parse(text string) (*config.Device, []config.Warning) {
+	p := &parser{d: config.NewDevice("", "ios")}
+	lines := strings.Split(text, "\n")
+	p.d.RawLines = len(lines)
+	for i := 0; i < len(lines); {
+		i = p.parseTop(lines, i)
+	}
+	if p.d.Hostname == "" {
+		p.warn(0, "missing hostname")
+	}
+	return p.d, p.warnings
+}
+
+type parser struct {
+	d        *config.Device
+	warnings []config.Warning
+}
+
+func (p *parser) warn(line int, format string, args ...any) {
+	p.warnings = append(p.warnings, config.Warning{
+		Device: p.d.Hostname, Line: line + 1, Text: fmt.Sprintf(format, args...),
+	})
+}
+
+// blockEnd returns the first index >= start whose line is not part of the
+// indented block (blocks are indented with at least one space).
+func blockEnd(lines []string, start int) int {
+	i := start
+	for i < len(lines) {
+		l := lines[i]
+		if strings.TrimSpace(l) == "" || strings.HasPrefix(l, " ") {
+			i++
+			continue
+		}
+		break
+	}
+	return i
+}
+
+// parseTop handles one top-level statement starting at index i and returns
+// the index of the next top-level line.
+func (p *parser) parseTop(lines []string, i int) int {
+	line := strings.TrimRight(lines[i], "\r ")
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" || trimmed == "!" || strings.HasPrefix(trimmed, "!") {
+		return i + 1
+	}
+	w := strings.Fields(trimmed)
+	switch {
+	case w[0] == "hostname" && len(w) >= 2:
+		p.d.Hostname = w[1]
+		return i + 1
+	case w[0] == "interface" && len(w) >= 2:
+		end := blockEnd(lines, i+1)
+		p.parseInterface(w[1], lines, i+1, end)
+		return end
+	case w[0] == "router" && len(w) >= 2 && w[1] == "ospf":
+		end := blockEnd(lines, i+1)
+		p.parseOSPF(w, lines, i+1, end)
+		return end
+	case w[0] == "router" && len(w) >= 2 && w[1] == "bgp":
+		end := blockEnd(lines, i+1)
+		p.parseBGP(w, lines, i+1, end)
+		return end
+	case w[0] == "ip" && len(w) >= 2 && w[1] == "route":
+		p.parseStaticRoute(w[2:], i)
+		return i + 1
+	case w[0] == "ip" && len(w) >= 3 && w[1] == "access-list" && w[2] == "extended":
+		if len(w) < 4 {
+			p.warn(i, "ip access-list extended: missing name")
+			return i + 1
+		}
+		end := blockEnd(lines, i+1)
+		p.parseACL(w[3], lines, i+1, end)
+		return end
+	case w[0] == "ip" && len(w) >= 2 && w[1] == "prefix-list":
+		p.parsePrefixList(w[2:], i)
+		return i + 1
+	case w[0] == "ip" && len(w) >= 2 && w[1] == "community-list":
+		p.parseCommunityList(w[2:], i)
+		return i + 1
+	case w[0] == "ip" && len(w) >= 3 && w[1] == "as-path" && w[2] == "access-list":
+		p.parseASPathList(w[3:], i)
+		return i + 1
+	case w[0] == "route-map" && len(w) >= 2:
+		end := blockEnd(lines, i+1)
+		p.parseRouteMap(w, lines, i+1, end)
+		return end
+	case w[0] == "ntp" && len(w) >= 3 && w[1] == "server":
+		if a, err := ip4.ParseAddr(w[2]); err == nil {
+			p.d.NTPServers = append(p.d.NTPServers, a)
+		} else {
+			p.warn(i, "bad ntp server %q", w[2])
+		}
+		return i + 1
+	case w[0] == "logging" && len(w) >= 3 && w[1] == "host":
+		if a, err := ip4.ParseAddr(w[2]); err == nil {
+			p.d.SyslogServers = append(p.d.SyslogServers, a)
+		}
+		return i + 1
+	case w[0] == "ip" && len(w) >= 3 && w[1] == "name-server":
+		if a, err := ip4.ParseAddr(w[2]); err == nil {
+			p.d.DNSServers = append(p.d.DNSServers, a)
+		}
+		return i + 1
+	case w[0] == "zone" && len(w) >= 3 && w[1] == "security":
+		p.d.Zones[w[2]] = &config.Zone{Name: w[2]}
+		p.d.Stateful = true
+		return i + 1
+	case w[0] == "zone-pair" && len(w) >= 2 && w[1] == "security":
+		p.parseZonePair(w[2:], i)
+		return i + 1
+	case w[0] == "ip" && len(w) >= 2 && w[1] == "nat":
+		p.parseNAT(w[2:], i)
+		return i + 1
+	case w[0] == "vrf" && len(w) >= 3 && w[1] == "definition":
+		p.d.VRF(w[2])
+		end := blockEnd(lines, i+1)
+		return end
+	case w[0] == "version", w[0] == "boot", w[0] == "service", w[0] == "no",
+		w[0] == "end", w[0] == "enable", w[0] == "line", w[0] == "banner",
+		w[0] == "snmp-server", w[0] == "aaa", w[0] == "spanning-tree":
+		// Recognized-but-irrelevant statements; skip any block.
+		return blockEnd(lines, i+1)
+	}
+	p.warn(i, "unrecognized statement: %s", trimmed)
+	return blockEnd(lines, i+1)
+}
+
+func (p *parser) parseInterface(name string, lines []string, start, end int) {
+	i := &config.Interface{Name: name, Active: true}
+	p.d.Interfaces[name] = i
+	for li := start; li < end; li++ {
+		t := strings.TrimSpace(lines[li])
+		if t == "" || strings.HasPrefix(t, "!") {
+			continue
+		}
+		w := strings.Fields(t)
+		switch {
+		case w[0] == "description":
+			i.Description = strings.TrimSpace(strings.TrimPrefix(t, "description"))
+		case w[0] == "shutdown":
+			i.Active = false
+		case w[0] == "no" && len(w) >= 2 && w[1] == "shutdown":
+			i.Active = true
+		case w[0] == "bandwidth" && len(w) >= 2:
+			if kbps, err := strconv.ParseUint(w[1], 10, 64); err == nil {
+				i.Bandwidth = kbps * 1000
+			}
+		case w[0] == "vrf" && len(w) >= 3 && w[1] == "forwarding":
+			i.VRFName = w[2]
+			p.d.VRF(w[2])
+		case w[0] == "ip" && len(w) >= 4 && w[1] == "address":
+			a, err1 := ip4.ParseAddr(w[2])
+			m, err2 := parseMask(w[3])
+			if err1 != nil || err2 != nil {
+				p.warn(li, "bad ip address: %s", t)
+				continue
+			}
+			pre := ip4.Prefix{Addr: a, Len: m}
+			if len(w) >= 5 && w[4] == "secondary" {
+				i.Addresses = append(i.Addresses, pre)
+			} else {
+				i.Addresses = append([]ip4.Prefix{pre}, i.Addresses...)
+			}
+		case w[0] == "ip" && len(w) >= 4 && w[1] == "access-group":
+			switch w[3] {
+			case "in":
+				i.InACL = w[2]
+			case "out":
+				i.OutACL = w[2]
+			}
+			p.d.AddRef(config.RefACL, w[2], "interface "+name+" access-group "+w[3])
+		case w[0] == "ip" && len(w) >= 3 && w[1] == "ospf":
+			p.parseIfaceOSPF(i, w[2:], li)
+		case w[0] == "zone-member" && len(w) >= 3 && w[1] == "security":
+			i.Zone = w[2]
+			p.d.AddRef(config.RefZone, w[2], "interface "+name)
+			if z, ok := p.d.Zones[w[2]]; ok {
+				z.Interfaces = append(z.Interfaces, name)
+			}
+		default:
+			p.warn(li, "interface %s: unrecognized: %s", name, t)
+		}
+	}
+}
+
+func (p *parser) parseIfaceOSPF(i *config.Interface, w []string, li int) {
+	if i.OSPF == nil {
+		i.OSPF = &config.OSPFInterface{}
+	}
+	switch {
+	case len(w) >= 2 && w[0] == "cost":
+		if v, err := strconv.Atoi(w[1]); err == nil {
+			i.OSPF.Cost = uint32(v)
+		}
+	case len(w) >= 2 && w[0] == "area":
+		if v, err := strconv.Atoi(w[1]); err == nil {
+			i.OSPF.Area = uint32(v)
+		}
+	case w[0] == "passive":
+		i.OSPF.Passive = true
+	default:
+		p.warn(li, "interface %s: unrecognized ospf setting: %v", i.Name, w)
+	}
+}
+
+func parseMask(s string) (uint8, error) {
+	m, err := ip4.ParseAddr(s)
+	if err != nil {
+		return 0, err
+	}
+	v := uint32(m)
+	// Must be contiguous ones from the top.
+	var l uint8
+	for l = 0; l < 32; l++ {
+		if v&(1<<(31-l)) == 0 {
+			break
+		}
+	}
+	if v != uint32(ip4.Mask(l)) {
+		return 0, fmt.Errorf("non-contiguous mask %s", s)
+	}
+	return l, nil
+}
+
+// parseWildcard converts a Cisco wildcard mask (inverted) to a prefix
+// length; non-contiguous wildcards are rejected.
+func parseWildcard(s string) (uint8, error) {
+	m, err := ip4.ParseAddr(s)
+	if err != nil {
+		return 0, err
+	}
+	return parseMaskValue(^uint32(m))
+}
+
+func parseMaskValue(v uint32) (uint8, error) {
+	var l uint8
+	for l = 0; l < 32; l++ {
+		if v&(1<<(31-l)) == 0 {
+			break
+		}
+	}
+	if v != uint32(ip4.Mask(l)) {
+		return 0, fmt.Errorf("non-contiguous mask")
+	}
+	return l, nil
+}
+
+func (p *parser) parseStaticRoute(w []string, li int) {
+	vrfName := ""
+	if len(w) >= 2 && w[0] == "vrf" {
+		vrfName = w[1]
+		w = w[2:]
+	}
+	if len(w) < 3 {
+		p.warn(li, "ip route: too few arguments")
+		return
+	}
+	a, err1 := ip4.ParseAddr(w[0])
+	m, err2 := parseMask(w[1])
+	if err1 != nil || err2 != nil {
+		p.warn(li, "ip route: bad prefix")
+		return
+	}
+	sr := config.StaticRoute{Prefix: ip4.Prefix{Addr: a, Len: m}}
+	rest := w[2:]
+	// Next hop: Null0, an interface name, an IP, or interface + IP.
+	switch {
+	case strings.EqualFold(rest[0], "null0"):
+		sr.Drop = true
+		rest = rest[1:]
+	default:
+		if nh, err := ip4.ParseAddr(rest[0]); err == nil {
+			sr.NextHop = nh
+			rest = rest[1:]
+		} else {
+			sr.Iface = rest[0]
+			p.d.AddRef(config.RefInterface, rest[0], "ip route")
+			rest = rest[1:]
+			if len(rest) > 0 {
+				if nh, err := ip4.ParseAddr(rest[0]); err == nil {
+					sr.NextHop = nh
+					rest = rest[1:]
+				}
+			}
+		}
+	}
+	for len(rest) > 0 {
+		switch {
+		case rest[0] == "tag" && len(rest) >= 2:
+			if v, err := strconv.Atoi(rest[1]); err == nil {
+				sr.Tag = uint32(v)
+			}
+			rest = rest[2:]
+		default:
+			if v, err := strconv.Atoi(rest[0]); err == nil && v > 0 && v < 256 {
+				sr.AD = uint8(v)
+			} else {
+				p.warn(li, "ip route: unrecognized token %q", rest[0])
+			}
+			rest = rest[1:]
+		}
+	}
+	vrf := p.d.VRF(config.DefaultVRF)
+	if vrfName != "" {
+		vrf = p.d.VRF(vrfName)
+	}
+	vrf.StaticRoutes = append(vrf.StaticRoutes, sr)
+}
+
+func (p *parser) parseOSPF(head []string, lines []string, start, end int) {
+	pid := 1
+	if len(head) >= 3 {
+		if v, err := strconv.Atoi(head[2]); err == nil {
+			pid = v
+		}
+	}
+	vrf := p.d.VRF(config.DefaultVRF)
+	if len(head) >= 5 && head[3] == "vrf" {
+		vrf = p.d.VRF(head[4])
+	}
+	proc := &config.OSPFConfig{ProcessID: pid}
+	vrf.OSPF = proc
+	for li := start; li < end; li++ {
+		t := strings.TrimSpace(lines[li])
+		if t == "" || strings.HasPrefix(t, "!") {
+			continue
+		}
+		w := strings.Fields(t)
+		switch {
+		case w[0] == "router-id" && len(w) >= 2:
+			if a, err := ip4.ParseAddr(w[1]); err == nil {
+				proc.RouterID = a
+			}
+		case w[0] == "auto-cost" && len(w) >= 2 && strings.HasPrefix(w[1], "reference-bandwidth"):
+			if len(w) >= 3 {
+				if mbps, err := strconv.ParseUint(w[2], 10, 64); err == nil {
+					proc.RefBandwidth = mbps * 1_000_000
+				}
+			}
+		case w[0] == "max-metric":
+			proc.MaxMetric = true
+		case w[0] == "redistribute":
+			if rd, ok := p.parseRedistribute(w[1:], li); ok {
+				proc.Redistribute = append(proc.Redistribute, rd)
+			}
+		case w[0] == "passive-interface" && len(w) >= 2:
+			if i, ok := p.d.Interfaces[w[1]]; ok && i.OSPF != nil {
+				i.OSPF.Passive = true
+			} else {
+				p.d.AddRef(config.RefInterface, w[1], "router ospf passive-interface")
+			}
+		case w[0] == "network":
+			// network <addr> <wildcard> area <n>: enable OSPF on matching
+			// interfaces.
+			if len(w) >= 5 && w[3] == "area" {
+				p.applyOSPFNetwork(w[1], w[2], w[4], li)
+			} else {
+				p.warn(li, "router ospf: bad network statement: %s", t)
+			}
+		default:
+			p.warn(li, "router ospf: unrecognized: %s", t)
+		}
+	}
+}
+
+func (p *parser) applyOSPFNetwork(addrS, wildS, areaS string, li int) {
+	a, err1 := ip4.ParseAddr(addrS)
+	wl, err2 := parseWildcard(wildS)
+	area, err3 := strconv.Atoi(areaS)
+	if err1 != nil || err2 != nil || err3 != nil {
+		p.warn(li, "bad network statement")
+		return
+	}
+	netPrefix := ip4.Prefix{Addr: a, Len: wl}
+	for _, i := range p.d.Interfaces {
+		for _, ap := range i.Addresses {
+			if netPrefix.Contains(ap.Addr) {
+				if i.OSPF == nil {
+					i.OSPF = &config.OSPFInterface{}
+				}
+				i.OSPF.Area = uint32(area)
+			}
+		}
+	}
+}
+
+func (p *parser) parseRedistribute(w []string, li int) (config.Redistribution, bool) {
+	var rd config.Redistribution
+	if len(w) == 0 {
+		return rd, false
+	}
+	switch w[0] {
+	case "connected":
+		rd.From = config.RedistConnected
+	case "static":
+		rd.From = config.RedistStatic
+	case "ospf":
+		rd.From = config.RedistOSPF
+	case "bgp":
+		rd.From = config.RedistBGP
+		if len(w) >= 2 {
+			if _, err := strconv.Atoi(w[1]); err == nil {
+				w = w[1:]
+			}
+		}
+	default:
+		p.warn(li, "redistribute: unknown protocol %q", w[0])
+		return rd, false
+	}
+	w = w[1:]
+	for len(w) > 0 {
+		switch {
+		case w[0] == "metric" && len(w) >= 2:
+			if v, err := strconv.Atoi(w[1]); err == nil {
+				rd.Metric = uint32(v)
+			}
+			w = w[2:]
+		case w[0] == "metric-type" && len(w) >= 2:
+			if v, err := strconv.Atoi(w[1]); err == nil {
+				rd.MetricType = uint8(v)
+			}
+			w = w[2:]
+		case w[0] == "route-map" && len(w) >= 2:
+			rd.RouteMap = w[1]
+			p.d.AddRef(config.RefRouteMap, w[1], "redistribute")
+			w = w[2:]
+		case w[0] == "subnets":
+			w = w[1:]
+		default:
+			p.warn(li, "redistribute: unrecognized token %q", w[0])
+			w = w[1:]
+		}
+	}
+	return rd, true
+}
+
+func (p *parser) parseBGP(head []string, lines []string, start, end int) {
+	asn := uint32(0)
+	if len(head) >= 3 {
+		if v, err := strconv.ParseUint(head[2], 10, 32); err == nil {
+			asn = uint32(v)
+		}
+	}
+	vrf := p.d.VRF(config.DefaultVRF)
+	proc := vrf.BGP
+	if proc == nil || proc.ASN != asn {
+		proc = &config.BGPConfig{ASN: asn}
+		vrf.BGP = proc
+	}
+	nbr := func(ipS string) *config.BGPNeighbor {
+		a, err := ip4.ParseAddr(ipS)
+		if err != nil {
+			return nil
+		}
+		for _, n := range proc.Neighbors {
+			if n.PeerIP == a {
+				return n
+			}
+		}
+		n := &config.BGPNeighbor{PeerIP: a}
+		proc.Neighbors = append(proc.Neighbors, n)
+		return n
+	}
+	for li := start; li < end; li++ {
+		t := strings.TrimSpace(lines[li])
+		if t == "" || strings.HasPrefix(t, "!") {
+			continue
+		}
+		w := strings.Fields(t)
+		switch {
+		case w[0] == "bgp" && len(w) >= 3 && w[1] == "router-id":
+			if a, err := ip4.ParseAddr(w[2]); err == nil {
+				proc.RouterID = a
+			}
+		case w[0] == "maximum-paths" && len(w) >= 2:
+			if w[1] == "ibgp" {
+				proc.MultipathIBGP = true
+			} else {
+				proc.MultipathEBGP = true
+			}
+		case w[0] == "network" && len(w) >= 4 && w[2] == "mask":
+			a, err1 := ip4.ParseAddr(w[1])
+			m, err2 := parseMask(w[3])
+			if err1 == nil && err2 == nil {
+				proc.Networks = append(proc.Networks, ip4.Prefix{Addr: a, Len: m})
+			} else {
+				p.warn(li, "router bgp: bad network statement")
+			}
+		case w[0] == "redistribute":
+			if rd, ok := p.parseRedistribute(w[1:], li); ok {
+				proc.Redistribute = append(proc.Redistribute, rd)
+			}
+		case w[0] == "neighbor" && len(w) >= 3:
+			n := nbr(w[1])
+			if n == nil {
+				p.warn(li, "router bgp: bad neighbor address %q", w[1])
+				continue
+			}
+			switch {
+			case w[2] == "remote-as" && len(w) >= 4:
+				if v, err := strconv.ParseUint(w[3], 10, 32); err == nil {
+					n.RemoteAS = uint32(v)
+				}
+			case w[2] == "description":
+				n.Description = strings.Join(w[3:], " ")
+			case w[2] == "route-map" && len(w) >= 5:
+				p.d.AddRef(config.RefRouteMap, w[3], "neighbor "+w[1]+" route-map "+w[4])
+				if w[4] == "in" {
+					n.ImportPolicy = w[3]
+				} else {
+					n.ExportPolicy = w[3]
+				}
+			case w[2] == "next-hop-self":
+				n.NextHopSelf = true
+			case w[2] == "update-source" && len(w) >= 4:
+				n.UpdateSource = w[3]
+				p.d.AddRef(config.RefInterface, w[3], "neighbor update-source")
+			case w[2] == "ebgp-multihop":
+				n.EBGPMultihop = true
+			case w[2] == "send-community":
+				n.SendCommunity = true
+			default:
+				p.warn(li, "router bgp: unrecognized neighbor setting: %s", t)
+			}
+		default:
+			p.warn(li, "router bgp: unrecognized: %s", t)
+		}
+	}
+}
+
+func (p *parser) parseACL(name string, lines []string, start, end int) {
+	a := &acl.ACL{Name: name}
+	p.d.ACLs[name] = a
+	for li := start; li < end; li++ {
+		t := strings.TrimSpace(lines[li])
+		if t == "" || strings.HasPrefix(t, "!") {
+			continue
+		}
+		line, err := p.parseACLLine(t)
+		if err != nil {
+			p.warn(li, "acl %s: %v", name, err)
+			continue
+		}
+		a.Lines = append(a.Lines, line)
+	}
+}
+
+// parseACLLine parses "permit tcp <src> [ports] <dst> [ports] [flags]".
+func (p *parser) parseACLLine(t string) (acl.Line, error) {
+	w := strings.Fields(t)
+	l := acl.NewLine(acl.Permit, t)
+	switch w[0] {
+	case "permit":
+		l.Action = acl.Permit
+	case "deny":
+		l.Action = acl.Deny
+	default:
+		return l, fmt.Errorf("expected permit/deny, got %q", w[0])
+	}
+	w = w[1:]
+	if len(w) == 0 {
+		return l, fmt.Errorf("missing protocol")
+	}
+	switch w[0] {
+	case "ip":
+		l.Protocol = -1
+	case "tcp":
+		l.Protocol = hdr.ProtoTCP
+	case "udp":
+		l.Protocol = hdr.ProtoUDP
+	case "icmp":
+		l.Protocol = hdr.ProtoICMP
+	default:
+		if v, err := strconv.Atoi(w[0]); err == nil && v >= 0 && v < 256 {
+			l.Protocol = v
+		} else {
+			return l, fmt.Errorf("unknown protocol %q", w[0])
+		}
+	}
+	w = w[1:]
+	// Source address [+ports].
+	src, rest, err := parseACLAddr(w)
+	if err != nil {
+		return l, fmt.Errorf("source: %v", err)
+	}
+	if src != nil {
+		l.SrcIPs = []ip4.Prefix{*src}
+	}
+	w = rest
+	ports, rest2 := parseACLPorts(w)
+	l.SrcPorts = ports
+	w = rest2
+	// Destination address [+ports].
+	dst, rest3, err := parseACLAddr(w)
+	if err != nil {
+		return l, fmt.Errorf("destination: %v", err)
+	}
+	if dst != nil {
+		l.DstIPs = []ip4.Prefix{*dst}
+	}
+	w = rest3
+	ports, w = parseACLPorts(w)
+	l.DstPorts = ports
+	// Trailing qualifiers.
+	for len(w) > 0 {
+		switch w[0] {
+		case "established":
+			// ACK or RST set: modeled as ACK-or-RST via mask/value pairs;
+			// we use the ACK|RST mask with a nonzero requirement split as
+			// "ACK set" (the dominant case) — matched in both engines.
+			l.TCPFlags = &acl.TCPFlagsMatch{Mask: hdr.FlagACK, Value: hdr.FlagACK}
+			w = w[1:]
+		case "echo":
+			l.ICMPType = 8
+			w = w[1:]
+		case "echo-reply":
+			l.ICMPType = 0
+			w = w[1:]
+		case "log":
+			w = w[1:]
+		default:
+			return l, fmt.Errorf("unrecognized qualifier %q", w[0])
+		}
+	}
+	return l, nil
+}
+
+// parseACLAddr parses "any" | "host A" | "A wildcard".
+func parseACLAddr(w []string) (*ip4.Prefix, []string, error) {
+	if len(w) == 0 {
+		return nil, w, fmt.Errorf("missing address")
+	}
+	switch w[0] {
+	case "any":
+		return nil, w[1:], nil
+	case "host":
+		if len(w) < 2 {
+			return nil, w, fmt.Errorf("host: missing address")
+		}
+		a, err := ip4.ParseAddr(w[1])
+		if err != nil {
+			return nil, w, err
+		}
+		pre := ip4.HostPrefix(a)
+		return &pre, w[2:], nil
+	default:
+		if len(w) < 2 {
+			return nil, w, fmt.Errorf("missing wildcard")
+		}
+		a, err := ip4.ParseAddr(w[0])
+		if err != nil {
+			return nil, w, err
+		}
+		wl, err := parseWildcard(w[1])
+		if err != nil {
+			return nil, w, err
+		}
+		pre := ip4.Prefix{Addr: a, Len: wl}
+		return &pre, w[2:], nil
+	}
+}
+
+// parseACLPorts parses "eq N" | "range A B" | "gt N" | "lt N" (optional).
+func parseACLPorts(w []string) ([]acl.PortRange, []string) {
+	if len(w) == 0 {
+		return nil, w
+	}
+	atoi := func(s string) (uint16, bool) {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 || v > 65535 {
+			return 0, false
+		}
+		return uint16(v), true
+	}
+	switch w[0] {
+	case "eq":
+		if len(w) >= 2 {
+			if v, ok := atoi(w[1]); ok {
+				return []acl.PortRange{{Lo: v, Hi: v}}, w[2:]
+			}
+		}
+	case "range":
+		if len(w) >= 3 {
+			lo, ok1 := atoi(w[1])
+			hi, ok2 := atoi(w[2])
+			if ok1 && ok2 {
+				return []acl.PortRange{{Lo: lo, Hi: hi}}, w[3:]
+			}
+		}
+	case "gt":
+		if len(w) >= 2 {
+			if v, ok := atoi(w[1]); ok && v < 65535 {
+				return []acl.PortRange{{Lo: v + 1, Hi: 65535}}, w[2:]
+			}
+		}
+	case "lt":
+		if len(w) >= 2 {
+			if v, ok := atoi(w[1]); ok && v > 0 {
+				return []acl.PortRange{{Lo: 0, Hi: v - 1}}, w[2:]
+			}
+		}
+	}
+	return nil, w
+}
+
+func (p *parser) parsePrefixList(w []string, li int) {
+	// <name> seq <n> permit|deny <prefix> [ge N] [le N]
+	if len(w) < 2 {
+		p.warn(li, "prefix-list: too few arguments")
+		return
+	}
+	name := w[0]
+	w = w[1:]
+	pl := p.d.PrefixLists[name]
+	if pl == nil {
+		pl = &config.PrefixList{Name: name}
+		p.d.PrefixLists[name] = pl
+	}
+	e := config.PrefixListEntry{}
+	if w[0] == "seq" && len(w) >= 2 {
+		if v, err := strconv.Atoi(w[1]); err == nil {
+			e.Seq = v
+		}
+		w = w[2:]
+	}
+	if len(w) < 2 {
+		p.warn(li, "prefix-list %s: missing action/prefix", name)
+		return
+	}
+	switch w[0] {
+	case "permit":
+		e.Action = config.Permit
+	case "deny":
+		e.Action = config.Deny
+	default:
+		p.warn(li, "prefix-list %s: bad action %q", name, w[0])
+		return
+	}
+	pre, err := ip4.ParsePrefix(w[1])
+	if err != nil {
+		p.warn(li, "prefix-list %s: bad prefix %q", name, w[1])
+		return
+	}
+	e.Prefix = pre
+	w = w[2:]
+	for len(w) >= 2 {
+		v, err := strconv.Atoi(w[1])
+		if err != nil {
+			break
+		}
+		switch w[0] {
+		case "ge":
+			e.Ge = uint8(v)
+		case "le":
+			e.Le = uint8(v)
+		}
+		w = w[2:]
+	}
+	pl.Entries = append(pl.Entries, e)
+}
+
+func (p *parser) parseCommunityList(w []string, li int) {
+	// [expanded|standard] <name> permit|deny <regex>
+	if len(w) >= 1 && (w[0] == "expanded" || w[0] == "standard") {
+		w = w[1:]
+	}
+	if len(w) < 3 {
+		p.warn(li, "community-list: too few arguments")
+		return
+	}
+	name := w[0]
+	cl := p.d.CommunityLists[name]
+	if cl == nil {
+		cl = &config.CommunityList{Name: name}
+		p.d.CommunityLists[name] = cl
+	}
+	action := config.Permit
+	if w[1] == "deny" {
+		action = config.Deny
+	}
+	cl.Entries = append(cl.Entries, config.RegexEntry{Action: action, Regex: strings.Join(w[2:], " ")})
+}
+
+func (p *parser) parseASPathList(w []string, li int) {
+	// <name> permit|deny <regex>
+	if len(w) < 3 {
+		p.warn(li, "as-path access-list: too few arguments")
+		return
+	}
+	name := w[0]
+	al := p.d.ASPathLists[name]
+	if al == nil {
+		al = &config.ASPathList{Name: name}
+		p.d.ASPathLists[name] = al
+	}
+	action := config.Permit
+	if w[1] == "deny" {
+		action = config.Deny
+	}
+	al.Entries = append(al.Entries, config.RegexEntry{Action: action, Regex: strings.Join(w[2:], " ")})
+}
+
+func (p *parser) parseRouteMap(head []string, lines []string, start, end int) {
+	// route-map NAME permit|deny SEQ
+	name := head[1]
+	rm := p.d.RouteMaps[name]
+	if rm == nil {
+		rm = &config.RouteMap{Name: name}
+		p.d.RouteMaps[name] = rm
+	}
+	clause := config.RouteMapClause{Action: config.Permit, Seq: 10 * (len(rm.Clauses) + 1)}
+	if len(head) >= 3 && head[2] == "deny" {
+		clause.Action = config.Deny
+	}
+	if len(head) >= 4 {
+		if v, err := strconv.Atoi(head[3]); err == nil {
+			clause.Seq = v
+		}
+	}
+	for li := start; li < end; li++ {
+		t := strings.TrimSpace(lines[li])
+		if t == "" || strings.HasPrefix(t, "!") {
+			continue
+		}
+		w := strings.Fields(t)
+		switch {
+		case w[0] == "match":
+			p.parseRMMatch(&clause, w[1:], li)
+		case w[0] == "set":
+			p.parseRMSet(&clause, w[1:], li)
+		default:
+			p.warn(li, "route-map %s: unrecognized: %s", name, t)
+		}
+	}
+	rm.Clauses = append(rm.Clauses, clause)
+}
+
+func (p *parser) parseRMMatch(c *config.RouteMapClause, w []string, li int) {
+	switch {
+	case len(w) >= 4 && w[0] == "ip" && w[1] == "address" && w[2] == "prefix-list":
+		c.Matches = append(c.Matches, config.Match{Kind: config.MatchPrefixList, Name: w[3]})
+		p.d.AddRef(config.RefPrefixList, w[3], "route-map match")
+	case len(w) >= 2 && w[0] == "community":
+		c.Matches = append(c.Matches, config.Match{Kind: config.MatchCommunityList, Name: w[1]})
+		p.d.AddRef(config.RefCommunityList, w[1], "route-map match")
+	case len(w) >= 2 && w[0] == "as-path":
+		c.Matches = append(c.Matches, config.Match{Kind: config.MatchASPathList, Name: w[1]})
+		p.d.AddRef(config.RefASPathList, w[1], "route-map match")
+	case len(w) >= 2 && w[0] == "metric":
+		if v, err := strconv.Atoi(w[1]); err == nil {
+			c.Matches = append(c.Matches, config.Match{Kind: config.MatchMetric, Value: uint32(v)})
+		}
+	case len(w) >= 2 && w[0] == "tag":
+		if v, err := strconv.Atoi(w[1]); err == nil {
+			c.Matches = append(c.Matches, config.Match{Kind: config.MatchTag, Value: uint32(v)})
+		}
+	case len(w) >= 2 && w[0] == "source-protocol":
+		c.Matches = append(c.Matches, config.Match{Kind: config.MatchSourceProtocol, Proto: w[1]})
+	default:
+		p.warn(li, "route-map: unrecognized match: %v", w)
+	}
+}
+
+func (p *parser) parseRMSet(c *config.RouteMapClause, w []string, li int) {
+	switch {
+	case len(w) >= 2 && w[0] == "local-preference":
+		if v, err := strconv.Atoi(w[1]); err == nil {
+			c.Sets = append(c.Sets, config.Set{Kind: config.SetLocalPref, Value: uint32(v)})
+		}
+	case len(w) >= 2 && w[0] == "metric":
+		if strings.HasPrefix(w[1], "+") {
+			if v, err := strconv.Atoi(w[1][1:]); err == nil {
+				c.Sets = append(c.Sets, config.Set{Kind: config.SetMetricAdd, Value: uint32(v)})
+			}
+		} else if v, err := strconv.Atoi(w[1]); err == nil {
+			c.Sets = append(c.Sets, config.Set{Kind: config.SetMetric, Value: uint32(v)})
+		}
+	case len(w) >= 2 && w[0] == "community":
+		vals, additive := parseCommunities(w[1:])
+		kind := config.SetCommunity
+		if additive {
+			kind = config.SetCommunityAdditive
+		}
+		c.Sets = append(c.Sets, config.Set{Kind: kind, Communities: vals})
+	case len(w) >= 3 && w[0] == "as-path" && w[1] == "prepend":
+		asns := w[2:]
+		if v, err := strconv.ParseUint(asns[0], 10, 32); err == nil {
+			c.Sets = append(c.Sets, config.Set{Kind: config.SetASPathPrepend, PrependASN: uint32(v), PrependN: len(asns)})
+		}
+	case len(w) >= 3 && w[0] == "ip" && w[1] == "next-hop":
+		if a, err := ip4.ParseAddr(w[2]); err == nil {
+			c.Sets = append(c.Sets, config.Set{Kind: config.SetNextHop, NextHop: a})
+		}
+	case len(w) >= 2 && w[0] == "weight":
+		if v, err := strconv.Atoi(w[1]); err == nil {
+			c.Sets = append(c.Sets, config.Set{Kind: config.SetWeight, Value: uint32(v)})
+		}
+	case len(w) >= 2 && w[0] == "tag":
+		if v, err := strconv.Atoi(w[1]); err == nil {
+			c.Sets = append(c.Sets, config.Set{Kind: config.SetTag, Value: uint32(v)})
+		}
+	case len(w) >= 2 && w[0] == "origin":
+		if w[1] == "igp" {
+			c.Sets = append(c.Sets, config.Set{Kind: config.SetOriginIGP})
+		} else {
+			c.Sets = append(c.Sets, config.Set{Kind: config.SetOriginIncomplete})
+		}
+	default:
+		p.warn(li, "route-map: unrecognized set: %v", w)
+	}
+}
+
+func parseCommunities(w []string) (vals []uint32, additive bool) {
+	for _, tok := range w {
+		if tok == "additive" {
+			additive = true
+			continue
+		}
+		parts := strings.SplitN(tok, ":", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		hi, err1 := strconv.ParseUint(parts[0], 10, 16)
+		lo, err2 := strconv.ParseUint(parts[1], 10, 16)
+		if err1 == nil && err2 == nil {
+			vals = append(vals, uint32(hi)<<16|uint32(lo))
+		}
+	}
+	return vals, additive
+}
+
+func (p *parser) parseZonePair(w []string, li int) {
+	// zone-pair security source <z1> destination <z2> [acl <name>]
+	var from, to, aclName string
+	for i := 0; i+1 < len(w); i++ {
+		switch w[i] {
+		case "source":
+			from = w[i+1]
+		case "destination":
+			to = w[i+1]
+		case "acl":
+			aclName = w[i+1]
+		}
+	}
+	if from == "" || to == "" {
+		p.warn(li, "zone-pair: missing source/destination")
+		return
+	}
+	p.d.AddRef(config.RefZone, from, "zone-pair source")
+	p.d.AddRef(config.RefZone, to, "zone-pair destination")
+	if aclName != "" {
+		p.d.AddRef(config.RefACL, aclName, "zone-pair")
+	}
+	p.d.ZonePolicies = append(p.d.ZonePolicies, config.ZonePolicy{FromZone: from, ToZone: to, ACL: aclName})
+}
+
+func (p *parser) parseNAT(w []string, li int) {
+	// ip nat source|destination list <acl> pool <lo> <hi> [interface <if>] [ports <lo> <hi>]
+	if len(w) < 1 {
+		p.warn(li, "ip nat: missing direction")
+		return
+	}
+	var nr config.NATRule
+	switch w[0] {
+	case "source", "inside":
+		nr.Kind = config.SourceNAT
+	case "destination", "outside":
+		nr.Kind = config.DestNAT
+	default:
+		p.warn(li, "ip nat: unknown direction %q", w[0])
+		return
+	}
+	w = w[1:]
+	for len(w) > 0 {
+		switch {
+		case w[0] == "list" && len(w) >= 2:
+			nr.MatchACL = w[1]
+			p.d.AddRef(config.RefACL, w[1], "ip nat list")
+			w = w[2:]
+		case w[0] == "pool" && len(w) >= 3:
+			lo, err1 := ip4.ParseAddr(w[1])
+			hi, err2 := ip4.ParseAddr(w[2])
+			if err1 != nil || err2 != nil {
+				p.warn(li, "ip nat: bad pool")
+				return
+			}
+			nr.PoolLo, nr.PoolHi = lo, hi
+			w = w[3:]
+		case w[0] == "interface" && len(w) >= 2:
+			nr.Iface = w[1]
+			p.d.AddRef(config.RefInterface, w[1], "ip nat interface")
+			w = w[2:]
+		case w[0] == "ports" && len(w) >= 3:
+			lo, err1 := strconv.Atoi(w[1])
+			hi, err2 := strconv.Atoi(w[2])
+			if err1 == nil && err2 == nil {
+				nr.PortLo, nr.PortHi = uint16(lo), uint16(hi)
+			}
+			w = w[3:]
+		default:
+			p.warn(li, "ip nat: unrecognized token %q", w[0])
+			w = w[1:]
+		}
+	}
+	if nr.PoolLo == 0 {
+		p.warn(li, "ip nat: missing pool")
+		return
+	}
+	p.d.NATRules = append(p.d.NATRules, nr)
+}

@@ -1,0 +1,366 @@
+package cisco
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+)
+
+const sampleConfig = `
+hostname edge1
+!
+vrf definition MGMT
+!
+interface GigabitEthernet0/0
+ description uplink to core
+ ip address 10.0.0.1 255.255.255.252
+ ip access-group EDGE_IN in
+ ip access-group EDGE_OUT out
+ ip ospf cost 10
+ ip ospf area 0
+ bandwidth 1000000
+!
+interface GigabitEthernet0/1
+ ip address 192.168.1.1 255.255.255.0
+ ip address 192.168.2.1 255.255.255.0 secondary
+ ip ospf area 1
+ ip ospf passive
+!
+interface GigabitEthernet0/2
+ shutdown
+ ip address 172.16.0.1 255.255.255.0
+!
+router ospf 1
+ router-id 1.1.1.1
+ auto-cost reference-bandwidth 100000
+ redistribute static metric 50 metric-type 1 route-map STATIC_TO_OSPF
+!
+router bgp 65001
+ bgp router-id 1.1.1.1
+ maximum-paths 4
+ network 203.0.113.0 mask 255.255.255.0
+ neighbor 10.0.0.2 remote-as 65002
+ neighbor 10.0.0.2 description core peer
+ neighbor 10.0.0.2 route-map IMPORT_POL in
+ neighbor 10.0.0.2 route-map EXPORT_POL out
+ neighbor 10.0.0.2 next-hop-self
+ neighbor 10.0.0.2 send-community
+ redistribute connected route-map CONN_TO_BGP
+!
+ip route 203.0.113.0 255.255.255.0 Null0
+ip route 0.0.0.0 0.0.0.0 10.0.0.2 250
+ip route 10.99.0.0 255.255.0.0 GigabitEthernet0/0 10.0.0.2 tag 77
+!
+ip access-list extended EDGE_IN
+ permit tcp 10.0.0.0 0.255.255.255 any eq 179
+ deny tcp any any eq 23
+ permit tcp any range 1024 65535 host 192.168.1.10 eq 443
+ permit icmp any any echo
+ permit ip any any
+!
+ip access-list extended EDGE_OUT
+ deny udp any any eq 161
+ permit tcp any gt 1023 any established
+ permit ip any any
+!
+ip prefix-list CUSTOMER seq 10 permit 203.0.113.0/24
+ip prefix-list CUSTOMER seq 20 deny 0.0.0.0/0 le 32
+ip community-list expanded NO_EXPORT_LIST permit ^65001:99$
+ip as-path access-list 10 permit _65002_
+!
+route-map IMPORT_POL permit 10
+ match ip address prefix-list CUSTOMER
+ set local-preference 200
+ set community 65001:100 additive
+route-map IMPORT_POL deny 20
+route-map EXPORT_POL permit 10
+ match as-path 10
+ set metric +5
+ set as-path prepend 65001 65001
+route-map STATIC_TO_OSPF permit 10
+ match tag 77
+route-map CONN_TO_BGP permit 10
+!
+ntp server 192.0.2.10
+ntp server 192.0.2.11
+logging host 192.0.2.20
+ip name-server 192.0.2.30
+!
+ip nat source list NAT_MATCH pool 100.64.0.1 100.64.0.10 interface GigabitEthernet0/0
+!
+end
+`
+
+func parseSample(t *testing.T) (*config.Device, []config.Warning) {
+	t.Helper()
+	d, warns := Parse(sampleConfig)
+	if d.Hostname != "edge1" {
+		t.Fatalf("hostname = %q", d.Hostname)
+	}
+	return d, warns
+}
+
+func TestParseInterfaces(t *testing.T) {
+	d, _ := parseSample(t)
+	g0 := d.Interfaces["GigabitEthernet0/0"]
+	if g0 == nil {
+		t.Fatal("missing Gi0/0")
+	}
+	if g0.Description != "uplink to core" {
+		t.Errorf("description = %q", g0.Description)
+	}
+	if len(g0.Addresses) != 1 || g0.Addresses[0] != ip4.MustParsePrefix("10.0.0.1/30") {
+		t.Errorf("addresses = %v", g0.Addresses)
+	}
+	if g0.InACL != "EDGE_IN" || g0.OutACL != "EDGE_OUT" {
+		t.Errorf("ACLs = %q/%q", g0.InACL, g0.OutACL)
+	}
+	if g0.OSPF == nil || g0.OSPF.Cost != 10 || g0.OSPF.Area != 0 {
+		t.Errorf("ospf = %+v", g0.OSPF)
+	}
+	if g0.Bandwidth != 1000000*1000 {
+		t.Errorf("bandwidth = %d", g0.Bandwidth)
+	}
+	g1 := d.Interfaces["GigabitEthernet0/1"]
+	if len(g1.Addresses) != 2 || g1.Addresses[0].Addr != ip4.MustParseAddr("192.168.1.1") {
+		t.Errorf("primary/secondary wrong: %v", g1.Addresses)
+	}
+	if g1.OSPF == nil || !g1.OSPF.Passive || g1.OSPF.Area != 1 {
+		t.Errorf("g1 ospf = %+v", g1.OSPF)
+	}
+	if d.Interfaces["GigabitEthernet0/2"].Active {
+		t.Error("shutdown interface should be inactive")
+	}
+}
+
+func TestParseOSPFProcess(t *testing.T) {
+	d, _ := parseSample(t)
+	proc := d.VRFs[config.DefaultVRF].OSPF
+	if proc == nil {
+		t.Fatal("no ospf process")
+	}
+	if proc.RouterID != ip4.MustParseAddr("1.1.1.1") {
+		t.Errorf("router-id = %v", proc.RouterID)
+	}
+	if proc.RefBandwidth != 100000*1_000_000 {
+		t.Errorf("ref bandwidth = %d", proc.RefBandwidth)
+	}
+	if len(proc.Redistribute) != 1 {
+		t.Fatalf("redistribute = %v", proc.Redistribute)
+	}
+	rd := proc.Redistribute[0]
+	if rd.From != config.RedistStatic || rd.Metric != 50 || rd.MetricType != 1 || rd.RouteMap != "STATIC_TO_OSPF" {
+		t.Errorf("redistribute = %+v", rd)
+	}
+}
+
+func TestParseBGPProcess(t *testing.T) {
+	d, _ := parseSample(t)
+	proc := d.VRFs[config.DefaultVRF].BGP
+	if proc == nil || proc.ASN != 65001 {
+		t.Fatalf("bgp = %+v", proc)
+	}
+	if !proc.MultipathEBGP {
+		t.Error("maximum-paths not parsed")
+	}
+	if len(proc.Networks) != 1 || proc.Networks[0] != ip4.MustParsePrefix("203.0.113.0/24") {
+		t.Errorf("networks = %v", proc.Networks)
+	}
+	if len(proc.Neighbors) != 1 {
+		t.Fatalf("neighbors = %v", proc.Neighbors)
+	}
+	n := proc.Neighbors[0]
+	if n.PeerIP != ip4.MustParseAddr("10.0.0.2") || n.RemoteAS != 65002 ||
+		n.ImportPolicy != "IMPORT_POL" || n.ExportPolicy != "EXPORT_POL" ||
+		!n.NextHopSelf || !n.SendCommunity || n.Description != "core peer" {
+		t.Errorf("neighbor = %+v", n)
+	}
+}
+
+func TestParseStatics(t *testing.T) {
+	d, _ := parseSample(t)
+	srs := d.VRFs[config.DefaultVRF].StaticRoutes
+	if len(srs) != 3 {
+		t.Fatalf("statics = %v", srs)
+	}
+	if !srs[0].Drop {
+		t.Error("Null0 route should be discard")
+	}
+	if srs[1].AD != 250 || srs[1].NextHop != ip4.MustParseAddr("10.0.0.2") {
+		t.Errorf("floating static = %+v", srs[1])
+	}
+	if srs[2].Iface != "GigabitEthernet0/0" || srs[2].Tag != 77 {
+		t.Errorf("iface static = %+v", srs[2])
+	}
+}
+
+func TestParseACLLines(t *testing.T) {
+	d, _ := parseSample(t)
+	a := d.ACLs["EDGE_IN"]
+	if a == nil || len(a.Lines) != 5 {
+		t.Fatalf("EDGE_IN = %+v", a)
+	}
+	l0 := a.Lines[0]
+	if l0.Protocol != hdr.ProtoTCP || len(l0.SrcIPs) != 1 ||
+		l0.SrcIPs[0] != ip4.MustParsePrefix("10.0.0.0/8") ||
+		len(l0.DstPorts) != 1 || l0.DstPorts[0].Lo != 179 {
+		t.Errorf("line 0 = %+v", l0)
+	}
+	l2 := a.Lines[2]
+	if len(l2.SrcPorts) != 1 || l2.SrcPorts[0] != (struct{ Lo, Hi uint16 }{1024, 65535}) {
+		// compare via fields
+		if l2.SrcPorts[0].Lo != 1024 || l2.SrcPorts[0].Hi != 65535 {
+			t.Errorf("line 2 src ports = %+v", l2.SrcPorts)
+		}
+	}
+	if len(l2.DstIPs) != 1 || l2.DstIPs[0] != ip4.MustParsePrefix("192.168.1.10/32") {
+		t.Errorf("line 2 dst = %+v", l2.DstIPs)
+	}
+	l3 := a.Lines[3]
+	if l3.Protocol != hdr.ProtoICMP || l3.ICMPType != 8 {
+		t.Errorf("line 3 = %+v", l3)
+	}
+	out := d.ACLs["EDGE_OUT"]
+	if out.Lines[1].TCPFlags == nil || out.Lines[1].TCPFlags.Mask&hdr.FlagACK == 0 {
+		t.Errorf("established not parsed: %+v", out.Lines[1])
+	}
+	if out.Lines[1].SrcPorts[0].Lo != 1024 {
+		t.Errorf("gt 1023 wrong: %+v", out.Lines[1].SrcPorts)
+	}
+}
+
+func TestParsePolicyStructures(t *testing.T) {
+	d, _ := parseSample(t)
+	pl := d.PrefixLists["CUSTOMER"]
+	if pl == nil || len(pl.Entries) != 2 {
+		t.Fatalf("prefix list = %+v", pl)
+	}
+	if pl.Entries[1].Action != config.Deny || pl.Entries[1].Le != 32 {
+		t.Errorf("entry 2 = %+v", pl.Entries[1])
+	}
+	if d.CommunityLists["NO_EXPORT_LIST"] == nil {
+		t.Error("community list missing")
+	}
+	if d.ASPathLists["10"] == nil {
+		t.Error("as-path list missing")
+	}
+	rm := d.RouteMaps["IMPORT_POL"]
+	if rm == nil || len(rm.Clauses) != 2 {
+		t.Fatalf("IMPORT_POL = %+v", rm)
+	}
+	if rm.Clauses[0].Seq != 10 || rm.Clauses[1].Action != config.Deny || rm.Clauses[1].Seq != 20 {
+		t.Errorf("clauses = %+v", rm.Clauses)
+	}
+	exp := d.RouteMaps["EXPORT_POL"]
+	foundAdd, foundPrepend := false, false
+	for _, s := range exp.Clauses[0].Sets {
+		if s.Kind == config.SetMetricAdd && s.Value == 5 {
+			foundAdd = true
+		}
+		if s.Kind == config.SetASPathPrepend && s.PrependASN == 65001 && s.PrependN == 2 {
+			foundPrepend = true
+		}
+	}
+	if !foundAdd || !foundPrepend {
+		t.Errorf("EXPORT_POL sets = %+v", exp.Clauses[0].Sets)
+	}
+}
+
+func TestParseManagementPlane(t *testing.T) {
+	d, _ := parseSample(t)
+	if len(d.NTPServers) != 2 || d.NTPServers[0] != ip4.MustParseAddr("192.0.2.10") {
+		t.Errorf("ntp = %v", d.NTPServers)
+	}
+	if len(d.SyslogServers) != 1 || len(d.DNSServers) != 1 {
+		t.Errorf("syslog/dns = %v / %v", d.SyslogServers, d.DNSServers)
+	}
+}
+
+func TestParseNAT(t *testing.T) {
+	d, _ := parseSample(t)
+	if len(d.NATRules) != 1 {
+		t.Fatalf("nat = %+v", d.NATRules)
+	}
+	nr := d.NATRules[0]
+	if nr.Kind != config.SourceNAT || nr.MatchACL != "NAT_MATCH" ||
+		nr.PoolLo != ip4.MustParseAddr("100.64.0.1") || nr.PoolHi != ip4.MustParseAddr("100.64.0.10") ||
+		nr.Iface != "GigabitEthernet0/0" {
+		t.Errorf("nat rule = %+v", nr)
+	}
+}
+
+func TestUndefinedReferencesDetected(t *testing.T) {
+	d, _ := parseSample(t)
+	undef := d.UndefinedRefs()
+	// NAT_MATCH acl is referenced but never defined.
+	found := false
+	for _, r := range undef {
+		if r.Type == config.RefACL && r.Name == "NAT_MATCH" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("undefined NAT_MATCH not reported: %v", undef)
+	}
+}
+
+func TestNoSpuriousWarnings(t *testing.T) {
+	_, warns := parseSample(t)
+	for _, w := range warns {
+		t.Errorf("unexpected warning: %v", w)
+	}
+}
+
+func TestWarningsOnGarbage(t *testing.T) {
+	d, warns := Parse("hostname x\nfrobnicate the network\ninterface e0\n ip address banana\n")
+	if d.Hostname != "x" {
+		t.Error("parsing should continue past garbage")
+	}
+	if len(warns) < 2 {
+		t.Errorf("expected warnings, got %v", warns)
+	}
+}
+
+func TestNonContiguousWildcardRejected(t *testing.T) {
+	_, warns := Parse("hostname x\nip access-list extended A\n permit ip 10.0.0.0 0.255.0.255 any\n")
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w.Text, "non-contiguous") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("non-contiguous wildcard should warn: %v", warns)
+	}
+}
+
+func TestWildcardMask(t *testing.T) {
+	if l, err := parseWildcard("0.0.0.255"); err != nil || l != 24 {
+		t.Errorf("wildcard 0.0.0.255 -> %d, %v", l, err)
+	}
+	if l, err := parseWildcard("0.0.0.0"); err != nil || l != 32 {
+		t.Errorf("wildcard 0.0.0.0 -> %d, %v", l, err)
+	}
+	if _, err := parseWildcard("255.0.0.255"); err == nil {
+		t.Error("non-contiguous wildcard should fail")
+	}
+}
+
+func TestOSPFNetworkStatement(t *testing.T) {
+	d, warns := Parse(`hostname x
+interface e0
+ ip address 10.1.0.1 255.255.255.0
+router ospf 1
+ network 10.1.0.0 0.0.255.255 area 5
+`)
+	for _, w := range warns {
+		t.Errorf("warning: %v", w)
+	}
+	i := d.Interfaces["e0"]
+	if i.OSPF == nil || i.OSPF.Area != 5 {
+		t.Errorf("network statement did not enable ospf: %+v", i.OSPF)
+	}
+}

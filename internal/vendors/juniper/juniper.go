@@ -1,0 +1,792 @@
+// Package juniper parses a Junos-style "set"-command configuration dialect
+// into the vendor-independent model (pipeline Stage 1). Unlike the
+// hierarchical IOS dialect, every line is a full path from the root:
+//
+//	set system host-name r1
+//	set interfaces ge-0/0/0 unit 0 family inet address 10.0.0.1/30
+//	set protocols bgp group peers neighbor 10.0.0.2 peer-as 65001
+//
+// which exercises a second parsing strategy, mirroring how Batfish handles
+// configuration-syntax heterogeneity by converting every vendor's syntax
+// into one general representation (paper §7.2).
+package juniper
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/acl"
+	"repro/internal/config"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+)
+
+// Parse parses one device's configuration text.
+func Parse(text string) (*config.Device, []config.Warning) {
+	p := &parser{
+		d:        config.NewDevice("", "junos"),
+		groups:   make(map[string]*bgpGroup),
+		policies: make(map[string]*policyStmt),
+		filters:  make(map[string]*filter),
+	}
+	lines := strings.Split(text, "\n")
+	p.d.RawLines = len(lines)
+	for li, raw := range lines {
+		t := strings.TrimSpace(strings.TrimRight(raw, "\r"))
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		w := strings.Fields(t)
+		if w[0] != "set" {
+			p.warn(li, "expected 'set', got %q", w[0])
+			continue
+		}
+		p.parseSet(w[1:], li)
+	}
+	p.finish()
+	return p.d, p.warnings
+}
+
+type bgpGroup struct {
+	name      string
+	external  *bool // nil = unknown, inferred from peer-as
+	peerAS    uint32
+	importP   string
+	exportP   string
+	neighbors []*config.BGPNeighbor
+	multihop  bool
+	nhSelf    bool
+	localAddr ip4.Addr
+}
+
+type policyTerm struct {
+	name   string
+	clause config.RouteMapClause
+	action *config.Action // nil until then accept/reject
+}
+
+type policyStmt struct {
+	name  string
+	terms []*policyTerm
+	order []string
+}
+
+type filterTerm struct {
+	name   string
+	line   acl.Line
+	action *acl.Action
+}
+
+type filter struct {
+	name  string
+	terms []*filterTerm
+}
+
+type parser struct {
+	d        *config.Device
+	warnings []config.Warning
+	groups   map[string]*bgpGroup
+	policies map[string]*policyStmt
+	filters  map[string]*filter
+	asn      uint32
+	gOrder   []string
+	pOrder   []string
+	fOrder   []string
+}
+
+func (p *parser) warn(li int, format string, args ...any) {
+	p.warnings = append(p.warnings, config.Warning{
+		Device: p.d.Hostname, Line: li + 1, Text: fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *parser) iface(name string) *config.Interface {
+	if i, ok := p.d.Interfaces[name]; ok {
+		return i
+	}
+	i := &config.Interface{Name: name, Active: true}
+	p.d.Interfaces[name] = i
+	return i
+}
+
+func (p *parser) parseSet(w []string, li int) {
+	if len(w) == 0 {
+		return
+	}
+	switch w[0] {
+	case "system":
+		if len(w) >= 3 && w[1] == "host-name" {
+			p.d.Hostname = w[2]
+			return
+		}
+		return // other system config is irrelevant but recognized
+	case "interfaces":
+		p.parseInterfaces(w[1:], li)
+	case "protocols":
+		p.parseProtocols(w[1:], li)
+	case "routing-options":
+		p.parseRoutingOptions(w[1:], li)
+	case "policy-options":
+		p.parsePolicyOptions(w[1:], li)
+	case "firewall":
+		p.parseFirewall(w[1:], li)
+	case "security":
+		p.parseSecurity(w[1:], li)
+	default:
+		p.warn(li, "unrecognized hierarchy: set %s", strings.Join(w, " "))
+	}
+}
+
+func (p *parser) parseInterfaces(w []string, li int) {
+	if len(w) < 2 {
+		p.warn(li, "interfaces: too short")
+		return
+	}
+	i := p.iface(w[0])
+	rest := w[1:]
+	switch {
+	case rest[0] == "disable":
+		i.Active = false
+	case rest[0] == "description":
+		i.Description = strings.Trim(strings.Join(rest[1:], " "), `"`)
+	case rest[0] == "bandwidth" && len(rest) >= 2:
+		if bw, ok := parseBandwidth(rest[1]); ok {
+			i.Bandwidth = bw
+		}
+	case rest[0] == "unit" && len(rest) >= 4 && rest[2] == "family" && rest[3] == "inet":
+		fam := rest[4:]
+		switch {
+		case len(fam) >= 2 && fam[0] == "address":
+			pre, err := ip4.ParsePrefix(fam[1])
+			if err != nil {
+				p.warn(li, "bad address %q", fam[1])
+				return
+			}
+			i.Addresses = append(i.Addresses, pre)
+		case len(fam) >= 3 && fam[0] == "filter" && fam[1] == "input":
+			i.InACL = fam[2]
+			p.d.AddRef(config.RefACL, fam[2], "interface "+i.Name+" filter input")
+		case len(fam) >= 3 && fam[0] == "filter" && fam[1] == "output":
+			i.OutACL = fam[2]
+			p.d.AddRef(config.RefACL, fam[2], "interface "+i.Name+" filter output")
+		default:
+			p.warn(li, "interface %s: unrecognized family inet: %v", i.Name, fam)
+		}
+	default:
+		p.warn(li, "interface %s: unrecognized: %v", i.Name, rest)
+	}
+}
+
+func parseBandwidth(s string) (uint64, bool) {
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1_000_000_000, strings.TrimSuffix(s, "g")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1_000_000, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1_000, strings.TrimSuffix(s, "k")
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v * mult, true
+}
+
+func (p *parser) ospf() *config.OSPFConfig {
+	v := p.d.VRF(config.DefaultVRF)
+	if v.OSPF == nil {
+		v.OSPF = &config.OSPFConfig{ProcessID: 1}
+	}
+	return v.OSPF
+}
+
+func (p *parser) parseProtocols(w []string, li int) {
+	if len(w) == 0 {
+		return
+	}
+	switch w[0] {
+	case "ospf":
+		p.parseOSPF(w[1:], li)
+	case "bgp":
+		p.parseBGP(w[1:], li)
+	default:
+		p.warn(li, "unrecognized protocol: %v", w)
+	}
+}
+
+func (p *parser) parseOSPF(w []string, li int) {
+	proc := p.ospf()
+	switch {
+	case len(w) >= 2 && w[0] == "reference-bandwidth":
+		if bw, ok := parseBandwidth(w[1]); ok {
+			proc.RefBandwidth = bw
+		}
+	case len(w) >= 2 && w[0] == "router-id":
+		if a, err := ip4.ParseAddr(w[1]); err == nil {
+			proc.RouterID = a
+		}
+	case len(w) >= 4 && w[0] == "area" && w[2] == "interface":
+		areaV, err := strconv.Atoi(strings.TrimPrefix(w[1], "0.0.0."))
+		if err != nil {
+			if a, err2 := ip4.ParseAddr(w[1]); err2 == nil {
+				areaV = int(uint32(a))
+			} else {
+				p.warn(li, "bad area %q", w[1])
+				return
+			}
+		}
+		i := p.iface(w[3])
+		if i.OSPF == nil {
+			i.OSPF = &config.OSPFInterface{}
+		}
+		i.OSPF.Area = uint32(areaV)
+		rest := w[4:]
+		switch {
+		case len(rest) == 0:
+		case rest[0] == "metric" && len(rest) >= 2:
+			if v, err := strconv.Atoi(rest[1]); err == nil {
+				i.OSPF.Cost = uint32(v)
+			}
+		case rest[0] == "passive":
+			i.OSPF.Passive = true
+		default:
+			p.warn(li, "ospf interface %s: unrecognized: %v", w[3], rest)
+		}
+	case len(w) >= 2 && w[0] == "export":
+		// Junos exports into OSPF via policy: model as redistribution of
+		// static+connected filtered by the policy.
+		proc.Redistribute = append(proc.Redistribute,
+			config.Redistribution{From: config.RedistStatic, RouteMap: w[1]},
+			config.Redistribution{From: config.RedistConnected, RouteMap: w[1]},
+		)
+		p.d.AddRef(config.RefRouteMap, w[1], "protocols ospf export")
+	default:
+		p.warn(li, "ospf: unrecognized: %v", w)
+	}
+}
+
+func (p *parser) group(name string) *bgpGroup {
+	if g, ok := p.groups[name]; ok {
+		return g
+	}
+	g := &bgpGroup{name: name}
+	p.groups[name] = g
+	p.gOrder = append(p.gOrder, name)
+	return g
+}
+
+func (p *parser) parseBGP(w []string, li int) {
+	switch {
+	case len(w) >= 2 && w[0] == "group":
+		g := p.group(w[1])
+		rest := w[2:]
+		if len(rest) == 0 {
+			return
+		}
+		switch {
+		case rest[0] == "type" && len(rest) >= 2:
+			ext := rest[1] == "external"
+			g.external = &ext
+		case rest[0] == "peer-as" && len(rest) >= 2:
+			if v, err := strconv.ParseUint(rest[1], 10, 32); err == nil {
+				g.peerAS = uint32(v)
+			}
+		case rest[0] == "import" && len(rest) >= 2:
+			g.importP = rest[1]
+			p.d.AddRef(config.RefRouteMap, rest[1], "bgp group "+g.name+" import")
+		case rest[0] == "export" && len(rest) >= 2:
+			g.exportP = rest[1]
+			p.d.AddRef(config.RefRouteMap, rest[1], "bgp group "+g.name+" export")
+		case rest[0] == "multihop":
+			g.multihop = true
+		case rest[0] == "next-hop-self":
+			g.nhSelf = true
+		case rest[0] == "local-address" && len(rest) >= 2:
+			if a, err := ip4.ParseAddr(rest[1]); err == nil {
+				g.localAddr = a
+			} else {
+				p.warn(li, "bad local-address %q", rest[1])
+			}
+		case rest[0] == "neighbor" && len(rest) >= 2:
+			a, err := ip4.ParseAddr(rest[1])
+			if err != nil {
+				p.warn(li, "bad neighbor %q", rest[1])
+				return
+			}
+			var n *config.BGPNeighbor
+			for _, cand := range g.neighbors {
+				if cand.PeerIP == a {
+					n = cand
+				}
+			}
+			if n == nil {
+				n = &config.BGPNeighbor{PeerIP: a, SendCommunity: true}
+				g.neighbors = append(g.neighbors, n)
+			}
+			nrest := rest[2:]
+			switch {
+			case len(nrest) == 0:
+			case nrest[0] == "peer-as" && len(nrest) >= 2:
+				if v, err := strconv.ParseUint(nrest[1], 10, 32); err == nil {
+					n.RemoteAS = uint32(v)
+				}
+			case nrest[0] == "description":
+				n.Description = strings.Trim(strings.Join(nrest[1:], " "), `"`)
+			default:
+				p.warn(li, "bgp neighbor %s: unrecognized: %v", rest[1], nrest)
+			}
+		default:
+			p.warn(li, "bgp group %s: unrecognized: %v", g.name, rest)
+		}
+	case len(w) >= 1 && w[0] == "multipath":
+		// applies to both in our model
+		v := p.d.VRF(config.DefaultVRF)
+		if v.BGP == nil {
+			v.BGP = &config.BGPConfig{}
+		}
+		v.BGP.MultipathEBGP = true
+		v.BGP.MultipathIBGP = true
+	default:
+		p.warn(li, "bgp: unrecognized: %v", w)
+	}
+}
+
+func (p *parser) parseRoutingOptions(w []string, li int) {
+	switch {
+	case len(w) >= 2 && w[0] == "autonomous-system":
+		if v, err := strconv.ParseUint(w[1], 10, 32); err == nil {
+			p.asn = uint32(v)
+		}
+	case len(w) >= 2 && w[0] == "router-id":
+		if a, err := ip4.ParseAddr(w[1]); err == nil {
+			v := p.d.VRF(config.DefaultVRF)
+			if v.BGP == nil {
+				v.BGP = &config.BGPConfig{}
+			}
+			v.BGP.RouterID = a
+		}
+	case len(w) >= 3 && w[0] == "static" && w[1] == "route":
+		pre, err := ip4.ParsePrefix(w[2])
+		if err != nil {
+			p.warn(li, "bad static route prefix %q", w[2])
+			return
+		}
+		sr := config.StaticRoute{Prefix: pre}
+		rest := w[3:]
+		switch {
+		case len(rest) >= 1 && rest[0] == "discard":
+			sr.Drop = true
+		case len(rest) >= 2 && rest[0] == "next-hop":
+			if a, err := ip4.ParseAddr(rest[1]); err == nil {
+				sr.NextHop = a
+			} else {
+				sr.Iface = rest[1]
+				p.d.AddRef(config.RefInterface, rest[1], "static route next-hop")
+			}
+		case len(rest) >= 2 && rest[0] == "preference":
+			if v, err := strconv.Atoi(rest[1]); err == nil {
+				// merge with an existing route for the prefix if present
+				vv := p.d.VRF(config.DefaultVRF)
+				for idx := range vv.StaticRoutes {
+					if vv.StaticRoutes[idx].Prefix == pre {
+						vv.StaticRoutes[idx].AD = uint8(v)
+						return
+					}
+				}
+				sr.AD = uint8(v)
+			}
+		default:
+			p.warn(li, "static route: unrecognized: %v", rest)
+			return
+		}
+		vv := p.d.VRF(config.DefaultVRF)
+		vv.StaticRoutes = append(vv.StaticRoutes, sr)
+	case len(w) >= 1 && w[0] == "network":
+		// convenience: originate network into BGP
+		if len(w) >= 2 {
+			if pre, err := ip4.ParsePrefix(w[1]); err == nil {
+				v := p.d.VRF(config.DefaultVRF)
+				if v.BGP == nil {
+					v.BGP = &config.BGPConfig{}
+				}
+				v.BGP.Networks = append(v.BGP.Networks, pre)
+			}
+		}
+	default:
+		p.warn(li, "routing-options: unrecognized: %v", w)
+	}
+}
+
+func (p *parser) policy(name string) *policyStmt {
+	if ps, ok := p.policies[name]; ok {
+		return ps
+	}
+	ps := &policyStmt{name: name}
+	p.policies[name] = ps
+	p.pOrder = append(p.pOrder, name)
+	return ps
+}
+
+func (ps *policyStmt) term(name string) *policyTerm {
+	for _, t := range ps.terms {
+		if t.name == name {
+			return t
+		}
+	}
+	t := &policyTerm{name: name, clause: config.RouteMapClause{Seq: 10 * (len(ps.terms) + 1)}}
+	ps.terms = append(ps.terms, t)
+	return t
+}
+
+func (p *parser) parsePolicyOptions(w []string, li int) {
+	switch {
+	case len(w) >= 3 && w[0] == "prefix-list":
+		name := w[1]
+		pl := p.d.PrefixLists[name]
+		if pl == nil {
+			pl = &config.PrefixList{Name: name}
+			p.d.PrefixLists[name] = pl
+		}
+		pre, err := ip4.ParsePrefix(w[2])
+		if err != nil {
+			p.warn(li, "prefix-list %s: bad prefix %q", name, w[2])
+			return
+		}
+		e := config.PrefixListEntry{Action: config.Permit, Prefix: pre, Seq: 10 * (len(pl.Entries) + 1)}
+		rest := w[3:]
+		for len(rest) >= 1 {
+			switch {
+			case rest[0] == "exact":
+				rest = rest[1:]
+			case rest[0] == "orlonger":
+				e.Ge = pre.Len
+				rest = rest[1:]
+			case rest[0] == "longer":
+				e.Ge = pre.Len + 1
+				rest = rest[1:]
+			default:
+				p.warn(li, "prefix-list %s: unrecognized %q", name, rest[0])
+				rest = rest[1:]
+			}
+		}
+		pl.Entries = append(pl.Entries, e)
+	case len(w) >= 4 && w[0] == "community" && w[2] == "members":
+		name := w[1]
+		cl := p.d.CommunityLists[name]
+		if cl == nil {
+			cl = &config.CommunityList{Name: name}
+			p.d.CommunityLists[name] = cl
+		}
+		cl.Entries = append(cl.Entries, config.RegexEntry{
+			Action: config.Permit, Regex: "^" + w[3] + "$",
+		})
+	case len(w) >= 4 && w[0] == "as-path" && len(w) >= 3:
+		name := w[1]
+		al := p.d.ASPathLists[name]
+		if al == nil {
+			al = &config.ASPathList{Name: name}
+			p.d.ASPathLists[name] = al
+		}
+		al.Entries = append(al.Entries, config.RegexEntry{
+			Action: config.Permit, Regex: strings.Trim(strings.Join(w[2:], " "), `"`),
+		})
+	case len(w) >= 4 && w[0] == "policy-statement" && w[2] == "term":
+		ps := p.policy(w[1])
+		t := ps.term(w[3])
+		p.parsePolicyTerm(t, w[4:], li)
+	default:
+		p.warn(li, "policy-options: unrecognized: %v", w)
+	}
+}
+
+func (p *parser) parsePolicyTerm(t *policyTerm, w []string, li int) {
+	if len(w) == 0 {
+		return
+	}
+	switch w[0] {
+	case "from":
+		rest := w[1:]
+		switch {
+		case len(rest) >= 2 && rest[0] == "prefix-list":
+			t.clause.Matches = append(t.clause.Matches, config.Match{Kind: config.MatchPrefixList, Name: rest[1]})
+			p.d.AddRef(config.RefPrefixList, rest[1], "policy term from")
+		case len(rest) >= 2 && rest[0] == "community":
+			t.clause.Matches = append(t.clause.Matches, config.Match{Kind: config.MatchCommunityList, Name: rest[1]})
+			p.d.AddRef(config.RefCommunityList, rest[1], "policy term from")
+		case len(rest) >= 2 && rest[0] == "as-path":
+			t.clause.Matches = append(t.clause.Matches, config.Match{Kind: config.MatchASPathList, Name: rest[1]})
+			p.d.AddRef(config.RefASPathList, rest[1], "policy term from")
+		case len(rest) >= 2 && rest[0] == "protocol":
+			t.clause.Matches = append(t.clause.Matches, config.Match{Kind: config.MatchSourceProtocol, Proto: rest[1]})
+		case len(rest) >= 2 && rest[0] == "tag":
+			if v, err := strconv.Atoi(rest[1]); err == nil {
+				t.clause.Matches = append(t.clause.Matches, config.Match{Kind: config.MatchTag, Value: uint32(v)})
+			}
+		default:
+			p.warn(li, "policy term: unrecognized from: %v", rest)
+		}
+	case "then":
+		rest := w[1:]
+		switch {
+		case len(rest) >= 1 && rest[0] == "accept":
+			a := config.Permit
+			t.action = &a
+		case len(rest) >= 1 && rest[0] == "reject":
+			a := config.Deny
+			t.action = &a
+		case len(rest) >= 2 && rest[0] == "local-preference":
+			if v, err := strconv.Atoi(rest[1]); err == nil {
+				t.clause.Sets = append(t.clause.Sets, config.Set{Kind: config.SetLocalPref, Value: uint32(v)})
+			}
+		case len(rest) >= 2 && rest[0] == "metric":
+			if v, err := strconv.Atoi(rest[1]); err == nil {
+				t.clause.Sets = append(t.clause.Sets, config.Set{Kind: config.SetMetric, Value: uint32(v)})
+			}
+		case len(rest) >= 3 && rest[0] == "community" && rest[1] == "add":
+			if cl, ok := p.d.CommunityLists[rest[2]]; ok && len(cl.Entries) > 0 {
+				if v, ok := exactCommunity(cl.Entries[0].Regex); ok {
+					t.clause.Sets = append(t.clause.Sets, config.Set{Kind: config.SetCommunityAdditive, Communities: []uint32{v}})
+				}
+			} else {
+				p.d.AddRef(config.RefCommunityList, rest[2], "policy then community add")
+			}
+		case len(rest) >= 3 && rest[0] == "as-path-prepend":
+			if v, err := strconv.ParseUint(rest[1], 10, 32); err == nil {
+				t.clause.Sets = append(t.clause.Sets, config.Set{Kind: config.SetASPathPrepend, PrependASN: uint32(v), PrependN: len(rest) - 1})
+			}
+		default:
+			p.warn(li, "policy term: unrecognized then: %v", rest)
+		}
+	default:
+		p.warn(li, "policy term: unrecognized: %v", w)
+	}
+}
+
+// exactCommunity extracts "asn:val" from a "^asn:val$" regex.
+func exactCommunity(re string) (uint32, bool) {
+	s := strings.TrimSuffix(strings.TrimPrefix(re, "^"), "$")
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, false
+	}
+	hi, err1 := strconv.ParseUint(parts[0], 10, 16)
+	lo, err2 := strconv.ParseUint(parts[1], 10, 16)
+	if err1 != nil || err2 != nil {
+		return 0, false
+	}
+	return uint32(hi)<<16 | uint32(lo), true
+}
+
+func (p *parser) filterOf(name string) *filter {
+	if f, ok := p.filters[name]; ok {
+		return f
+	}
+	f := &filter{name: name}
+	p.filters[name] = f
+	p.fOrder = append(p.fOrder, name)
+	return f
+}
+
+func (f *filter) term(name string) *filterTerm {
+	for _, t := range f.terms {
+		if t.name == name {
+			return t
+		}
+	}
+	t := &filterTerm{name: name, line: acl.NewLine(acl.Permit, name)}
+	f.terms = append(f.terms, t)
+	return t
+}
+
+func (p *parser) parseFirewall(w []string, li int) {
+	// firewall filter NAME term T from|then ...
+	if len(w) < 4 || w[0] != "filter" || w[2] != "term" {
+		p.warn(li, "firewall: unrecognized: %v", w)
+		return
+	}
+	f := p.filterOf(w[1])
+	t := f.term(w[3])
+	rest := w[4:]
+	if len(rest) == 0 {
+		return
+	}
+	switch rest[0] {
+	case "from":
+		m := rest[1:]
+		switch {
+		case len(m) >= 2 && m[0] == "protocol":
+			switch m[1] {
+			case "tcp":
+				t.line.Protocol = hdr.ProtoTCP
+			case "udp":
+				t.line.Protocol = hdr.ProtoUDP
+			case "icmp":
+				t.line.Protocol = hdr.ProtoICMP
+			default:
+				if v, err := strconv.Atoi(m[1]); err == nil {
+					t.line.Protocol = v
+				}
+			}
+		case len(m) >= 2 && m[0] == "source-address":
+			if pre, err := ip4.ParsePrefix(m[1]); err == nil {
+				t.line.SrcIPs = append(t.line.SrcIPs, pre)
+			}
+		case len(m) >= 2 && m[0] == "destination-address":
+			if pre, err := ip4.ParsePrefix(m[1]); err == nil {
+				t.line.DstIPs = append(t.line.DstIPs, pre)
+			}
+		case len(m) >= 2 && m[0] == "destination-port":
+			if pr, ok := parsePortSpec(m[1]); ok {
+				t.line.DstPorts = append(t.line.DstPorts, pr)
+			}
+		case len(m) >= 2 && m[0] == "source-port":
+			if pr, ok := parsePortSpec(m[1]); ok {
+				t.line.SrcPorts = append(t.line.SrcPorts, pr)
+			}
+		case len(m) >= 1 && m[0] == "tcp-established":
+			t.line.Protocol = hdr.ProtoTCP
+			t.line.TCPFlags = &acl.TCPFlagsMatch{Mask: hdr.FlagACK, Value: hdr.FlagACK}
+		default:
+			p.warn(li, "firewall term: unrecognized from: %v", m)
+		}
+	case "then":
+		if len(rest) >= 2 {
+			switch rest[1] {
+			case "accept":
+				a := acl.Permit
+				t.action = &a
+			case "discard", "reject":
+				a := acl.Deny
+				t.action = &a
+			default:
+				p.warn(li, "firewall term: unrecognized then: %v", rest[1:])
+			}
+		}
+	default:
+		p.warn(li, "firewall term: unrecognized: %v", rest)
+	}
+}
+
+func parsePortSpec(s string) (acl.PortRange, bool) {
+	if strings.Contains(s, "-") {
+		parts := strings.SplitN(s, "-", 2)
+		lo, err1 := strconv.Atoi(parts[0])
+		hi, err2 := strconv.Atoi(parts[1])
+		if err1 == nil && err2 == nil {
+			return acl.PortRange{Lo: uint16(lo), Hi: uint16(hi)}, true
+		}
+		return acl.PortRange{}, false
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return acl.PortRange{}, false
+	}
+	return acl.PortRange{Lo: uint16(v), Hi: uint16(v)}, true
+}
+
+func (p *parser) parseSecurity(w []string, li int) {
+	switch {
+	case len(w) >= 5 && w[0] == "zones" && w[1] == "security-zone" && w[3] == "interfaces":
+		z := p.d.Zones[w[2]]
+		if z == nil {
+			z = &config.Zone{Name: w[2]}
+			p.d.Zones[w[2]] = z
+		}
+		z.Interfaces = append(z.Interfaces, w[4])
+		p.d.Stateful = true
+		if i, ok := p.d.Interfaces[w[4]]; ok {
+			i.Zone = w[2]
+		}
+	case len(w) >= 8 && w[0] == "policies" && w[1] == "from-zone" && w[3] == "to-zone":
+		// security policies from-zone A to-zone B policy P acl NAME|permit-all
+		from, to := w[2], w[4]
+		p.d.AddRef(config.RefZone, from, "security policy from-zone")
+		p.d.AddRef(config.RefZone, to, "security policy to-zone")
+		zp := config.ZonePolicy{FromZone: from, ToZone: to}
+		switch {
+		case w[7] == "permit-all":
+		case w[7] == "acl" && len(w) >= 9:
+			zp.ACL = w[8]
+			p.d.AddRef(config.RefACL, w[8], "security policy")
+		default:
+			p.warn(li, "security policy: unrecognized action: %v", w[7:])
+			return
+		}
+		p.d.ZonePolicies = append(p.d.ZonePolicies, zp)
+	default:
+		p.warn(li, "security: unrecognized: %v", w)
+	}
+}
+
+// finish materializes accumulated groups, policies, and filters into the
+// VI model.
+func (p *parser) finish() {
+	// Policies -> route maps (terms with no explicit action accept, the
+	// common Junos authoring style where the last term is "then accept").
+	for _, name := range p.pOrder {
+		ps := p.policies[name]
+		rm := &config.RouteMap{Name: name}
+		for _, t := range ps.terms {
+			c := t.clause
+			c.Action = config.Permit
+			if t.action != nil {
+				c.Action = *t.action
+			}
+			rm.Clauses = append(rm.Clauses, c)
+		}
+		p.d.RouteMaps[name] = rm
+	}
+	// Filters -> ACLs.
+	for _, name := range p.fOrder {
+		f := p.filters[name]
+		a := &acl.ACL{Name: name}
+		for _, t := range f.terms {
+			l := t.line
+			if t.action != nil {
+				l.Action = acl.Action(*t.action)
+			}
+			a.Lines = append(a.Lines, l)
+		}
+		p.d.ACLs[name] = a
+	}
+	// BGP groups -> process neighbors.
+	if len(p.gOrder) > 0 || p.asn != 0 {
+		v := p.d.VRF(config.DefaultVRF)
+		if v.BGP == nil {
+			v.BGP = &config.BGPConfig{}
+		}
+		v.BGP.ASN = p.asn
+		for _, gn := range p.gOrder {
+			g := p.groups[gn]
+			// Resolve local-address to the owning interface (the model's
+			// update-source is interface-based).
+			updateSource := ""
+			if g.localAddr != 0 {
+				for name, i := range p.d.Interfaces {
+					for _, a := range i.Addresses {
+						if a.Addr == g.localAddr {
+							updateSource = name
+						}
+					}
+				}
+			}
+			for _, n := range g.neighbors {
+				if n.RemoteAS == 0 {
+					n.RemoteAS = g.peerAS
+				}
+				if n.RemoteAS == 0 && g.external != nil && !*g.external {
+					n.RemoteAS = p.asn
+				}
+				n.ImportPolicy = g.importP
+				n.ExportPolicy = g.exportP
+				n.EBGPMultihop = g.multihop
+				n.NextHopSelf = g.nhSelf
+				n.UpdateSource = updateSource
+				v.BGP.Neighbors = append(v.BGP.Neighbors, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package juniper
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/hdr"
+	"repro/internal/ip4"
+)
+
+const sampleConfig = `
+set system host-name core1
+set interfaces ge-0/0/0 description "to edge"
+set interfaces ge-0/0/0 unit 0 family inet address 10.0.0.2/30
+set interfaces ge-0/0/0 unit 0 family inet filter input PROTECT
+set interfaces ge-0/0/1 unit 0 family inet address 192.168.10.1/24
+set interfaces ge-0/0/1 disable
+set interfaces ge-0/0/2 unit 0 family inet address 10.0.1.1/30
+set interfaces ge-0/0/2 unit 0 family inet filter output EGRESS
+set protocols ospf reference-bandwidth 100g
+set protocols ospf area 0 interface ge-0/0/0 metric 10
+set protocols ospf area 0 interface ge-0/0/2
+set protocols ospf area 0 interface ge-0/0/1 passive
+set routing-options autonomous-system 65010
+set routing-options static route 0.0.0.0/0 next-hop 10.0.0.1
+set routing-options static route 198.51.100.0/24 discard
+set protocols bgp group transit type external
+set protocols bgp group transit peer-as 65020
+set protocols bgp group transit import FROM_TRANSIT
+set protocols bgp group transit export TO_TRANSIT
+set protocols bgp group transit neighbor 10.0.0.1
+set protocols bgp group ibgp type internal
+set protocols bgp group ibgp neighbor 10.0.1.2 peer-as 65010
+set protocols bgp multipath
+set policy-options prefix-list OURS 198.51.100.0/24
+set policy-options prefix-list OURS 192.168.10.0/24 orlonger
+set policy-options community CUSTOMERS members 65010:100
+set policy-options policy-statement FROM_TRANSIT term good from prefix-list OURS
+set policy-options policy-statement FROM_TRANSIT term good then reject
+set policy-options policy-statement FROM_TRANSIT term rest then local-preference 120
+set policy-options policy-statement FROM_TRANSIT term rest then accept
+set policy-options policy-statement TO_TRANSIT term ours from prefix-list OURS
+set policy-options policy-statement TO_TRANSIT term ours then accept
+set policy-options policy-statement TO_TRANSIT term nothing then reject
+set firewall filter PROTECT term bgp from protocol tcp
+set firewall filter PROTECT term bgp from destination-port 179
+set firewall filter PROTECT term bgp from source-address 10.0.0.0/30
+set firewall filter PROTECT term bgp then accept
+set firewall filter PROTECT term estab from tcp-established
+set firewall filter PROTECT term estab then accept
+set firewall filter PROTECT term rest then discard
+set firewall filter EGRESS term all then accept
+set security zones security-zone trust interfaces ge-0/0/1
+set security zones security-zone untrust interfaces ge-0/0/0
+set security policies from-zone trust to-zone untrust policy out acl EGRESS
+`
+
+func parseSample(t *testing.T) *config.Device {
+	t.Helper()
+	d, warns := Parse(sampleConfig)
+	for _, w := range warns {
+		t.Errorf("unexpected warning: %v", w)
+	}
+	if d.Hostname != "core1" {
+		t.Fatalf("hostname = %q", d.Hostname)
+	}
+	return d
+}
+
+func TestInterfaces(t *testing.T) {
+	d := parseSample(t)
+	g0 := d.Interfaces["ge-0/0/0"]
+	if g0 == nil || g0.Description != "to edge" {
+		t.Fatalf("ge-0/0/0 = %+v", g0)
+	}
+	if len(g0.Addresses) != 1 || g0.Addresses[0] != ip4.MustParsePrefix("10.0.0.2/30") {
+		t.Errorf("addresses = %v", g0.Addresses)
+	}
+	if g0.InACL != "PROTECT" {
+		t.Errorf("input filter = %q", g0.InACL)
+	}
+	if d.Interfaces["ge-0/0/1"].Active {
+		t.Error("disabled interface should be inactive")
+	}
+	if d.Interfaces["ge-0/0/2"].OutACL != "EGRESS" {
+		t.Error("output filter missing")
+	}
+}
+
+func TestOSPF(t *testing.T) {
+	d := parseSample(t)
+	proc := d.VRFs[config.DefaultVRF].OSPF
+	if proc == nil || proc.RefBandwidth != 100_000_000_000 {
+		t.Fatalf("ospf = %+v", proc)
+	}
+	g0 := d.Interfaces["ge-0/0/0"]
+	if g0.OSPF == nil || g0.OSPF.Cost != 10 || g0.OSPF.Area != 0 {
+		t.Errorf("ge-0/0/0 ospf = %+v", g0.OSPF)
+	}
+	if !d.Interfaces["ge-0/0/1"].OSPF.Passive {
+		t.Error("passive not set")
+	}
+}
+
+func TestStatics(t *testing.T) {
+	d := parseSample(t)
+	srs := d.VRFs[config.DefaultVRF].StaticRoutes
+	if len(srs) != 2 {
+		t.Fatalf("statics = %+v", srs)
+	}
+	if srs[0].NextHop != ip4.MustParseAddr("10.0.0.1") {
+		t.Errorf("static 0 = %+v", srs[0])
+	}
+	if !srs[1].Drop {
+		t.Errorf("discard route = %+v", srs[1])
+	}
+}
+
+func TestBGPGroups(t *testing.T) {
+	d := parseSample(t)
+	proc := d.VRFs[config.DefaultVRF].BGP
+	if proc == nil || proc.ASN != 65010 {
+		t.Fatalf("bgp = %+v", proc)
+	}
+	if !proc.MultipathEBGP || !proc.MultipathIBGP {
+		t.Error("multipath not set")
+	}
+	if len(proc.Neighbors) != 2 {
+		t.Fatalf("neighbors = %+v", proc.Neighbors)
+	}
+	ext := proc.Neighbors[0]
+	if ext.PeerIP != ip4.MustParseAddr("10.0.0.1") || ext.RemoteAS != 65020 ||
+		ext.ImportPolicy != "FROM_TRANSIT" || ext.ExportPolicy != "TO_TRANSIT" {
+		t.Errorf("transit neighbor = %+v", ext)
+	}
+	internal := proc.Neighbors[1]
+	if internal.RemoteAS != 65010 {
+		t.Errorf("ibgp neighbor = %+v", internal)
+	}
+}
+
+func TestPolicyStatements(t *testing.T) {
+	d := parseSample(t)
+	rm := d.RouteMaps["FROM_TRANSIT"]
+	if rm == nil || len(rm.Clauses) != 2 {
+		t.Fatalf("FROM_TRANSIT = %+v", rm)
+	}
+	// Term "good": reject our own prefixes from transit.
+	if rm.Clauses[0].Action != config.Deny || len(rm.Clauses[0].Matches) != 1 {
+		t.Errorf("term good = %+v", rm.Clauses[0])
+	}
+	// Term "rest": accept with LP 120.
+	if rm.Clauses[1].Action != config.Permit {
+		t.Errorf("term rest action = %v", rm.Clauses[1].Action)
+	}
+	foundLP := false
+	for _, s := range rm.Clauses[1].Sets {
+		if s.Kind == config.SetLocalPref && s.Value == 120 {
+			foundLP = true
+		}
+	}
+	if !foundLP {
+		t.Errorf("term rest sets = %+v", rm.Clauses[1].Sets)
+	}
+}
+
+func TestPrefixListsAndCommunities(t *testing.T) {
+	d := parseSample(t)
+	pl := d.PrefixLists["OURS"]
+	if pl == nil || len(pl.Entries) != 2 {
+		t.Fatalf("OURS = %+v", pl)
+	}
+	// exact entry
+	if !pl.Permits(ip4.MustParsePrefix("198.51.100.0/24")) {
+		t.Error("exact prefix should match")
+	}
+	if pl.Permits(ip4.MustParsePrefix("198.51.100.0/25")) {
+		t.Error("longer prefix should not match exact entry")
+	}
+	// orlonger entry
+	if !pl.Permits(ip4.MustParsePrefix("192.168.10.128/25")) {
+		t.Error("orlonger should match longer prefixes")
+	}
+	cl := d.CommunityLists["CUSTOMERS"]
+	if cl == nil || !cl.MatchesCommunities([]string{"65010:100"}) {
+		t.Error("community members wrong")
+	}
+	if cl.MatchesCommunities([]string{"65010:1000"}) {
+		t.Error("exact community must not match superstring")
+	}
+}
+
+func TestFirewallFilters(t *testing.T) {
+	d := parseSample(t)
+	f := d.ACLs["PROTECT"]
+	if f == nil || len(f.Lines) != 3 {
+		t.Fatalf("PROTECT = %+v", f)
+	}
+	bgpPkt := hdr.Packet{Protocol: hdr.ProtoTCP, DstPort: 179, SrcIP: ip4.MustParseAddr("10.0.0.1")}
+	if f.Eval(bgpPkt).LineIndex != 0 {
+		t.Errorf("bgp term should match: %+v", f.Eval(bgpPkt))
+	}
+	estab := hdr.Packet{Protocol: hdr.ProtoTCP, TCPFlags: hdr.FlagACK, DstPort: 9999, SrcIP: ip4.MustParseAddr("1.1.1.1")}
+	if d := f.Eval(estab); d.LineIndex != 1 {
+		t.Errorf("established term should match: %+v", d)
+	}
+	fresh := hdr.Packet{Protocol: hdr.ProtoTCP, TCPFlags: hdr.FlagSYN, DstPort: 9999}
+	if d := f.Eval(fresh); d.LineName != "rest" || d.Action.String() != "deny" {
+		t.Errorf("rest term should discard: %+v", d)
+	}
+}
+
+func TestZones(t *testing.T) {
+	d := parseSample(t)
+	if len(d.Zones) != 2 || !d.Stateful {
+		t.Fatalf("zones = %+v stateful=%v", d.Zones, d.Stateful)
+	}
+	if d.ZoneOf("ge-0/0/1") != "trust" {
+		t.Errorf("zone of ge-0/0/1 = %q", d.ZoneOf("ge-0/0/1"))
+	}
+	if len(d.ZonePolicies) != 1 || d.ZonePolicies[0].ACL != "EGRESS" {
+		t.Errorf("zone policies = %+v", d.ZonePolicies)
+	}
+}
+
+func TestWarningsOnGarbage(t *testing.T) {
+	_, warns := Parse("set system host-name x\nnonsense line\nset bogus hierarchy thing\n")
+	if len(warns) < 2 {
+		t.Errorf("expected warnings: %v", warns)
+	}
+}
+
+func TestBandwidthSuffixes(t *testing.T) {
+	cases := map[string]uint64{"10g": 10_000_000_000, "100m": 100_000_000, "64k": 64_000, "1000": 1000}
+	for in, want := range cases {
+		if got, ok := parseBandwidth(in); !ok || got != want {
+			t.Errorf("parseBandwidth(%q) = %d, want %d", in, got, want)
+		}
+	}
+	if _, ok := parseBandwidth("fast"); ok {
+		t.Error("junk bandwidth should fail")
+	}
+}
