@@ -1,0 +1,31 @@
+# Build/test gates for the repro module. `make check` is the PR gate:
+# vet + full tests + race. The race target runs with -short so the
+# 200-device determinism test shrinks to an affordable size under the
+# race detector; TestParallelismMatchesSerial and the parallel engine
+# paths still run with the worker pool enabled, which is the point.
+
+GO ?= go
+
+.PHONY: build vet test race check bench benchjson
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+	$(GO) test -race -run 'TestParallelismMatchesSerial|TestPoolConcurrentInterning' ./internal/dataplane/ ./internal/routing/
+
+check: vet test race
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Emit a dated perf snapshot (BENCH_<date>.json) from the benchmarks.
+benchjson:
+	$(GO) test -bench . -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson

@@ -441,13 +441,25 @@ func BenchmarkRelProd(b *testing.B) {
 
 // BenchmarkParallelism: simulation speedup from intra-color parallelism
 // (§4.1.1 "we can also speed up the computation by introducing high levels
-// of parallelism").
+// of parallelism") on a 204-device fat-tree. Each worker count reports
+// allocs/op plus a speedup-vs-serial metric (ratio of the serial ns/op to
+// this run's ns/op). The serial variant doubles as the pool-sharding
+// no-regression check.
 func BenchmarkParallelism(b *testing.B) {
-	gen := netgen.Fabric(netgen.FabricParams{Name: "pp", Spines: 4, Pods: 6,
-		AggPerPod: 2, TorPerPod: 8, HostNetsPerTor: 1, Multipath: true})
-	for _, par := range []int{1, 4, 16} {
+	gen := netgen.Fabric(netgen.FabricParams{Name: "pp", Spines: 4, Pods: 10,
+		AggPerPod: 2, TorPerPod: 18, HostNetsPerTor: 1, Multipath: true})
+	if n := gen.Devices; len(n) < 200 {
+		b.Fatalf("fabric too small: %d devices", len(n))
+	}
+	levels := []int{1, 2, 4, 8}
+	if g := runtime.GOMAXPROCS(0); g > 8 {
+		levels = append(levels, g)
+	}
+	var serialNs float64
+	for _, par := range levels {
 		par := par
-		b.Run(fmt.Sprintf("workers-%d", par), func(b *testing.B) {
+		b.Run(fmt.Sprintf("dev-%d/workers-%d", len(gen.Devices), par), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				net, _ := gen.Parse()
@@ -456,6 +468,12 @@ func BenchmarkParallelism(b *testing.B) {
 				if !r.Converged {
 					b.Fatal("no convergence")
 				}
+			}
+			nsOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if par == 1 {
+				serialNs = nsOp
+			} else if serialNs > 0 {
+				b.ReportMetric(serialNs/nsOp, "speedup")
 			}
 		})
 	}

@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` output into a dated JSON
+// file, giving the repository a perf trajectory: each PR can run the
+// benchmarks and commit a BENCH_<date>.json snapshot that later PRs diff
+// against.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | go run ./cmd/benchjson [-o DIR]
+//
+// The emitter parses the standard benchmark line format — name, run
+// count, ns/op, optional B/op and allocs/op, and any custom metrics
+// (e.g. the simulator's iterations/op or speedup) — plus the goos/
+// goarch/pkg/cpu preamble.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	BPerOp  float64            `json:"bytes_per_op,omitempty"`
+	Allocs  float64            `json:"allocs_per_op,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the emitted document.
+type File struct {
+	Date    string   `json:"date"`
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	outDir := flag.String("o", ".", "directory for BENCH_<date>.json")
+	flag.Parse()
+
+	doc := File{Date: time.Now().UTC().Format("2006-01-02")}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	path := filepath.Join(*outDir, "BENCH_"+doc.Date+".json")
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(doc.Results))
+}
+
+// parseLine handles "BenchmarkName-8  10  123 ns/op  4 B/op  2 allocs/op
+// 1.5 custom/op". Fields come in (value, unit) pairs after the run count.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Runs: runs}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BPerOp = v
+		case "allocs/op":
+			r.Allocs = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[strings.TrimSuffix(unit, "/op")] = v
+		}
+	}
+	return r, true
+}

@@ -138,7 +138,7 @@ func TestRegexEntryCompileCached(t *testing.T) {
 		t.Error("bad regex should error")
 	}
 	// Malformed regexes never match.
-	if matchRegexList([]RegexEntry{bad}, "anything") {
+	if matchRegexList([]RegexEntry{{Regex: "("}}, "anything") {
 		t.Error("malformed regex matched")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"regexp"
 	"strings"
+	"sync"
 
 	"repro/internal/ip4"
 )
@@ -154,18 +155,20 @@ type ASPathList struct {
 type RegexEntry struct {
 	Action Action
 	Regex  string
+	once   sync.Once
 	re     *regexp.Regexp
 	reErr  error
 }
 
 // Compile translates the vendor-style regex to a Go regexp. The Cisco "_"
-// metacharacter matches a delimiter (start, end, or space).
+// metacharacter matches a delimiter (start, end, or space). Compilation is
+// cached under a sync.Once: policy evaluation runs concurrently across
+// same-color nodes that can share a device's lists.
 func (e *RegexEntry) Compile() (*regexp.Regexp, error) {
-	if e.re != nil || e.reErr != nil {
-		return e.re, e.reErr
-	}
-	translated := strings.ReplaceAll(e.Regex, "_", "(^| |$)")
-	e.re, e.reErr = regexp.Compile(translated)
+	e.once.Do(func() {
+		translated := strings.ReplaceAll(e.Regex, "_", "(^| |$)")
+		e.re, e.reErr = regexp.Compile(translated)
+	})
 	return e.re, e.reErr
 }
 

@@ -135,45 +135,55 @@ func (e *Engine) establishSessions() {
 		vs.multipathEBGP = cv.BGP.MultipathEBGP
 		vs.multipathIBGP = cv.BGP.MultipathIBGP
 	})
-	e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
-		if cv.BGP == nil {
-			return
-		}
-		for _, n := range cv.BGP.Neighbors {
-			s := &Session{
-				LocalNode: node, LocalVRF: cv.Name, LocalAS: cv.BGP.ASN,
-				PeerIP: n.PeerIP, PeerAS: n.RemoteAS, Neighbor: n,
-			}
-			s.LocalIP = e.sourceIPFor(node, d, cv.Name, n)
-			s.EBGP = n.RemoteAS != cv.BGP.ASN
-			if s.LocalIP == 0 {
-				s.DownReason = "no local source IP"
-				vs.Sessions = append(vs.Sessions, s)
+	// Session construction is per-device independent: it reads only
+	// immutable config, the IP-ownership index, and the already-built FIBs
+	// (for TCP viability walks), and writes only the local VRF's session
+	// list — so devices fan out over the worker pool.
+	e.runParallel(e.net.DeviceNames(), func(node string) {
+		d := e.net.Devices[node]
+		ns := e.nodes[node]
+		for _, vn := range sortedVRFNames(ns) {
+			cv := d.VRFs[vn]
+			vs := ns.VRFs[vn]
+			if cv == nil || cv.BGP == nil {
 				continue
 			}
-			// Find the compatible remote end.
-			peerNode, peerVRF, why := e.findPeer(s)
-			if peerNode == "" {
-				s.DownReason = why
-				vs.Sessions = append(vs.Sessions, s)
-				continue
-			}
-			s.PeerNode, s.PeerVRF = peerNode, peerVRF
-			// Single-hop eBGP requires the peer on a connected subnet.
-			if s.EBGP && !n.EBGPMultihop {
-				if _, ok := e.connIface(node, cv.Name, n.PeerIP); !ok {
-					s.DownReason = "eBGP peer not connected (no multihop)"
+			for _, n := range cv.BGP.Neighbors {
+				s := &Session{
+					LocalNode: node, LocalVRF: cv.Name, LocalAS: cv.BGP.ASN,
+					PeerIP: n.PeerIP, PeerAS: n.RemoteAS, Neighbor: n,
+				}
+				s.LocalIP = e.sourceIPFor(node, d, cv.Name, n)
+				s.EBGP = n.RemoteAS != cv.BGP.ASN
+				if s.LocalIP == 0 {
+					s.DownReason = "no local source IP"
 					vs.Sessions = append(vs.Sessions, s)
 					continue
 				}
-			}
-			if ok, why := e.sessionViable(s); !ok {
-				s.DownReason = why
+				// Find the compatible remote end.
+				peerNode, peerVRF, why := e.findPeer(s)
+				if peerNode == "" {
+					s.DownReason = why
+					vs.Sessions = append(vs.Sessions, s)
+					continue
+				}
+				s.PeerNode, s.PeerVRF = peerNode, peerVRF
+				// Single-hop eBGP requires the peer on a connected subnet.
+				if s.EBGP && !n.EBGPMultihop {
+					if _, ok := e.connIface(node, cv.Name, n.PeerIP); !ok {
+						s.DownReason = "eBGP peer not connected (no multihop)"
+						vs.Sessions = append(vs.Sessions, s)
+						continue
+					}
+				}
+				if ok, why := e.sessionViable(s); !ok {
+					s.DownReason = why
+					vs.Sessions = append(vs.Sessions, s)
+					continue
+				}
+				s.Up = true
 				vs.Sessions = append(vs.Sessions, s)
-				continue
 			}
-			s.Up = true
-			vs.Sessions = append(vs.Sessions, s)
 		}
 	})
 	// Collect the global session list (each direction once).

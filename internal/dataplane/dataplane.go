@@ -22,8 +22,8 @@ package dataplane
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/config"
 	"repro/internal/fib"
@@ -59,7 +59,10 @@ type Options struct {
 	// snapshots instead of delta emptiness (the memory-hungry classic
 	// method, §4.1.3; ablation only).
 	FullStateConvergence bool
-	// Parallelism caps concurrent nodes within a color class; 0 = serial.
+	// Parallelism is the number of workers used within a color class and
+	// for the per-node FIB/session stages. 0 (the default) means
+	// runtime.GOMAXPROCS(0): parallel execution is the production default.
+	// Pass 1 (or any negative value) to force serial execution.
 	// Determinism holds for any value because same-color nodes share no
 	// adjacency.
 	Parallelism int
@@ -70,6 +73,18 @@ func (o Options) maxIters() int {
 		return o.MaxIterations
 	}
 	return 500
+}
+
+// workers resolves Parallelism to a concrete worker count.
+func (o Options) workers() int {
+	switch {
+	case o.Parallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism < 1:
+		return 1
+	default:
+		return o.Parallelism
+	}
 }
 
 // NodeState is the computed state of one device.
@@ -148,13 +163,14 @@ type Result struct {
 
 // Engine runs the simulation.
 type Engine struct {
-	net   *config.Network
-	topo  *topo.Topology
-	opts  Options
-	clock *routing.Clock
-	pool  *routing.Pool
-	nodes map[string]*NodeState
-	res   *Result
+	net     *config.Network
+	topo    *topo.Topology
+	opts    Options
+	clock   *routing.Clock
+	pool    *routing.Pool
+	nodes   map[string]*NodeState
+	res     *Result
+	workers *workerPool // nil when running serially
 
 	// ipOwner maps an interface IP to its owner, for session matching and
 	// next-hop resolution.
@@ -187,6 +203,20 @@ func New(net *config.Network, opts Options) *Engine {
 			}
 			for _, p := range i.Addresses {
 				e.ipOwner[p.Addr] = append(e.ipOwner[p.Addr], ifaceRef{node: name, iface: in, vrf: i.VRFOrDefault()})
+			}
+		}
+	}
+	// Materialize every VRF state up front (configured VRFs plus any VRF an
+	// interface references), so e.vrf is a pure map read during parallel
+	// phases instead of a create-on-miss that would race.
+	for _, name := range net.DeviceNames() {
+		d := net.Devices[name]
+		for vn := range d.VRFs {
+			e.vrf(name, vn)
+		}
+		for _, in := range d.InterfaceNames() {
+			if i := d.Interfaces[in]; i.Active {
+				e.vrf(name, i.VRFOrDefault())
 			}
 		}
 	}
@@ -233,6 +263,14 @@ func (e *Engine) Run() *Result {
 	}
 	e.res = r
 
+	if w := e.opts.workers(); w > 1 {
+		e.workers = newWorkerPool(w)
+		defer func() {
+			e.workers.close()
+			e.workers = nil
+		}()
+	}
+
 	e.initConnected()
 	e.installStatics()
 
@@ -277,28 +315,18 @@ func (e *Engine) forEachVRF(fn func(node string, d *config.Device, cv *config.VR
 	}
 }
 
-// runParallel executes fn over the given node names, bounded by the
-// configured parallelism. Callers guarantee the nodes are independent
-// (same color class).
+// runParallel executes fn over the given node names on the engine's
+// persistent worker pool (serially when the pool is absent or the batch is
+// trivial). Callers guarantee the nodes are independent (same color class,
+// or a stage that only writes node-local state).
 func (e *Engine) runParallel(nodes []string, fn func(node string)) {
-	if e.opts.Parallelism <= 1 || len(nodes) <= 1 {
+	if e.workers == nil || len(nodes) <= 1 {
 		for _, n := range nodes {
 			fn(n)
 		}
 		return
 	}
-	sem := make(chan struct{}, e.opts.Parallelism)
-	var wg sync.WaitGroup
-	for _, n := range nodes {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(n string) {
-			defer wg.Done()
-			fn(n)
-			<-sem
-		}(n)
-	}
-	wg.Wait()
+	e.workers.run(nodes, fn)
 }
 
 // warnf records a simulation warning.

@@ -635,13 +635,19 @@ func TestBGPMultipath(t *testing.T) {
 }
 
 func TestParallelismMatchesSerial(t *testing.T) {
+	// -1 forces serial; 0 is the GOMAXPROCS default; 8 is explicit
+	// parallelism. All must produce identical state.
 	h := func(par int) uint64 {
 		r := Run(ospfTriangle(), Options{Parallelism: par})
 		e := &Engine{net: r.Network, nodes: r.Nodes}
 		return e.ribStateHash(func(vs *VRFState) *routing.RIB { return vs.Main })
 	}
-	if h(0) != h(8) {
-		t.Error("parallel simulation diverged from serial")
+	serial := h(-1)
+	if serial != h(0) {
+		t.Error("default-parallel simulation diverged from serial")
+	}
+	if serial != h(8) {
+		t.Error("8-worker simulation diverged from serial")
 	}
 }
 

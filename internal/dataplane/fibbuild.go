@@ -1,27 +1,47 @@
 package dataplane
 
 import (
-	"repro/internal/config"
+	"fmt"
+
 	"repro/internal/fib"
 	"repro/internal/ip4"
 )
 
 // buildFIBs converts every VRF's main RIB into a FIB, resolving recursive
-// next hops against connected interfaces and the topology.
+// next hops against connected interfaces and the topology. Devices build
+// in parallel on the engine's worker pool — each build reads only the
+// device's own RIB plus immutable config/topology, and writes only its own
+// VRF states. Warnings are buffered per device and appended in device
+// order so the report is deterministic.
 func (e *Engine) buildFIBs() {
-	e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
-		res := fib.Resolver{
-			IfaceForConnected: func(a ip4.Addr) (string, bool) {
-				return e.connIface(node, cv.Name, a)
-			},
-			NodeForNextHop: func(iface string, nh ip4.Addr) string {
-				return e.neighborFor(node, iface, nh)
-			},
+	names := e.net.DeviceNames()
+	warnings := make([][]string, len(names))
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	e.runParallel(names, func(node string) {
+		ns := e.nodes[node]
+		var warns []string
+		for _, vn := range sortedVRFNames(ns) {
+			vs := ns.VRFs[vn]
+			res := fib.Resolver{
+				IfaceForConnected: func(a ip4.Addr) (string, bool) {
+					return e.connIface(node, vn, a)
+				},
+				NodeForNextHop: func(iface string, nh ip4.Addr) string {
+					return e.neighborFor(node, iface, nh)
+				},
+			}
+			f, unresolved := fib.BuildFromRIB(vs.Main, res)
+			for _, rt := range unresolved {
+				warns = append(warns, fmt.Sprintf("%s/%s: route %v has unresolvable next hop", node, vn, rt))
+			}
+			vs.FIB = f
 		}
-		f, unresolved := fib.BuildFromRIB(vs.Main, res)
-		for _, rt := range unresolved {
-			e.warnf("%s/%s: route %v has unresolvable next hop", node, cv.Name, rt)
-		}
-		vs.FIB = f
+		warnings[idx[node]] = warns
 	})
+	for _, ws := range warnings {
+		e.res.Warnings = append(e.res.Warnings, ws...)
+	}
 }

@@ -1,0 +1,53 @@
+package dataplane
+
+// Fingerprint returns a deterministic hash of the computed control- and
+// forwarding-plane state: every VRF's per-protocol RIB state plus the
+// resolved FIB entries, folded in sorted device/VRF order. Two runs over
+// the same network must produce equal fingerprints regardless of
+// Options.Parallelism — logical clocks are scheduling artifacts and are
+// excluded (RIB state hashes cover route identity only). This is what
+// TestParallelDeterminism compares across worker counts.
+func (r *Result) Fingerprint() uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			mix(uint64(s[i]))
+		}
+		mix(0xff) // terminator so "ab","c" != "a","bc"
+	}
+	for _, name := range r.Network.DeviceNames() {
+		ns := r.Nodes[name]
+		if ns == nil {
+			continue
+		}
+		mixStr(name)
+		for _, vn := range sortedVRFNames(ns) {
+			vs := ns.VRFs[vn]
+			mixStr(vn)
+			mix(vs.ConnRIB.StateHash())
+			mix(vs.StatRIB.StateHash())
+			mix(vs.OSPFRIB.StateHash())
+			mix(vs.BGPRIB.StateHash())
+			mix(vs.Main.StateHash())
+			if vs.FIB == nil {
+				continue
+			}
+			for _, ent := range vs.FIB.Entries() {
+				mix(uint64(ent.Prefix.Addr)<<8 | uint64(ent.Prefix.Len))
+				for _, nh := range ent.NextHops {
+					mixStr(nh.Iface)
+					mixStr(nh.Node)
+					mix(uint64(nh.IP))
+					if nh.Drop {
+						mix(1)
+					}
+				}
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,63 @@
+package dataplane
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool is a persistent set of goroutines owned by the Engine for the
+// lifetime of one Run. The colored schedule (§4.1.2) dispatches hundreds of
+// short phases on large fabrics — one process and one publish phase per
+// color per iteration — so spawning a goroutine (plus a semaphore acquire)
+// per node per phase dominates phase cost. With a persistent pool a phase
+// costs one channel send per participating worker instead.
+type workerPool struct {
+	jobs chan func()
+	n    int
+}
+
+// newWorkerPool starts n workers.
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{jobs: make(chan func()), n: n}
+	for i := 0; i < n; i++ {
+		go func() {
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn over nodes on the pool and blocks until every call has
+// returned. Workers pull indices from a shared atomic cursor, so unequal
+// per-node costs (hub routers vs leaves) self-balance without any
+// pre-partitioning. Only one run may be active at a time (the engine's
+// phases are sequential), which guarantees the sends below never block on
+// a busy pool.
+func (p *workerPool) run(nodes []string, fn func(node string)) {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	k := p.n
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	wg.Add(k)
+	body := func() {
+		defer wg.Done()
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(nodes) {
+				return
+			}
+			fn(nodes[i])
+		}
+	}
+	for i := 0; i < k; i++ {
+		p.jobs <- body
+	}
+	wg.Wait()
+}
+
+// close releases the workers. The pool must be idle.
+func (p *workerPool) close() { close(p.jobs) }

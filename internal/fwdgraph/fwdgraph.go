@@ -10,6 +10,7 @@ package fwdgraph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/acl"
 	"repro/internal/bdd"
@@ -129,6 +130,12 @@ const ZoneBits = 4
 const WaypointBits = 2
 
 // New builds the dataflow graph for a computed data plane.
+//
+// Construction of a single graph is deliberately serial: every edge label
+// is a BDD op against one shared factory, and the factory's hash-consed
+// unique table and operation caches are unsynchronized (see bdd.Factory).
+// Parallel analyses therefore replicate the whole graph — one factory per
+// worker — via BuildReplicas instead of sharing one.
 func New(dp *dataplane.Result) *Graph {
 	g := &Graph{
 		Enc: hdr.NewEnc(ZoneBits + WaypointBits),
@@ -138,6 +145,29 @@ func New(dp *dataplane.Result) *Graph {
 	g.build()
 	g.index()
 	return g
+}
+
+// BuildReplicas builds n independent copies of the dataflow graph in
+// parallel, each with its own encoder and BDD factory. The data plane is
+// read-only during construction, so the replica builds share nothing and
+// need no locks. Replicas back fan-out query execution (e.g.
+// reach.QueryPool): BDD refs never cross factories, so per-worker graphs
+// are the only safe way to run queries concurrently.
+func BuildReplicas(dp *dataplane.Result, n int) []*Graph {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*Graph, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			out[i] = New(dp)
+		}(i)
+	}
+	wg.Wait()
+	return out
 }
 
 // NewWithEnc builds the graph reusing an existing encoder (for tests that

@@ -1,0 +1,125 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ip4"
+)
+
+// RandomParams size a seeded random OSPF network: a Hamiltonian ring (so
+// the graph is always connected) plus random chords up to the requested
+// average degree, with user LANs hanging off every router. The irregular
+// adjacency structure is the adversarial counterpart to the regular Clos
+// and campus generators — graph coloring and the parallel schedule see
+// uneven degrees and long odd cycles instead of neat tiers.
+type RandomParams struct {
+	Name  string
+	Nodes int
+	// Degree is the target average adjacency degree (>= 2; the ring
+	// contributes 2). Extra edges are random chords.
+	Degree int
+	// LansPerNode is the number of /24 user subnets per router.
+	LansPerNode int
+	// Seed fixes the chord selection; the same seed always yields the
+	// same snapshot, so determinism tests can regenerate the topology.
+	Seed int64
+}
+
+// Devices returns the device count.
+func (p RandomParams) Devices() int { return p.Nodes }
+
+// Random generates the snapshot (all IOS dialect, single OSPF area 0).
+func Random(p RandomParams) *Snapshot {
+	if p.Nodes < 3 {
+		p.Nodes = 3
+	}
+	if p.Degree < 2 {
+		p.Degree = 2
+	}
+	s := &Snapshot{Name: p.Name, Type: "random"}
+	rng := rand.New(rand.NewSource(p.Seed))
+	links := newAlloc("10.192.0.0/11", 31)
+	lans := newAlloc("10.32.0.0/11", 24)
+	loops := newAlloc("172.28.0.0/15", 32)
+
+	type dev struct {
+		c      *iosConfig
+		name   string
+		ifaceN int
+	}
+	devs := make([]*dev, p.Nodes)
+	for i := range devs {
+		d := &dev{c: &iosConfig{}, name: fmt.Sprintf("%s-r%03d", p.Name, i+1)}
+		devs[i] = d
+		lo := loops.alloc()
+		d.c.line("hostname %s", d.name)
+		d.c.bang()
+		d.c.line("interface Loopback0")
+		d.c.line(" ip address %s %s", lo.Addr, mask(32))
+		d.c.line(" ip ospf area 0")
+		d.c.line(" ip ospf passive")
+		d.c.bang()
+	}
+
+	seen := make(map[[2]int]bool)
+	addLink := func(a, b int) {
+		if a == b {
+			return
+		}
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		l := links.alloc()
+		ips := [2]struct {
+			d  *dev
+			to string
+		}{{devs[a], devs[b].name}, {devs[b], devs[a].name}}
+		for i, pair := range ips {
+			pair.d.ifaceN++
+			pair.d.c.line("interface Gi0/%d", pair.d.ifaceN)
+			pair.d.c.line(" description to %s", pair.to)
+			pair.d.c.line(" ip address %s %s", l.First()+ip4.Addr(i+1), mask(31))
+			pair.d.c.line(" ip ospf area 0")
+			pair.d.c.bang()
+		}
+	}
+	// Ring keeps it connected.
+	for i := range devs {
+		addLink(i, (i+1)%len(devs))
+	}
+	// Random chords up to the target degree.
+	extra := (p.Degree - 2) * p.Nodes / 2
+	for i := 0; i < extra; i++ {
+		addLink(rng.Intn(p.Nodes), rng.Intn(p.Nodes))
+	}
+
+	for i, d := range devs {
+		for k := 0; k < p.LansPerNode; k++ {
+			lan := lans.alloc()
+			d.c.line("interface Vlan%d", 100+k)
+			d.c.line(" description user lan")
+			d.c.line(" ip address %s %s", lan.First()+1, mask(24))
+			d.c.line(" ip ospf area 0")
+			d.c.line(" ip ospf passive")
+			d.c.bang()
+		}
+		d.c.line("router ospf 1")
+		d.c.line(" router-id %s", loopbackOf(i))
+		d.c.bang()
+		s.Devices = append(s.Devices, DeviceText{Hostname: d.name, Dialect: IOS, Text: d.c.b.String()})
+	}
+	return s
+}
+
+// loopbackOf derives the router-id from the loopback allocation order
+// (172.28.0.0/15 base, /32 per router).
+func loopbackOf(i int) string {
+	base := ip4.MustParsePrefix("172.28.0.0/15").Addr
+	return (base + ip4.Addr(i)).String()
+}

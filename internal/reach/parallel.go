@@ -1,0 +1,124 @@
+package reach
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/bdd"
+	"repro/internal/dataplane"
+	"repro/internal/fwdgraph"
+	"repro/internal/hdr"
+)
+
+// QueryPool fans per-source reachability queries across replica analyses.
+// BDD factories are not safe for concurrent use and refs never cross
+// factories, so the pool holds one complete Graph+Analysis per worker
+// (fwdgraph.BuildReplicas) and shards the source list across them. Every
+// replica sees the same data plane, so per-source results are identical to
+// the serial analysis; only factory-independent values (sources, concrete
+// example packets) are returned across the pool boundary.
+type QueryPool struct {
+	workers []*Analysis
+}
+
+// NewQueryPool builds a pool of `workers` replica analyses (graph
+// compression enabled, like New). workers <= 0 means GOMAXPROCS. Replica
+// construction itself runs in parallel.
+func NewQueryPool(dp *dataplane.Result, workers int) *QueryPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	graphs := fwdgraph.BuildReplicas(dp, workers)
+	q := &QueryPool{workers: make([]*Analysis, len(graphs))}
+	var wg sync.WaitGroup
+	wg.Add(len(graphs))
+	for i := range graphs {
+		go func(i int) {
+			defer wg.Done()
+			q.workers[i] = New(graphs[i])
+		}(i)
+	}
+	wg.Wait()
+	return q
+}
+
+// Workers returns the number of replica analyses in the pool.
+func (q *QueryPool) Workers() int { return len(q.workers) }
+
+// EachSource invokes fn once per source location, fanned across the
+// replicas. slot is the source's index in the sorted Sources() order, so
+// callers can write results into a pre-sized slice without locking. fn
+// must treat the analysis as scoped to the call: any bdd.Ref it computes
+// belongs to that replica's factory and must not escape into shared state.
+func (q *QueryPool) EachSource(fn func(a *Analysis, src SourceLoc, slot int)) {
+	srcs := q.workers[0].Sources()
+	var wg sync.WaitGroup
+	wg.Add(len(q.workers))
+	for w := range q.workers {
+		go func(w int) {
+			defer wg.Done()
+			a := q.workers[w]
+			for i := w; i < len(srcs); i += len(q.workers) {
+				fn(a, srcs[i], i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Violation is the factory-independent form of MultipathViolation: the
+// packet-set BDD is replaced by a concrete witness packet so results can
+// be merged across replicas.
+type Violation struct {
+	Source  SourceLoc
+	Example hdr.Packet
+}
+
+// MultipathConsistency runs the multipath-consistency query (§6.1) with
+// sources fanned across the pool. hs builds the header space against a
+// replica's encoder (nil means all packets); it is called once per worker.
+// Results are returned in sorted source order, matching the serial
+// Analysis.MultipathConsistency.
+func (q *QueryPool) MultipathConsistency(hs func(enc *hdr.Enc) bdd.Ref) []Violation {
+	srcs := q.workers[0].Sources()
+	found := make([]*Violation, len(srcs))
+	spaces := make([]bdd.Ref, len(q.workers))
+	for w, a := range q.workers {
+		spaces[w] = bdd.True
+		if hs != nil {
+			spaces[w] = hs(a.Enc)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(q.workers))
+	for w := range q.workers {
+		go func(w int) {
+			defer wg.Done()
+			a := q.workers[w]
+			f := a.Enc.F
+			for i := w; i < len(srcs); i += len(q.workers) {
+				res, ok := a.Reachability(srcs[i], spaces[w])
+				if !ok {
+					continue
+				}
+				success, failure := Partition(res.Sinks, f)
+				both := f.And(success, failure)
+				if both == bdd.False {
+					continue
+				}
+				ex, _ := a.Enc.PickPacket(both,
+					a.Enc.FieldEq(hdr.Protocol, hdr.ProtoTCP),
+					a.Enc.FieldGE(hdr.SrcPort, 1024))
+				found[i] = &Violation{Source: srcs[i], Example: ex}
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := make([]Violation, 0, len(srcs))
+	for _, v := range found {
+		if v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out
+}

@@ -7,9 +7,9 @@ package routing
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ip4"
 )
@@ -270,47 +270,105 @@ func (r Route) String() string {
 
 // Pool interns AS paths, community sets, and BGPAttrs objects, so that
 // equality is pointer/value equality and attribute memory is shared across
-// routes (paper §4.1.3). A Pool is not safe for concurrent use; the
-// simulator owns one per run and serializes interning through merges.
+// routes (paper §4.1.3).
+//
+// A Pool is safe for concurrent use: it is sharded 64 ways by an FNV-1a
+// hash of the interned bytes, with one mutex per shard and atomic hit/miss
+// counters, so same-color nodes interning attributes in parallel rarely
+// contend on the same lock. The simulator owns one Pool per run and all
+// workers share it.
 type Pool struct {
+	shards   [poolShards]poolShard
+	attrHits atomic.Uint64
+	attrMiss atomic.Uint64
+	pathHits atomic.Uint64
+	pathMiss atomic.Uint64
+}
+
+// poolShards is the number of independently locked shards. A power of two
+// so shard selection is a mask of the key hash.
+const poolShards = 64
+
+type poolShard struct {
 	mu       sync.Mutex
 	asPaths  map[string]ASPath
 	commSets map[string]CommunitySet
 	attrs    map[BGPAttrs]*BGPAttrs
-	attrHits uint64
-	attrMiss uint64
-	pathHits uint64
-	pathMiss uint64
+	// Padding would be overkill here: shards are touched under a mutex and
+	// the maps dominate the cache traffic anyway.
 }
 
 // NewPool returns an empty intern pool.
 func NewPool() *Pool {
-	return &Pool{
-		asPaths:  make(map[string]ASPath),
-		commSets: make(map[string]CommunitySet),
-		attrs:    make(map[BGPAttrs]*BGPAttrs),
+	p := &Pool{}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.asPaths = make(map[string]ASPath)
+		s.commSets = make(map[string]CommunitySet)
+		s.attrs = make(map[BGPAttrs]*BGPAttrs)
 	}
+	return p
 }
 
-// ASPath interns the given ASN sequence.
-func (p *Pool) ASPath(asns ...uint32) ASPath {
-	b := make([]byte, len(asns)*4)
-	for i, a := range asns {
+// FNV-1a, the shard-selection hash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnv1a(seed uint64, b []byte) uint64 {
+	h := seed
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnv1aString(seed uint64, s string) uint64 {
+	h := seed
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// encodeU32s writes vals as 4-byte big-endian groups into buf (reused when
+// large enough, so short paths/sets stay on the stack).
+func encodeU32s(buf []byte, vals []uint32) []byte {
+	b := buf
+	if len(vals)*4 > cap(b) {
+		b = make([]byte, len(vals)*4)
+	}
+	b = b[:len(vals)*4]
+	for i, a := range vals {
 		b[i*4] = byte(a >> 24)
 		b[i*4+1] = byte(a >> 16)
 		b[i*4+2] = byte(a >> 8)
 		b[i*4+3] = byte(a)
 	}
-	k := string(b)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if v, ok := p.asPaths[k]; ok {
-		p.pathHits++
+	return b
+}
+
+// ASPath interns the given ASN sequence. The hit path performs no
+// allocation: the key bytes live in a stack buffer and the map lookup uses
+// the compiler's string(b)-in-index-expression optimization.
+func (p *Pool) ASPath(asns ...uint32) ASPath {
+	var buf [64]byte
+	b := encodeU32s(buf[:0], asns)
+	s := &p.shards[fnv1a(fnvOffset, b)&(poolShards-1)]
+	s.mu.Lock()
+	if v, ok := s.asPaths[string(b)]; ok {
+		s.mu.Unlock()
+		p.pathHits.Add(1)
 		return v
 	}
-	p.pathMiss++
+	k := string(b)
 	v := ASPath{asns: k}
-	p.asPaths[k] = v
+	s.asPaths[k] = v
+	s.mu.Unlock()
+	p.pathMiss.Add(1)
 	return v
 }
 
@@ -326,31 +384,40 @@ func (p *Pool) Prepend(path ASPath, asn uint32, n int) ASPath {
 	return p.ASPath(asns...)
 }
 
-// CommunitySet interns the given communities (deduplicated, sorted).
+// CommunitySet interns the given communities (deduplicated, sorted). Like
+// ASPath, the hit path does not allocate for sets of up to 16 communities.
 func (p *Pool) CommunitySet(comms ...uint32) CommunitySet {
-	sorted := append([]uint32(nil), comms...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var vbuf [16]uint32
+	sorted := vbuf[:0]
+	if len(comms) > len(vbuf) {
+		sorted = make([]uint32, 0, len(comms))
+	}
+	sorted = append(sorted, comms...)
+	// Insertion sort: sets are tiny and sort.Slice's closure would force
+	// the stack buffer to escape, costing an allocation per call.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
 	dedup := sorted[:0]
 	for i, v := range sorted {
 		if i == 0 || v != dedup[len(dedup)-1] {
 			dedup = append(dedup, v)
 		}
 	}
-	b := make([]byte, len(dedup)*4)
-	for i, c := range dedup {
-		b[i*4] = byte(c >> 24)
-		b[i*4+1] = byte(c >> 16)
-		b[i*4+2] = byte(c >> 8)
-		b[i*4+3] = byte(c)
-	}
-	k := string(b)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if v, ok := p.commSets[k]; ok {
+	var buf [64]byte
+	b := encodeU32s(buf[:0], dedup)
+	s := &p.shards[fnv1a(fnvOffset, b)&(poolShards-1)]
+	s.mu.Lock()
+	if v, ok := s.commSets[string(b)]; ok {
+		s.mu.Unlock()
 		return v
 	}
+	k := string(b)
 	v := CommunitySet{comms: k}
-	p.commSets[k] = v
+	s.commSets[k] = v
+	s.mu.Unlock()
 	return v
 }
 
@@ -360,28 +427,62 @@ func (p *Pool) AddCommunity(set CommunitySet, comm uint32) CommunitySet {
 }
 
 // RemoveCommunities interns the set minus all communities matching pred.
+// Single pass over the interned representation (no Values() copies); when
+// nothing matches, the original interned set is returned without touching
+// the pool.
 func (p *Pool) RemoveCommunities(set CommunitySet, pred func(uint32) bool) CommunitySet {
-	keep := set.Values()[:0]
-	for _, v := range set.Values() {
-		if !pred(v) {
+	var buf [16]uint32
+	keep := buf[:0]
+	n := set.Len()
+	if n > len(buf) {
+		keep = make([]uint32, 0, n)
+	}
+	removed := false
+	for i := 0; i < n; i++ {
+		v := set.At(i)
+		if pred(v) {
+			removed = true
+		} else {
 			keep = append(keep, v)
 		}
+	}
+	if !removed {
+		return set
 	}
 	return p.CommunitySet(keep...)
 }
 
+// attrsShard selects the shard for a BGPAttrs value by hashing its interned
+// string fields and scalars.
+func (p *Pool) attrsShard(a *BGPAttrs) *poolShard {
+	h := fnv1aString(fnvOffset, a.ASPath.asns)
+	h = fnv1aString(h, a.Communities.comms)
+	for _, x := range [...]uint64{
+		uint64(a.LocalPref), uint64(a.MED), uint64(a.Weight),
+		uint64(a.OriginatorID), uint64(a.ReceivedFrom), uint64(a.FromAS),
+		uint64(a.IGPMetric), uint64(a.Tag),
+		uint64(a.AdminDistance) | uint64(a.Origin)<<8 | uint64(a.SrcProtocol)<<16,
+	} {
+		h ^= x
+		h *= fnvPrime
+	}
+	return &p.shards[h&(poolShards-1)]
+}
+
 // Attrs interns a BGPAttrs value, returning the canonical pointer.
 func (p *Pool) Attrs(a BGPAttrs) *BGPAttrs {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if v, ok := p.attrs[a]; ok {
-		p.attrHits++
+	s := p.attrsShard(&a)
+	s.mu.Lock()
+	if v, ok := s.attrs[a]; ok {
+		s.mu.Unlock()
+		p.attrHits.Add(1)
 		return v
 	}
-	p.attrMiss++
 	v := new(BGPAttrs)
 	*v = a
-	p.attrs[a] = v
+	s.attrs[a] = v
+	s.mu.Unlock()
+	p.attrMiss.Add(1)
 	return v
 }
 
@@ -392,15 +493,19 @@ type Stats struct {
 	AttrHits, AttrMisses                       uint64
 }
 
-// Stats returns current interning statistics.
+// Stats returns current interning statistics, summed across shards.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return Stats{
-		UniqueAttrs:    len(p.attrs),
-		UniqueASPaths:  len(p.asPaths),
-		UniqueCommSets: len(p.commSets),
-		AttrHits:       p.attrHits,
-		AttrMisses:     p.attrMiss,
+	st := Stats{
+		AttrHits:   p.attrHits.Load(),
+		AttrMisses: p.attrMiss.Load(),
 	}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		st.UniqueAttrs += len(s.attrs)
+		st.UniqueASPaths += len(s.asPaths)
+		st.UniqueCommSets += len(s.commSets)
+		s.mu.Unlock()
+	}
+	return st
 }

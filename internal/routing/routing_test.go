@@ -2,6 +2,7 @@ package routing
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -351,5 +352,84 @@ func TestRouteString(t *testing.T) {
 	drop := Route{Prefix: pfx("10.0.0.0/8"), Protocol: Static, Drop: true}
 	if drop.String() == "" {
 		t.Error("empty drop string")
+	}
+}
+
+func TestPoolConcurrentInterning(t *testing.T) {
+	// The sharded pool's contract: concurrent interning from many
+	// goroutines yields exactly one canonical value per distinct input.
+	pool := NewPool()
+	const workers = 8
+	const perWorker = 2000
+	paths := make([][]ASPath, workers)
+	attrs := make([][]*BGPAttrs, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				asn := uint32(65000 + i%50)
+				p := pool.ASPath(asn, asn+1)
+				cs := pool.CommunitySet(asn<<16|1, asn<<16|2)
+				a := pool.Attrs(BGPAttrs{LocalPref: uint32(i % 7), ASPath: p, Communities: cs})
+				paths[w] = append(paths[w], p)
+				attrs[w] = append(attrs[w], a)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range paths[0] {
+			if paths[w][i] != paths[0][i] {
+				t.Fatal("same path interned to different values across goroutines")
+			}
+			if attrs[w][i] != attrs[0][i] {
+				t.Fatal("same attrs interned to different pointers across goroutines")
+			}
+		}
+	}
+	st := pool.Stats()
+	if st.UniqueASPaths != 50 || st.UniqueCommSets != 50 {
+		t.Errorf("unique counts wrong: %+v", st)
+	}
+	if st.AttrMisses != 50*7 {
+		t.Errorf("attr misses = %d, want %d", st.AttrMisses, 50*7)
+	}
+	if st.AttrHits != workers*perWorker-50*7 {
+		t.Errorf("attr hits = %d, want %d", st.AttrHits, workers*perWorker-50*7)
+	}
+}
+
+func TestInternHitPathDoesNotAllocate(t *testing.T) {
+	pool := NewPool()
+	pool.ASPath(65001, 65002, 65003)
+	pool.CommunitySet(100, 200)
+	allocs := testing.AllocsPerRun(200, func() {
+		pool.ASPath(65001, 65002, 65003)
+	})
+	if allocs != 0 {
+		t.Errorf("ASPath hit path allocates %.1f objects/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		pool.CommunitySet(100, 200)
+	})
+	if allocs != 0 {
+		t.Errorf("CommunitySet hit path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestRemoveCommunitiesNoMatchReturnsSameSet(t *testing.T) {
+	pool := NewPool()
+	s := pool.CommunitySet(1, 2, 3)
+	out := pool.RemoveCommunities(s, func(uint32) bool { return false })
+	if out != s {
+		t.Error("no-op removal should return the original interned set")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		pool.RemoveCommunities(s, func(v uint32) bool { return v == 2 })
+	})
+	if allocs != 0 {
+		t.Errorf("RemoveCommunities allocates %.1f objects/op, want 0", allocs)
 	}
 }

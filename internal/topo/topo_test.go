@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -145,7 +146,12 @@ func TestColorGraphDeterministic(t *testing.T) {
 }
 
 func TestColorGraphCompleteGraph(t *testing.T) {
-	nodes := []string{"a", "b", "c", "d", "e"}
+	// K8: every node adjacent to every other — the worst case for the
+	// parallel schedule (no two nodes may run together, n colors).
+	var nodes []string
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, fmt.Sprintf("n%d", i))
+	}
 	var edges [][2]string
 	for i := range nodes {
 		for j := i + 1; j < len(nodes); j++ {
@@ -153,7 +159,70 @@ func TestColorGraphCompleteGraph(t *testing.T) {
 		}
 	}
 	c := ColorGraph(nodes, edges)
+	if !c.Valid(edges) {
+		t.Fatal("improper coloring of complete graph")
+	}
 	if c.NumColors != len(nodes) {
 		t.Errorf("complete graph needs n colors, got %d", c.NumColors)
+	}
+	for _, class := range c.Order {
+		if len(class) != 1 {
+			t.Errorf("complete-graph class should be a singleton: %v", class)
+		}
+	}
+}
+
+func TestColorGraphStar(t *testing.T) {
+	// Star: a hub adjacent to every leaf. Exactly 2 colors, and all
+	// leaves share a class — the best case for the parallel schedule.
+	nodes := []string{"hub"}
+	var edges [][2]string
+	for i := 0; i < 12; i++ {
+		leaf := fmt.Sprintf("leaf%02d", i)
+		nodes = append(nodes, leaf)
+		edges = append(edges, [2]string{"hub", leaf})
+	}
+	c := ColorGraph(nodes, edges)
+	if !c.Valid(edges) {
+		t.Fatal("improper coloring of star")
+	}
+	if c.NumColors != 2 {
+		t.Fatalf("star should 2-color, got %d", c.NumColors)
+	}
+	if got := len(c.Order[c.Color["leaf00"]]); got != 12 {
+		t.Errorf("all 12 leaves should share one class, got %d", got)
+	}
+	if got := len(c.Order[c.Color["hub"]]); got != 1 {
+		t.Errorf("hub should be alone in its class, got %d", got)
+	}
+}
+
+func TestColorGraphDisconnectedComponents(t *testing.T) {
+	// Two triangles plus isolated nodes. Components share the color
+	// space, so the count is bounded by the neediest component (3), not
+	// the sum, and isolated nodes land in the largest class.
+	nodes := []string{"a1", "a2", "a3", "b1", "b2", "b3", "x", "y"}
+	edges := [][2]string{
+		{"a1", "a2"}, {"a2", "a3"}, {"a3", "a1"},
+		{"b1", "b2"}, {"b2", "b3"}, {"b3", "b1"},
+	}
+	c := ColorGraph(nodes, edges)
+	if !c.Valid(edges) {
+		t.Fatal("improper coloring of disconnected graph")
+	}
+	if c.NumColors != 3 {
+		t.Errorf("two triangles need exactly 3 colors, got %d", c.NumColors)
+	}
+	for _, n := range []string{"x", "y"} {
+		if c.Color[n] != 0 {
+			t.Errorf("isolated node %s should take the first color, got %d", n, c.Color[n])
+		}
+	}
+	seen := 0
+	for _, class := range c.Order {
+		seen += len(class)
+	}
+	if seen != len(nodes) {
+		t.Errorf("classes cover %d of %d nodes", seen, len(nodes))
 	}
 }
