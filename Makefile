@@ -6,7 +6,13 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench benchjson
+.PHONY: build vet test race check bench benchjson cover
+
+# Coverage floor for the caching/incremental layer. The pipeline and core
+# packages carry the correctness-critical cache keying and blast-radius
+# logic, so regressions in their test coverage fail the build.
+COVER_PKGS = ./internal/pipeline/ ./internal/core/
+COVER_MIN  = 70.0
 
 build:
 	$(GO) build ./...
@@ -20,6 +26,15 @@ test:
 race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'TestParallelismMatchesSerial|TestPoolConcurrentInterning' ./internal/dataplane/ ./internal/routing/
+	$(GO) test -race -run 'TestParallelParseDeterminism|TestIncrementalEquivalence' ./internal/pipeline/ ./internal/core/
+
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { \
+		if (t+0 < min+0) { printf "coverage %.1f%% below floor %.1f%%\n", t, min; exit 1 } \
+		else { printf "coverage %.1f%% meets floor %.1f%%\n", t, min } }'
 
 check: vet test race
 

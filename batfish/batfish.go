@@ -31,12 +31,28 @@
 //	for _, r := range snap.Reachability(batfish.ReachabilityParams{}) {
 //		fmt.Printf("%s/%s: delivered=%v\n", r.Source.Device, r.Source.Iface, r.HasPositive)
 //	}
+//
+// Snapshots run on a staged pipeline with a content-addressed artifact
+// store: loading two snapshots that share device configs reuses the
+// unchanged parsed models, and byte-identical snapshots dedupe all four
+// stages. The edit-and-re-verify loop is incremental — derive a candidate
+// change with Snapshot.Edit and diff it:
+//
+//	after := snap.Edit(map[string]string{"rtr1.cfg": newText})
+//	for _, d := range snap.CompareWith(after) {
+//		fmt.Printf("%s/%s broken=%v\n", d.Source.Device, d.Source.Iface, d.HasBroken)
+//	}
+//
+// Only flows that can touch the edited device are re-analyzed; results
+// are byte-identical to a full recomputation. CacheStats exposes the
+// store's hit/miss/eviction counters and per-stage wall times.
 package batfish
 
 import (
 	"repro/internal/core"
 	"repro/internal/dataplane"
 	"repro/internal/netgen"
+	"repro/internal/pipeline"
 )
 
 // Snapshot is one parsed network snapshot; see package core for the full
@@ -87,3 +103,7 @@ func LoadText(texts map[string]string) *Snapshot { return core.LoadText(texts) }
 
 // LoadGenerated wraps a synthetic network from the generator suite.
 func LoadGenerated(snap *netgen.Snapshot) *Snapshot { return core.LoadGenerated(snap) }
+
+// CacheStats reports the shared pipeline's artifact-store counters
+// (hits, misses, evictions) and per-stage wall times split cold/warm.
+func CacheStats() pipeline.Stats { return core.CacheStats() }

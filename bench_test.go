@@ -6,11 +6,13 @@ package repro_test
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/apt"
 	"repro/internal/bdd"
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/dataplane"
 	"repro/internal/fwdgraph"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/ip4"
 	"repro/internal/netgen"
 	"repro/internal/nod"
+	"repro/internal/pipeline"
 	"repro/internal/reach"
 	"repro/internal/routing"
 	"repro/internal/testnet"
@@ -477,4 +480,101 @@ func BenchmarkParallelism(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// E9: staged pipeline with content-addressed caching — the edit-one-
+// device-re-verify loop (the dominant operator workload per the config
+// test-coverage literature). "cold-full" loads both snapshots through a
+// caching-disabled pipeline and recomputes everything, which is the
+// pre-pipeline behavior; "incremental" edits a warm baseline so unchanged
+// parse artifacts are reused, unimpacted flows keep their memoized
+// answers, and CompareWith re-examines only the edit's blast radius. The
+// incremental variant reports a speedup-vs-cold metric plus the pipeline
+// cache/stage counters and the routing intern-pool counters for the
+// benchjson trajectory.
+func BenchmarkIncrementalCompare(b *testing.B) {
+	gen := netgen.Fabric(netgen.FabricParams{Name: "inc", Spines: 4, Pods: 10,
+		AggPerPod: 2, TorPerPod: 18, HostNetsPerTor: 1, Multipath: true})
+	if len(gen.Devices) < 200 {
+		b.Fatalf("fabric too small: %d devices", len(gen.Devices))
+	}
+	texts := make(map[string]string, len(gen.Devices))
+	for _, dt := range gen.Devices {
+		texts[dt.Hostname] = dt.Text
+	}
+	const tor = "inc-p05-tor09"
+	if _, ok := texts[tor]; !ok {
+		b.Fatalf("no device %s", tor)
+	}
+	// Each iteration applies a different edit (so the data-plane stage
+	// never gets a trivial whole-snapshot cache hit): null-route half of
+	// the first ToR's host subnet — breaking delivered flows — plus a
+	// varying unused prefix.
+	edited := func(i int) string {
+		t := strings.TrimSuffix(texts[tor], "end\n")
+		return t + fmt.Sprintf("ip route 203.0.%d.0 255.255.255.0 Null0\n", i%256) +
+			"ip route 10.0.0.0 255.255.255.128 Null0\nend\n"
+	}
+	verify := func(b *testing.B, base, after *core.Snapshot) {
+		if after.DataPlane().Fingerprint() == 0 {
+			b.Fatal("zero fingerprint")
+		}
+		if len(after.Reachability(core.ReachabilityParams{})) == 0 {
+			b.Fatal("no flows")
+		}
+		if len(base.CompareWith(after)) == 0 {
+			b.Fatal("blackhole edit must break flows")
+		}
+	}
+
+	var coldNs float64
+	b.Run("cold-full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			base := core.LoadTextWith(pipeline.Disabled(), texts)
+			afterTexts := make(map[string]string, len(texts))
+			for k, v := range texts {
+				afterTexts[k] = v
+			}
+			afterTexts[tor] = edited(i)
+			after := core.LoadTextWith(pipeline.Disabled(), afterTexts)
+			verify(b, base, after)
+		}
+		coldNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	b.Run("incremental", func(b *testing.B) {
+		pl := pipeline.New(pipeline.Config{})
+		base := core.LoadTextWith(pl, texts)
+		if len(base.Reachability(core.ReachabilityParams{})) == 0 {
+			b.Fatal("no baseline flows")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			after := base.Edit(map[string]string{tor: edited(i)})
+			verify(b, base, after)
+		}
+		b.StopTimer()
+		nsOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		if coldNs > 0 {
+			b.ReportMetric(coldNs/nsOp, "speedup")
+		}
+		st := pl.Stats()
+		b.ReportMetric(float64(st.Store.Hits), "cache-hits")
+		b.ReportMetric(float64(st.Store.Misses), "cache-misses")
+		b.ReportMetric(float64(st.Store.Evictions), "cache-evictions")
+		stage := func(name string, t pipeline.StageTimes) {
+			b.ReportMetric(float64(t.ColdNs)/1e6, "stage-"+name+"-cold-ms")
+			b.ReportMetric(float64(t.WarmNs)/1e6, "stage-"+name+"-warm-ms")
+		}
+		stage("parse", st.Parse)
+		stage("dp", st.DataPlane)
+		stage("graph", st.Graph)
+		stage("analysis", st.Analysis)
+		ist := base.DataPlane().Pool.Stats()
+		b.ReportMetric(float64(ist.AttrHits), "intern-attr-hits")
+		b.ReportMetric(float64(ist.AttrMisses), "intern-attr-misses")
+		b.ReportMetric(float64(ist.PathHits), "intern-path-hits")
+		b.ReportMetric(float64(ist.PathMisses), "intern-path-misses")
+	})
 }

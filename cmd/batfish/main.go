@@ -11,6 +11,9 @@
 //
 // Questions: refs, unused, dupips, ntp, bgp, routes (-node), reachability,
 // multipath, loops, traceroute (-node -iface -src -dst -dport).
+//
+// -cachestats prints the staged pipeline's artifact-cache counters and
+// per-stage wall times (cold vs warm) after the run.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"repro/internal/hdr"
 	"repro/internal/ip4"
 	"repro/internal/netgen"
+	"repro/internal/pipeline"
 	"repro/internal/reach"
 	"repro/internal/testnet"
 )
@@ -46,6 +50,7 @@ func main() {
 		table2   = flag.Bool("table2", false, "run the Table 2 performance benchmark")
 		nets     = flag.Int("nets", 5, "how many catalog networks -table2 runs")
 		demo     = flag.String("demo", "", "run a paper demo: figure1, badgadget")
+		cacheSt  = flag.Bool("cachestats", false, "print pipeline cache statistics after the run")
 	)
 	flag.Parse()
 
@@ -64,6 +69,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cacheSt {
+		printCacheStats()
+	}
+}
+
+// printCacheStats reports the shared pipeline's artifact store counters
+// and the per-stage wall-time split (cold = computed, warm = cache hit).
+func printCacheStats() {
+	st := batfish.CacheStats()
+	fmt.Fprintf(os.Stderr, "pipeline cache: %d/%d entries, %d hits, %d misses, %d evictions\n",
+		st.Store.Entries, st.Store.Capacity, st.Store.Hits, st.Store.Misses, st.Store.Evictions)
+	stage := func(name string, t pipeline.StageTimes) {
+		fmt.Fprintf(os.Stderr, "  %-9s cold %3d run(s) %12v   warm %3d run(s) %12v\n",
+			name, t.ColdRuns, time.Duration(t.ColdNs).Round(time.Microsecond),
+			t.WarmRuns, time.Duration(t.WarmNs).Round(time.Microsecond))
+	}
+	stage("parse", st.Parse)
+	stage("dataplane", st.DataPlane)
+	stage("graph", st.Graph)
+	stage("analysis", st.Analysis)
 }
 
 func fatalf(format string, args ...any) {

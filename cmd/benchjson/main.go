@@ -35,14 +35,41 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// File is the emitted document.
+// File is the emitted document. Pipeline aggregates the staged-pipeline
+// counters that caching-aware benchmarks report as custom metrics —
+// artifact-cache hit/miss/eviction counts (cache-*), per-stage cold vs
+// warm wall times (stage-*), and routing intern-pool counters (intern-*)
+// — so trajectory diffs can track cache effectiveness without digging
+// through per-benchmark metric maps.
 type File struct {
-	Date    string   `json:"date"`
-	GOOS    string   `json:"goos,omitempty"`
-	GOARCH  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	Date     string             `json:"date"`
+	GOOS     string             `json:"goos,omitempty"`
+	GOARCH   string             `json:"goarch,omitempty"`
+	Pkg      string             `json:"pkg,omitempty"`
+	CPU      string             `json:"cpu,omitempty"`
+	Results  []Result           `json:"results"`
+	Pipeline map[string]float64 `json:"pipeline,omitempty"`
+}
+
+// pipelineSummary collects cache-*, stage-*, and intern-* metrics across
+// all results, summing when more than one benchmark reports the same
+// counter.
+func pipelineSummary(results []Result) map[string]float64 {
+	var sum map[string]float64
+	for _, r := range results {
+		for name, v := range r.Metrics {
+			if !strings.HasPrefix(name, "cache-") &&
+				!strings.HasPrefix(name, "stage-") &&
+				!strings.HasPrefix(name, "intern-") {
+				continue
+			}
+			if sum == nil {
+				sum = make(map[string]float64)
+			}
+			sum[name] += v
+		}
+	}
+	return sum
 }
 
 func main() {
@@ -77,6 +104,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	doc.Pipeline = pipelineSummary(doc.Results)
 
 	path := filepath.Join(*outDir, "BENCH_"+doc.Date+".json")
 	b, err := json.MarshalIndent(doc, "", "  ")

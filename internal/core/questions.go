@@ -245,11 +245,11 @@ func (s *Snapshot) Reachability(params ReachabilityParams) []FlowResult {
 		for _, dst := range params.DstIPs {
 			hs = f.And(hs, enc.Prefix(hdr.DstIP, dst))
 		}
-		res, ok := an.Reachability(src, hs)
+		sinks, ok := s.sinkSetsFor(src, hs)
 		if !ok {
 			continue
 		}
-		success, failure := reach.Partition(res.Sinks, f)
+		success, failure := reach.Partition(sinks, f)
 		fr := FlowResult{Source: src, Delivered: success, Failed: failure}
 		// Example preferences implement Lesson 4's uninteresting-violation
 		// suppression: common protocol/application, unprivileged source
@@ -295,13 +295,27 @@ type DifferentialFlows struct {
 
 // CompareWith diffs reachability against a modified snapshot. Both
 // snapshots are analyzed with the same BDD encoder so the sets are
-// directly comparable.
+// directly comparable. When after was derived from s via Edit (same
+// caching pipeline, no NAT), the comparison is incremental: only sources
+// whose flows can touch a changed device are re-examined, restricted to
+// their blast radius — with results identical to the full comparison.
 func (s *Snapshot) CompareWith(after *Snapshot) []DifferentialFlows {
+	if out, ok := s.compareIncremental(after); ok {
+		return out
+	}
 	g1 := s.Graph()
-	// Build the after-graph sharing the encoder.
-	g2 := fwdgraph.NewWithEnc(after.DataPlane(), g1.Enc)
-	a1 := reach.New(g1)
-	a2 := reach.New(g2)
+	var a1, a2 *reach.Analysis
+	if g2 := after.Graph(); g2.Enc == g1.Enc {
+		// Same pipeline encoder: the snapshots' own (possibly cached)
+		// analyses are directly comparable.
+		a1 = s.Analysis()
+		a2 = after.Analysis()
+	} else {
+		// Rebuild the after-graph sharing the encoder.
+		g2 := fwdgraph.NewWithEnc(after.DataPlane(), g1.Enc)
+		a1 = reach.New(g1)
+		a2 = reach.New(g2)
+	}
 	enc := g1.Enc
 	f := enc.F
 	var out []DifferentialFlows

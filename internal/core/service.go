@@ -68,11 +68,11 @@ func (s *Snapshot) ServiceReachable(spec ServiceSpec) []ServiceReachableResult {
 	var out []ServiceReachableResult
 	for _, c := range clients {
 		hs := f.And(base, s.sourceScope(c))
-		res, ok := an.Reachability(c, hs)
+		sinks, ok := s.sinkSetsFor(c, hs)
 		if !ok {
 			continue
 		}
-		success, failure := reach.Partition(res.Sinks, f)
+		success, failure := reach.Partition(sinks, f)
 		r := ServiceReachableResult{Client: c, OK: success != bdd.False}
 		prefs := []bdd.Ref{
 			enc.FieldGE(hdr.SrcPort, 1024),
@@ -114,11 +114,11 @@ func (s *Snapshot) ServiceProtected(spec ServiceSpec) []ServiceExposure {
 		if allowed[src] {
 			continue
 		}
-		res, ok := an.Reachability(src, base)
+		sinks, ok := s.sinkSetsFor(src, base)
 		if !ok {
 			continue
 		}
-		success, _ := reach.Partition(res.Sinks, f)
+		success, _ := reach.Partition(sinks, f)
 		if success == bdd.False {
 			continue
 		}

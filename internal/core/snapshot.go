@@ -3,6 +3,13 @@
 // vendor-independent model, data plane generation, BDD-based verification,
 // and violation explanation with carefully chosen examples.
 //
+// Since PR 2 the stages themselves live in internal/pipeline: every
+// Snapshot is bound to a pipeline.Pipeline whose content-addressed
+// artifact store dedupes parse/data-plane/graph/analysis work across
+// snapshots. Loading through the package-level functions uses a shared
+// process-wide pipeline; LoadTextWith and friends accept an explicit one
+// (pass pipeline.Disabled() for the uncached reference behavior).
+//
 // The exported façade for downstream users is package batfish at the
 // repository root, which re-exports these types.
 package core
@@ -11,76 +18,94 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 
+	"repro/internal/bdd"
 	"repro/internal/config"
 	"repro/internal/dataplane"
 	"repro/internal/fwdgraph"
 	"repro/internal/netgen"
+	"repro/internal/pipeline"
 	"repro/internal/reach"
 	"repro/internal/traceroute"
-	"repro/internal/vendors/cisco"
-	"repro/internal/vendors/juniper"
 )
+
+// defaultPipeline backs the package-level loaders, so independent
+// snapshots in one process share parsed models and downstream artifacts.
+var defaultPipeline = pipeline.New(pipeline.Config{})
+
+// DefaultPipeline returns the process-wide pipeline used by LoadText,
+// LoadDir, and LoadGenerated.
+func DefaultPipeline() *pipeline.Pipeline { return defaultPipeline }
+
+// CacheStats reports the default pipeline's artifact-store counters and
+// per-stage timings.
+func CacheStats() pipeline.Stats { return defaultPipeline.Stats() }
 
 // Snapshot is one network snapshot moving through the pipeline.
 type Snapshot struct {
 	Net      *config.Network
 	Warnings []config.Warning
 
-	opts dataplane.Options
-	dp   *dataplane.Result
-	g    *fwdgraph.Graph
-	an   *reach.Analysis
-	tr   *traceroute.Engine
+	pl      *pipeline.Pipeline
+	texts   map[string]string       // source texts (name → config), for Edit
+	devKeys map[string]pipeline.Key // hostname → parse-artifact key
+	// baseline is the snapshot this one was derived from via Edit; the
+	// question layer uses it for incremental re-analysis.
+	baseline *Snapshot
+
+	opts  dataplane.Options
+	dp    *dataplane.Result
+	dpKey pipeline.Key
+	g     *fwdgraph.Graph
+	gKey  pipeline.Key
+	an    *reach.Analysis
+	tr    *traceroute.Engine
+
+	// reachMemo caches per-(source, header-space) sink sets so repeated
+	// and incrementally-derived questions skip full forward passes.
+	reachMemo map[memoKey]map[string]bdd.Ref
+	// impact caches the per-source blast radius vs baseline.
+	impact     map[reach.SourceLoc]bdd.Ref
+	impactDone bool
+	impactOK   bool
+}
+
+type memoKey struct {
+	src reach.SourceLoc
+	hs  bdd.Ref
 }
 
 // DetectDialect guesses the configuration dialect from text: Junos
 // configurations are "set ..." command lists, IOS ones are hierarchical.
-func DetectDialect(text string) string {
-	for _, line := range strings.Split(text, "\n") {
-		t := strings.TrimSpace(line)
-		if t == "" || strings.HasPrefix(t, "#") || strings.HasPrefix(t, "!") {
-			continue
-		}
-		if strings.HasPrefix(t, "set ") {
-			return "junos"
-		}
-		return "ios"
-	}
-	return "ios"
+func DetectDialect(text string) string { return pipeline.DetectDialect(text) }
+
+// LoadText parses a map of filename (or hostname) to configuration text
+// using the default shared pipeline.
+func LoadText(texts map[string]string) *Snapshot {
+	return LoadTextWith(defaultPipeline, texts)
 }
 
-// LoadText parses a map of filename (or hostname) to configuration text.
-func LoadText(texts map[string]string) *Snapshot {
-	s := &Snapshot{Net: config.NewNetwork()}
-	names := make([]string, 0, len(texts))
-	for n := range texts {
-		names = append(names, n)
+// LoadTextWith parses texts with an explicit pipeline. Devices parse in
+// parallel; the resulting model is deterministic and ordered by name.
+func LoadTextWith(pl *pipeline.Pipeline, texts map[string]string) *Snapshot {
+	if pl == nil {
+		pl = pipeline.Disabled()
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		text := texts[n]
-		var d *config.Device
-		var w []config.Warning
-		switch DetectDialect(text) {
-		case "junos":
-			d, w = juniper.Parse(text)
-		default:
-			d, w = cisco.Parse(text)
-		}
-		if d.Hostname == "" {
-			d.Hostname = strings.TrimSuffix(filepath.Base(n), filepath.Ext(n))
-		}
-		s.Net.Devices[d.Hostname] = d
-		s.Warnings = append(s.Warnings, w...)
+	net, warns, devKeys := pl.Parse(texts)
+	own := make(map[string]string, len(texts))
+	for n, t := range texts {
+		own[n] = t
 	}
-	return s
+	return &Snapshot{Net: net, Warnings: warns, pl: pl, texts: own, devKeys: devKeys}
 }
 
 // LoadDir reads every *.cfg / *.conf / *.txt file in dir as one device.
 func LoadDir(dir string) (*Snapshot, error) {
+	return LoadDirWith(defaultPipeline, dir)
+}
+
+// LoadDirWith is LoadDir with an explicit pipeline.
+func LoadDirWith(pl *pipeline.Pipeline, dir string) (*Snapshot, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -104,14 +129,56 @@ func LoadDir(dir string) (*Snapshot, error) {
 	if len(texts) == 0 {
 		return nil, fmt.Errorf("core: no configuration files in %s", dir)
 	}
-	return LoadText(texts), nil
+	return LoadTextWith(pl, texts), nil
 }
 
-// LoadGenerated wraps a generated snapshot (benchmarks and examples).
+// LoadGenerated wraps a generated snapshot (benchmarks and examples),
+// routing its device texts through the default pipeline so generated
+// networks participate in artifact caching and Edit.
 func LoadGenerated(snap *netgen.Snapshot) *Snapshot {
-	net, warns := snap.Parse()
-	return &Snapshot{Net: net, Warnings: warns}
+	return LoadGeneratedWith(defaultPipeline, snap)
 }
+
+// LoadGeneratedWith is LoadGenerated with an explicit pipeline.
+func LoadGeneratedWith(pl *pipeline.Pipeline, snap *netgen.Snapshot) *Snapshot {
+	texts := make(map[string]string, len(snap.Devices))
+	for _, dt := range snap.Devices {
+		texts[dt.Hostname] = dt.Text
+	}
+	return LoadTextWith(pl, texts)
+}
+
+// Edit derives a new snapshot by overlaying config changes (name → new
+// text; an empty string removes the device file). The result shares this
+// snapshot's pipeline and options and records this snapshot as its
+// baseline, enabling incremental re-analysis: questions on the edited
+// snapshot recompute only flows whose trajectory can touch a changed
+// device and reuse the baseline's answers for the rest.
+func (s *Snapshot) Edit(changes map[string]string) *Snapshot {
+	texts := make(map[string]string, len(s.texts)+len(changes))
+	for n, t := range s.texts {
+		texts[n] = t
+	}
+	for n, t := range changes {
+		if t == "" {
+			delete(texts, n)
+		} else {
+			texts[n] = t
+		}
+	}
+	ns := LoadTextWith(s.pl, texts)
+	ns.opts = s.opts
+	ns.baseline = s
+	return ns
+}
+
+// Baseline returns the snapshot this one was derived from via Edit (nil
+// for freshly loaded snapshots).
+func (s *Snapshot) Baseline() *Snapshot { return s.baseline }
+
+// Pipeline returns the pipeline this snapshot is bound to (nil for
+// directly constructed Snapshot literals).
+func (s *Snapshot) Pipeline() *pipeline.Pipeline { return s.pl }
 
 // SetDataPlaneOptions overrides simulation options (before the first
 // DataPlane call).
@@ -120,7 +187,11 @@ func (s *Snapshot) SetDataPlaneOptions(o dataplane.Options) { s.opts = o }
 // DataPlane computes (once) and returns the data plane.
 func (s *Snapshot) DataPlane() *dataplane.Result {
 	if s.dp == nil {
-		s.dp = dataplane.Run(s.Net, s.opts)
+		if s.pl != nil {
+			s.dp, s.dpKey = s.pl.DataPlane(s.Net, s.devKeys, s.opts)
+		} else {
+			s.dp = dataplane.Run(s.Net, s.opts)
+		}
 	}
 	return s.dp
 }
@@ -128,7 +199,11 @@ func (s *Snapshot) DataPlane() *dataplane.Result {
 // Graph returns the forwarding graph, building the data plane if needed.
 func (s *Snapshot) Graph() *fwdgraph.Graph {
 	if s.g == nil {
-		s.g = fwdgraph.New(s.DataPlane())
+		if s.pl != nil {
+			s.g, s.gKey = s.pl.Graph(s.DataPlane(), s.dpKey)
+		} else {
+			s.g = fwdgraph.New(s.DataPlane())
+		}
 	}
 	return s.g
 }
@@ -136,7 +211,11 @@ func (s *Snapshot) Graph() *fwdgraph.Graph {
 // Analysis returns the BDD reachability analysis (graph-compressed).
 func (s *Snapshot) Analysis() *reach.Analysis {
 	if s.an == nil {
-		s.an = reach.New(s.Graph())
+		if s.pl != nil {
+			s.an, _ = s.pl.Analysis(s.Graph(), s.gKey)
+		} else {
+			s.an = reach.New(s.Graph())
+		}
 	}
 	return s.an
 }

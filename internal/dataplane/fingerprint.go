@@ -1,53 +1,77 @@
 package dataplane
 
-// Fingerprint returns a deterministic hash of the computed control- and
-// forwarding-plane state: every VRF's per-protocol RIB state plus the
-// resolved FIB entries, folded in sorted device/VRF order. Two runs over
-// the same network must produce equal fingerprints regardless of
-// Options.Parallelism — logical clocks are scheduling artifacts and are
-// excluded (RIB state hashes cover route identity only). This is what
-// TestParallelDeterminism compares across worker counts.
-func (r *Result) Fingerprint() uint64 {
-	var h uint64 = 14695981039346656037
-	mix := func(x uint64) {
-		h ^= x
-		h *= 1099511628211
+const (
+	fnvFPOffset uint64 = 14695981039346656037
+	fnvFPPrime  uint64 = 1099511628211
+)
+
+type fpHash struct{ h uint64 }
+
+func (f *fpHash) mix(x uint64) {
+	f.h ^= x
+	f.h *= fnvFPPrime
+}
+
+func (f *fpHash) mixStr(s string) {
+	for i := 0; i < len(s); i++ {
+		f.mix(uint64(s[i]))
 	}
-	mixStr := func(s string) {
-		for i := 0; i < len(s); i++ {
-			mix(uint64(s[i]))
-		}
-		mix(0xff) // terminator so "ab","c" != "a","bc"
+	f.mix(0xff) // terminator so "ab","c" != "a","bc"
+}
+
+// NodeFingerprint returns a deterministic hash of one device's computed
+// control- and forwarding-plane state: every VRF's per-protocol RIB state
+// plus the resolved FIB entries, in sorted VRF order. Unknown devices hash
+// to a fixed value, so two data planes agree on a device exactly when its
+// state is identical. The incremental CompareWith in internal/core diffs
+// these per-node hashes to find devices whose forwarding changed.
+func (r *Result) NodeFingerprint(name string) uint64 {
+	f := fpHash{h: fnvFPOffset}
+	ns := r.Nodes[name]
+	if ns == nil {
+		return f.h
 	}
-	for _, name := range r.Network.DeviceNames() {
-		ns := r.Nodes[name]
-		if ns == nil {
+	f.mixStr(name)
+	for _, vn := range sortedVRFNames(ns) {
+		vs := ns.VRFs[vn]
+		f.mixStr(vn)
+		f.mix(vs.ConnRIB.StateHash())
+		f.mix(vs.StatRIB.StateHash())
+		f.mix(vs.OSPFRIB.StateHash())
+		f.mix(vs.BGPRIB.StateHash())
+		f.mix(vs.Main.StateHash())
+		if vs.FIB == nil {
 			continue
 		}
-		mixStr(name)
-		for _, vn := range sortedVRFNames(ns) {
-			vs := ns.VRFs[vn]
-			mixStr(vn)
-			mix(vs.ConnRIB.StateHash())
-			mix(vs.StatRIB.StateHash())
-			mix(vs.OSPFRIB.StateHash())
-			mix(vs.BGPRIB.StateHash())
-			mix(vs.Main.StateHash())
-			if vs.FIB == nil {
-				continue
-			}
-			for _, ent := range vs.FIB.Entries() {
-				mix(uint64(ent.Prefix.Addr)<<8 | uint64(ent.Prefix.Len))
-				for _, nh := range ent.NextHops {
-					mixStr(nh.Iface)
-					mixStr(nh.Node)
-					mix(uint64(nh.IP))
-					if nh.Drop {
-						mix(1)
-					}
+		for _, ent := range vs.FIB.Entries() {
+			f.mix(uint64(ent.Prefix.Addr)<<8 | uint64(ent.Prefix.Len))
+			for _, nh := range ent.NextHops {
+				f.mixStr(nh.Iface)
+				f.mixStr(nh.Node)
+				f.mix(uint64(nh.IP))
+				if nh.Drop {
+					f.mix(1)
 				}
 			}
 		}
 	}
-	return h
+	return f.h
+}
+
+// Fingerprint returns a deterministic hash of the full computed control-
+// and forwarding-plane state: the per-node fingerprints folded in sorted
+// device order. Two runs over the same network must produce equal
+// fingerprints regardless of Options.Parallelism — logical clocks are
+// scheduling artifacts and are excluded (RIB state hashes cover route
+// identity only). This is what TestParallelDeterminism compares across
+// worker counts.
+func (r *Result) Fingerprint() uint64 {
+	f := fpHash{h: fnvFPOffset}
+	for _, name := range r.Network.DeviceNames() {
+		if r.Nodes[name] == nil {
+			continue
+		}
+		f.mix(r.NodeFingerprint(name))
+	}
+	return f.h
 }

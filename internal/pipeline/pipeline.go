@@ -1,0 +1,232 @@
+// Package pipeline models the four Batfish stages — Parse, DataPlane,
+// FwdGraph, Analysis — as explicit stages with declared inputs. Each stage
+// produces an artifact keyed by a content hash of exactly those inputs:
+// per-device configuration bytes for parse, and the sorted set of
+// device-model hashes plus the simulation options for everything
+// downstream. Artifacts live in a bounded in-memory Store, so two
+// snapshots that share N−K device configs reuse the K unchanged parsed
+// models for free, and byte-identical snapshots dedupe all four stages.
+//
+// Correctness contract: a cached artifact is only ever reused when the
+// stage inputs are byte-identical, and artifacts are treated as immutable
+// by every consumer (the simulator and the analyses read, never write,
+// parsed models and data-plane results). Determinism therefore holds by
+// construction — caching can change how fast an answer arrives, never
+// which answer.
+//
+// Graphs built by one enabled Pipeline share a single header-space
+// encoder, so analyses from different snapshots are directly comparable
+// (the incremental CompareWith in internal/core depends on this). The
+// shared BDD factory is unsynchronized and append-only: queries against
+// snapshots of the same Pipeline must not run concurrently with each
+// other, and the factory's node table grows monotonically over the
+// Pipeline's lifetime.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/dataplane"
+	"repro/internal/fwdgraph"
+	"repro/internal/hdr"
+	"repro/internal/reach"
+)
+
+// Config tunes a Pipeline.
+type Config struct {
+	// StoreCapacity bounds the artifact store (DefaultCapacity when 0).
+	StoreCapacity int
+	// ParseWorkers is the per-device parse parallelism; 0 means
+	// runtime.GOMAXPROCS(0), negative forces serial parsing.
+	ParseWorkers int
+}
+
+// StageTimes accumulates wall time for one stage, split by whether the
+// artifact came from the store (warm) or was computed (cold). A parse run
+// counts as warm only when every device hit the cache.
+type StageTimes struct {
+	ColdNs   int64
+	ColdRuns int64
+	WarmNs   int64
+	WarmRuns int64
+}
+
+func (t *StageTimes) add(d time.Duration, warm bool) {
+	if warm {
+		t.WarmNs += d.Nanoseconds()
+		t.WarmRuns++
+	} else {
+		t.ColdNs += d.Nanoseconds()
+		t.ColdRuns++
+	}
+}
+
+// Stats is a point-in-time view of a Pipeline's store counters and
+// per-stage timings.
+type Stats struct {
+	Store     StoreStats
+	Parse     StageTimes
+	DataPlane StageTimes
+	Graph     StageTimes
+	Analysis  StageTimes
+}
+
+// Pipeline runs the staged computation against one artifact store. The
+// zero value is not usable; construct with New or Disabled.
+type Pipeline struct {
+	store        *Store // nil when caching is disabled
+	parseWorkers int
+
+	encMu sync.Mutex
+	enc   *hdr.Enc // lazily created, shared by all graphs of this Pipeline
+
+	statMu sync.Mutex
+	parse  StageTimes
+	dp     StageTimes
+	graph  StageTimes
+	an     StageTimes
+}
+
+// New returns a caching Pipeline.
+func New(cfg Config) *Pipeline {
+	return &Pipeline{store: NewStore(cfg.StoreCapacity), parseWorkers: cfg.ParseWorkers}
+}
+
+// Disabled returns a Pipeline that never caches and gives every graph its
+// own fresh encoder — byte-for-byte the pre-pipeline behavior. It is the
+// reference implementation the caching path is validated against.
+func Disabled() *Pipeline {
+	return &Pipeline{}
+}
+
+// Enabled reports whether this Pipeline caches artifacts.
+func (p *Pipeline) Enabled() bool { return p.store != nil }
+
+// Stats returns current counters and timings.
+func (p *Pipeline) Stats() Stats {
+	p.statMu.Lock()
+	defer p.statMu.Unlock()
+	return Stats{
+		Store:     p.store.Stats(),
+		Parse:     p.parse,
+		DataPlane: p.dp,
+		Graph:     p.graph,
+		Analysis:  p.an,
+	}
+}
+
+func (p *Pipeline) record(stage *StageTimes, start time.Time, warm bool) {
+	d := time.Since(start)
+	p.statMu.Lock()
+	stage.add(d, warm)
+	p.statMu.Unlock()
+}
+
+// sharedEnc returns the Pipeline-wide encoder, creating it on first use.
+func (p *Pipeline) sharedEnc() *hdr.Enc {
+	p.encMu.Lock()
+	defer p.encMu.Unlock()
+	if p.enc == nil {
+		p.enc = hdr.NewEnc(fwdgraph.ZoneBits + fwdgraph.WaypointBits)
+	}
+	return p.enc
+}
+
+// dpOptionsKey serializes the options that affect simulation output.
+// Parallelism is deliberately excluded: results are deterministic across
+// worker counts (PR-1's schedule guarantee), so runs differing only in
+// worker count share artifacts.
+func dpOptionsKey(o dataplane.Options) []byte {
+	return []byte(fmt.Sprintf("sched=%d;maxiter=%d;noclocks=%t;fullconv=%t",
+		o.Schedule, o.MaxIterations, o.DisableClocks, o.FullStateConvergence))
+}
+
+// DataPlaneKey is the content address of a data-plane run: the simulation
+// options plus the sorted (hostname, device-model hash) set. It returns
+// the zero Key when any device lacks a model hash, which disables caching
+// for that snapshot.
+func DataPlaneKey(net *config.Network, devKeys map[string]Key, opts dataplane.Options) Key {
+	names := net.DeviceNames()
+	sections := make([][]byte, 0, 2+2*len(names))
+	sections = append(sections, []byte("dp"), dpOptionsKey(opts))
+	for _, n := range names {
+		dk, ok := devKeys[n]
+		if !ok {
+			return Key{}
+		}
+		sections = append(sections, []byte(n), dk[:])
+	}
+	return keyOf(sections...)
+}
+
+// DataPlane runs (or reuses) the simulation stage.
+func (p *Pipeline) DataPlane(net *config.Network, devKeys map[string]Key, opts dataplane.Options) (*dataplane.Result, Key) {
+	start := time.Now()
+	var k Key
+	if p.store != nil {
+		k = DataPlaneKey(net, devKeys, opts)
+		if !k.IsZero() {
+			if v, ok := p.store.Get(k); ok {
+				res := v.(*dataplane.Result)
+				p.record(&p.dp, start, true)
+				return res, k
+			}
+		}
+	}
+	res := dataplane.Run(net, opts)
+	if p.store != nil && !k.IsZero() {
+		p.store.Put(k, res)
+	}
+	p.record(&p.dp, start, false)
+	return res, k
+}
+
+// Graph builds (or reuses) the forwarding graph for a data plane. With
+// caching enabled the graph uses the Pipeline's shared encoder; disabled
+// pipelines get a fresh encoder per graph, matching historic behavior.
+func (p *Pipeline) Graph(dp *dataplane.Result, dpKey Key) (*fwdgraph.Graph, Key) {
+	start := time.Now()
+	var k Key
+	if p.store != nil && !dpKey.IsZero() {
+		k = keyOf([]byte("graph"), dpKey[:])
+		if v, ok := p.store.Get(k); ok {
+			g := v.(*fwdgraph.Graph)
+			p.record(&p.graph, start, true)
+			return g, k
+		}
+	}
+	var g *fwdgraph.Graph
+	if p.store != nil {
+		g = fwdgraph.NewWithEnc(dp, p.sharedEnc())
+	} else {
+		g = fwdgraph.New(dp)
+	}
+	if p.store != nil && !k.IsZero() {
+		p.store.Put(k, g)
+	}
+	p.record(&p.graph, start, false)
+	return g, k
+}
+
+// Analysis builds (or reuses) the compressed reachability analysis.
+func (p *Pipeline) Analysis(g *fwdgraph.Graph, gKey Key) (*reach.Analysis, Key) {
+	start := time.Now()
+	var k Key
+	if p.store != nil && !gKey.IsZero() {
+		k = keyOf([]byte("analysis"), gKey[:])
+		if v, ok := p.store.Get(k); ok {
+			a := v.(*reach.Analysis)
+			p.record(&p.an, start, true)
+			return a, k
+		}
+	}
+	a := reach.New(g)
+	if p.store != nil && !k.IsZero() {
+		p.store.Put(k, a)
+	}
+	p.record(&p.an, start, false)
+	return a, k
+}

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Key is a content address: the SHA-256 of a stage's declared inputs.
+// Stage keys are prefixed with the stage name, so two stages can never
+// collide even when fed identical bytes.
+type Key [sha256.Size]byte
+
+// zeroKey marks "no key" (uncached artifacts).
+var zeroKey Key
+
+// IsZero reports whether the key is unset.
+func (k Key) IsZero() bool { return k == zeroKey }
+
+// String renders a short hex prefix for logs and cache-stats output.
+func (k Key) String() string { return hex.EncodeToString(k[:8]) }
+
+// keyOf hashes the given byte sections with separators, so adjacent
+// sections can never alias ("ab","c" != "a","bc").
+func keyOf(sections ...[]byte) Key {
+	h := sha256.New()
+	var sep [1]byte
+	for _, s := range sections {
+		h.Write(s)
+		sep[0] = 0xff
+		h.Write(sep[:])
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// StoreStats is a snapshot of the artifact store counters.
+type StoreStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Capacity  int
+}
+
+// Store is a bounded, thread-safe, in-memory artifact store with LRU
+// eviction. Artifacts are keyed by content hash, so a lookup hit means the
+// stage's declared inputs are byte-identical to a previous run and the
+// cached artifact can be reused verbatim.
+type Store struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[Key]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type storeEntry struct {
+	key Key
+	val any
+}
+
+// DefaultCapacity bounds the default store. Artifacts are per-stage (one
+// per device for parse, one per snapshot for the later stages), so this
+// comfortably covers an edit-verify loop over a few large snapshots.
+const DefaultCapacity = 1024
+
+// NewStore returns an empty store holding at most max artifacts
+// (DefaultCapacity when max <= 0).
+func NewStore(max int) *Store {
+	if max <= 0 {
+		max = DefaultCapacity
+	}
+	return &Store{max: max, ll: list.New(), items: make(map[Key]*list.Element)}
+}
+
+// Get returns the artifact for key, marking it most recently used.
+func (s *Store) Get(k Key) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return el.Value.(*storeEntry).val, true
+}
+
+// Put inserts (or refreshes) an artifact, evicting the least recently used
+// entries beyond capacity.
+func (s *Store) Put(k Key, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		el.Value.(*storeEntry).val = v
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[k] = s.ll.PushFront(&storeEntry{key: k, val: v})
+	for s.ll.Len() > s.max {
+		last := s.ll.Back()
+		s.ll.Remove(last)
+		delete(s.items, last.Value.(*storeEntry).key)
+		s.evictions++
+	}
+}
+
+// Stats returns the current counters.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Entries:   s.ll.Len(),
+		Capacity:  s.max,
+	}
+}

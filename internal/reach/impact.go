@@ -1,0 +1,64 @@
+package reach
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/fwdgraph"
+)
+
+// HasTransforms reports whether any edge in the graph rewrites packet
+// headers (NAT). Header rewriting breaks the correspondence between
+// source-space and sink-space packet sets that the incremental CompareWith
+// in internal/core relies on, so callers use this to gate that path.
+func HasTransforms(g *fwdgraph.Graph) bool {
+	for i := range g.Edges {
+		if g.Edges[i].Tr != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ImpactSets computes, per source location, the set of headers whose
+// trajectory from that source can touch any node of a changed device —
+// the "blast radius" of a config edit. It runs one backward pass over the
+// uncompressed graph (compression would merge device nodes away), seeded
+// with the full packet space at every node belonging to a changed device.
+//
+// The result is a sound overapproximation: a header absent from a
+// source's impact set provably never visits a changed device, so its
+// forwarding outcome is unaffected by the edit (unchanged nodes keep
+// identical transfer functions). Sources with an empty impact set are
+// omitted entirely.
+func ImpactSets(g *fwdgraph.Graph, changed map[string]bool) map[SourceLoc]bdd.Ref {
+	a := NewWithOptions(g, Options{Compress: false})
+	f := a.Enc.F
+	seeds := make(map[int]bdd.Ref)
+	for id := range a.G.Nodes {
+		if changed[a.G.Nodes[id].Node_] {
+			seeds[id] = bdd.True
+		}
+	}
+	if len(seeds) == 0 {
+		return map[SourceLoc]bdd.Ref{}
+	}
+	sets := a.Backward(seeds)
+
+	ext := bdd.True
+	if a.Enc.L.ExtBits() > 0 {
+		ext = a.Enc.ExtEq(0, a.Enc.L.ExtBits(), 0)
+	}
+	out := make(map[SourceLoc]bdd.Ref)
+	for id, set := range sets {
+		n := a.G.Nodes[id]
+		if n.Kind != fwdgraph.KindSource || set == bdd.False {
+			continue
+		}
+		// Injected packets carry ext bits = 0; restrict to that slice and
+		// erase the ext bits to get the header-only impact set.
+		b := a.Enc.ClearExt(f.And(set, ext))
+		if b != bdd.False {
+			out[SourceLoc{Device: n.Node_, Iface: n.Extra}] = b
+		}
+	}
+	return out
+}

@@ -491,13 +491,17 @@ func (p *Pool) Attrs(a BGPAttrs) *BGPAttrs {
 type Stats struct {
 	UniqueAttrs, UniqueASPaths, UniqueCommSets int
 	AttrHits, AttrMisses                       uint64
+	PathHits, PathMisses                       uint64
 }
 
 // Stats returns current interning statistics, summed across shards.
+// CommunitySet interning is uncounted (it sits on the attr fast path).
 func (p *Pool) Stats() Stats {
 	st := Stats{
 		AttrHits:   p.attrHits.Load(),
 		AttrMisses: p.attrMiss.Load(),
+		PathHits:   p.pathHits.Load(),
+		PathMisses: p.pathMiss.Load(),
 	}
 	for i := range p.shards {
 		s := &p.shards[i]

@@ -115,6 +115,10 @@ func TestAttrsIntern(t *testing.T) {
 	if st.UniqueAttrs != 2 || st.AttrHits != 1 || st.AttrMisses != 2 {
 		t.Errorf("stats wrong: %+v", st)
 	}
+	// Three identical ASPath(65001) calls: one miss, two hits.
+	if st.PathHits != 2 || st.PathMisses != 1 {
+		t.Errorf("path stats wrong: %+v", st)
+	}
 }
 
 func pfx(s string) ip4.Prefix { return ip4.MustParsePrefix(s) }
