@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench benchjson cover
+.PHONY: build vet test race check bench benchjson cover fuzz-smoke
 
 # Coverage floor for the caching/incremental layer. The pipeline and core
 # packages carry the correctness-critical cache keying and blast-radius
@@ -27,6 +27,15 @@ race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'TestParallelismMatchesSerial|TestPoolConcurrentInterning' ./internal/dataplane/ ./internal/routing/
 	$(GO) test -race -run 'TestParallelParseDeterminism|TestIncrementalEquivalence' ./internal/pipeline/ ./internal/core/
+	$(GO) test -race -run 'TestChaos|TestCancel' ./internal/faults/
+
+# Short native-fuzzing pass over the vendor parsers: any input must yield
+# a device model, never a panic. Crashers land in testdata/fuzz/ and
+# reproduce with plain `go test`.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/vendors/cisco/
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/vendors/juniper/
 
 cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
@@ -36,7 +45,7 @@ cover:
 		if (t+0 < min+0) { printf "coverage %.1f%% below floor %.1f%%\n", t, min; exit 1 } \
 		else { printf "coverage %.1f%% meets floor %.1f%%\n", t, min } }'
 
-check: vet test race
+check: vet test race fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

@@ -49,8 +49,11 @@
 package batfish
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/dataplane"
+	"repro/internal/diag"
 	"repro/internal/netgen"
 	"repro/internal/pipeline"
 )
@@ -94,8 +97,36 @@ const (
 	ScheduleLockstep = dataplane.ScheduleLockstep
 )
 
+// Diagnostic is one structured failure-containment record: a recovered
+// panic, quarantined device, budget trip, cancellation, or detected
+// non-convergence, naming the pipeline stage (and device) it happened at.
+// Snapshot.Diags accumulates them; DiagSummary renders them for humans.
+type Diagnostic = diag.Diagnostic
+
+// Diagnostic kinds (see Snapshot.Diags).
+const (
+	KindPanic          = diag.KindPanic
+	KindQuarantine     = diag.KindQuarantine
+	KindBudget         = diag.KindBudget
+	KindCancelled      = diag.KindCancelled
+	KindNonConvergence = diag.KindNonConvergence
+	KindError          = diag.KindError
+)
+
+// DiagSummary renders diagnostics as a compact per-kind count plus one
+// line each (stacks elided).
+func DiagSummary(ds []Diagnostic) string { return diag.Summary(ds) }
+
 // LoadDir reads every configuration file in a directory as one device.
 func LoadDir(dir string) (*Snapshot, error) { return core.LoadDir(dir) }
+
+// LoadDirContext is LoadDir under a context: the context's deadline or
+// cancellation bounds parsing and every later stage the snapshot runs.
+// Expiry degrades the snapshot to partial results with cancellation
+// diagnostics instead of blocking (see Snapshot.Diags, Snapshot.Cancelled).
+func LoadDirContext(ctx context.Context, dir string) (*Snapshot, error) {
+	return core.LoadDirWithContext(ctx, core.DefaultPipeline(), dir)
+}
 
 // LoadText parses configuration texts keyed by filename or hostname.
 // The dialect (IOS-style vs Junos-style) is auto-detected per file.

@@ -123,7 +123,7 @@ func BenchmarkFigure3(b *testing.B) {
 		dp := dataplane.Run(net1Mini(), dataplane.Options{})
 		for i := 0; i < b.N; i++ {
 			e := nod.New(dp)
-			_ = e.MultipathConsistency(len(dp.Network.Devices) + 1)
+			_, _ = e.MultipathConsistency(len(dp.Network.Devices) + 1)
 		}
 	})
 	b.Run("Verify/current-bdd", func(b *testing.B) {

@@ -14,9 +14,24 @@
 //
 // -cachestats prints the staged pipeline's artifact-cache counters and
 // per-stage wall times (cold vs warm) after the run.
+//
+// Failure containment flags:
+//
+//	-timeout D   bound the whole run by a context deadline; on expiry the
+//	             pipeline stops at its next checkpoint and partial results
+//	             are reported (exit code 3)
+//	-faults SPEC deterministic fault injection for chaos testing, e.g.
+//	             "parse:leaf1=panic,dataplane:*=sleep:50ms" (see
+//	             internal/faults)
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 cancelled/deadline exceeded,
+// 4 degraded (quarantined devices, budget trips, or recovered panics —
+// results are partial but usable). Degraded runs print a diagnostics
+// summary on stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +43,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/config"
 	"repro/internal/dataplane"
+	"repro/internal/faults"
 	"repro/internal/fwdgraph"
 	"repro/internal/hdr"
 	"repro/internal/ip4"
@@ -37,23 +53,53 @@ import (
 	"repro/internal/testnet"
 )
 
+// Exit codes distinguishing the degradation states.
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitUsage     = 2
+	exitCancelled = 3
+	exitDegraded  = 4
+)
+
 func main() {
 	var (
-		snapshot = flag.String("snapshot", "", "directory of configuration files")
-		question = flag.String("q", "refs", "question to ask")
-		node     = flag.String("node", "", "device for node-scoped questions")
-		iface    = flag.String("iface", "", "interface for traceroute")
-		srcIP    = flag.String("src", "", "source IP for traceroute")
-		dstIP    = flag.String("dst", "", "destination IP for traceroute")
-		dport    = flag.Int("dport", 80, "destination port for traceroute")
-		table1   = flag.Bool("table1", false, "print the Table 1 network inventory")
-		table2   = flag.Bool("table2", false, "run the Table 2 performance benchmark")
-		nets     = flag.Int("nets", 5, "how many catalog networks -table2 runs")
-		demo     = flag.String("demo", "", "run a paper demo: figure1, badgadget")
-		cacheSt  = flag.Bool("cachestats", false, "print pipeline cache statistics after the run")
+		snapshot  = flag.String("snapshot", "", "directory of configuration files")
+		question  = flag.String("q", "refs", "question to ask")
+		node      = flag.String("node", "", "device for node-scoped questions")
+		iface     = flag.String("iface", "", "interface for traceroute")
+		srcIP     = flag.String("src", "", "source IP for traceroute")
+		dstIP     = flag.String("dst", "", "destination IP for traceroute")
+		dport     = flag.Int("dport", 80, "destination port for traceroute")
+		table1    = flag.Bool("table1", false, "print the Table 1 network inventory")
+		table2    = flag.Bool("table2", false, "run the Table 2 performance benchmark")
+		nets      = flag.Int("nets", 5, "how many catalog networks -table2 runs")
+		demo      = flag.String("demo", "", "run a paper demo: figure1, badgadget")
+		cacheSt   = flag.Bool("cachestats", false, "print pipeline cache statistics after the run")
+		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none); expiry yields partial results and exit code 3")
+		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. \"parse:leaf1=panic,dataplane:*=sleep:50ms\"")
 	)
 	flag.Parse()
 
+	if *faultSpec != "" {
+		inj, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batfish: bad -faults: %v\n", err)
+			os.Exit(exitUsage)
+		}
+		restore := faults.Activate(inj)
+		defer restore()
+		fmt.Fprintf(os.Stderr, "fault injection active: %s\n", inj.Describe())
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	code := exitOK
 	switch {
 	case *table1:
 		printTable1()
@@ -64,14 +110,15 @@ func main() {
 	case *demo == "badgadget":
 		demoBadGadget()
 	case *snapshot != "":
-		runQuestion(*snapshot, *question, *node, *iface, *srcIP, *dstIP, *dport)
+		code = runQuestion(ctx, *snapshot, *question, *node, *iface, *srcIP, *dstIP, *dport)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if *cacheSt {
 		printCacheStats()
 	}
+	os.Exit(code)
 }
 
 // printCacheStats reports the shared pipeline's artifact store counters
@@ -93,11 +140,29 @@ func printCacheStats() {
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "batfish: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(exitError)
 }
 
-func runQuestion(dir, q, node, iface, src, dst string, dport int) {
-	snap, err := batfish.LoadDir(dir)
+// containmentExit prints the diagnostics summary for a degraded snapshot
+// and picks the exit code: 3 when the run was cancelled, 4 when results
+// are otherwise partial (quarantine, budget, recovered panic), 0 clean.
+func containmentExit(snap *batfish.Snapshot) int {
+	ds := snap.Diags()
+	if len(ds) == 0 {
+		return exitOK
+	}
+	fmt.Fprintln(os.Stderr, "containment: "+batfish.DiagSummary(ds))
+	if qn := snap.Quarantined(); len(qn) > 0 {
+		fmt.Fprintf(os.Stderr, "quarantined devices: %s\n", strings.Join(qn, ", "))
+	}
+	if snap.Cancelled() {
+		return exitCancelled
+	}
+	return exitDegraded
+}
+
+func runQuestion(ctx context.Context, dir, q, node, iface, src, dst string, dport int) int {
+	snap, err := batfish.LoadDirContext(ctx, dir)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -179,6 +244,7 @@ func runQuestion(dir, q, node, iface, src, dst string, dport int) {
 	default:
 		fatalf("unknown question %q", q)
 	}
+	return containmentExit(snap)
 }
 
 func printTable1() {

@@ -18,6 +18,15 @@
 // A Factory owns all nodes; Refs from different factories must not be mixed.
 // Factories are not safe for concurrent use; analyses that run in parallel
 // each build their own factory.
+//
+// Panic policy: this package panics only on violated library invariants —
+// an invalid variable count, a variable index out of range, or a
+// non-order-preserving Replace renaming. These are caller bugs, never
+// reachable from user configuration input, and are deliberately kept as
+// panics (the failure-containment layer in internal/core recovers them at
+// stage boundaries as a backstop). The one recoverable panic is
+// BudgetError, raised when an explicitly configured node budget is
+// exceeded; see SetNodeBudget.
 package bdd
 
 import (
@@ -95,7 +104,34 @@ type Factory struct {
 	satCache map[Ref]float64
 
 	opCount uint64 // statistics: recursive operation applications
+
+	// budget bounds the node table (0 = unlimited); see SetNodeBudget.
+	budget int
 }
+
+// BudgetError is the panic value raised when the factory's node budget is
+// exceeded. Callers that set a budget recover it at a stage boundary and
+// convert it into a "Budget exceeded" diagnostic with a partial result —
+// turning would-be OOMs into contained failures.
+type BudgetError struct{ Limit int }
+
+func (e BudgetError) Error() string {
+	return fmt.Sprintf("bdd: node budget %d exceeded", e.Limit)
+}
+
+// IsBudget marks the error as a resource-budget trip for panic
+// classification (see internal/diag).
+func (e BudgetError) IsBudget() bool { return true }
+
+// SetNodeBudget bounds the total number of nodes the factory may
+// allocate; 0 removes the bound. Exceeding the budget panics with
+// BudgetError, the only way to unwind the deep operation recursion;
+// the factory remains usable (existing Refs stay valid) after the caller
+// recovers and either raises or removes the budget.
+func (f *Factory) SetNodeBudget(n int) { f.budget = n }
+
+// NodeBudget returns the current node budget (0 = unlimited).
+func (f *Factory) NodeBudget() int { return f.budget }
 
 // NewFactory returns a Factory over nvars boolean variables.
 func NewFactory(nvars int) *Factory {
@@ -194,6 +230,9 @@ func (f *Factory) mk(level int32, low, high Ref) Ref {
 			return id
 		}
 		h = (h + 1) & f.uniqueMask
+	}
+	if f.budget > 0 && len(f.nodes) >= f.budget {
+		panic(BudgetError{Limit: f.budget})
 	}
 	id := Ref(len(f.nodes))
 	f.nodes = append(f.nodes, node{level: level, low: low, high: high})

@@ -8,6 +8,8 @@ import (
 	"repro/internal/acl"
 	"repro/internal/bdd"
 	"repro/internal/config"
+	"repro/internal/diag"
+	"repro/internal/faults"
 	"repro/internal/fwdgraph"
 	"repro/internal/hdr"
 	"repro/internal/ip4"
@@ -15,6 +17,24 @@ import (
 	"repro/internal/routing"
 	"repro/internal/traceroute"
 )
+
+// guardQuestion runs one question body with panic isolation: a panic (or
+// BDD budget trip) inside fn becomes a question-stage diagnostic on the
+// snapshot instead of crashing the caller, and the question returns
+// whatever partial answer was assembled before the failure. The device
+// field carries the question scope — a source device for per-source
+// guards, the question name for whole-question guards.
+func (s *Snapshot) guardQuestion(scope string, fn func()) bool {
+	d := diag.Capture(diag.StageQuestion, scope, func() {
+		faults.Fire("question", scope)
+		fn()
+	})
+	if d != nil {
+		s.addDiag(*d)
+		return false
+	}
+	return true
+}
 
 // Finding is one result row of a question; questions return sorted,
 // deterministic findings so snapshots diff cleanly in CI workflows
@@ -210,76 +230,98 @@ type ReachabilityParams struct {
 
 // Reachability answers "what can each source deliver / what fails",
 // with default scoping and example selection.
+//
+// Sources are independently guarded: a panic or budget trip while
+// analyzing one source records a question-stage diagnostic naming that
+// source's device and the remaining sources still produce results.
 func (s *Snapshot) Reachability(params ReachabilityParams) []FlowResult {
-	an := s.Analysis()
-	enc := an.Enc
-	f := enc.F
 	sources := params.Sources
 	if len(sources) == 0 {
 		sources = s.HostFacing()
 	}
 	var out []FlowResult
 	for _, src := range sources {
-		hs := params.Headers
-		if hs == 0 {
-			hs = bdd.True
-		}
-		// Default source-IP scope: the source interface's subnet minus the
-		// gateway itself (§4.4.2 "limit the set of source and destination
-		// IPs to those that can likely originate at those interfaces").
-		d := s.Net.Devices[src.Device]
-		if i, ok := d.Interfaces[src.Iface]; ok {
-			srcScope := bdd.False
-			for _, p := range i.Addresses {
-				if p.Len < 32 {
-					srcScope = f.Or(srcScope, enc.Prefix(hdr.SrcIP, p))
-				}
-			}
-			if srcScope != bdd.False {
-				for _, p := range i.Addresses {
-					srcScope = f.Diff(srcScope, enc.FieldEq(hdr.SrcIP, uint32(p.Addr)))
-				}
-				hs = f.And(hs, srcScope)
-			}
-		}
-		for _, dst := range params.DstIPs {
-			hs = f.And(hs, enc.Prefix(hdr.DstIP, dst))
-		}
-		sinks, ok := s.sinkSetsFor(src, hs)
-		if !ok {
+		var fr FlowResult
+		var ok bool
+		if !s.guardQuestion(src.Device, func() {
+			fr, ok = s.reachOne(src, params)
+		}) {
 			continue
 		}
-		success, failure := reach.Partition(sinks, f)
-		fr := FlowResult{Source: src, Delivered: success, Failed: failure}
-		// Example preferences implement Lesson 4's uninteresting-violation
-		// suppression: common protocol/application, unprivileged source
-		// port, and fresh-request TCP flags (not a spoofed reply).
-		prefs := []bdd.Ref{
-			enc.FieldEq(hdr.Protocol, hdr.ProtoTCP),
-			enc.FieldEq(hdr.DstPort, 80),
-			enc.FieldGE(hdr.SrcPort, 1024),
-			enc.FieldEq(hdr.TCPFlags, hdr.FlagSYN),
+		if ok {
+			out = append(out, fr)
 		}
-		if p, ok := enc.PickPacket(success, prefs...); ok {
-			fr.PositiveExample, fr.HasPositive = p, true
-		}
-		if p, ok := enc.PickPacket(failure, prefs...); ok {
-			fr.NegativeExample, fr.HasNegative = p, true
-			vrf := config.DefaultVRF
-			if i, ok := d.Interfaces[src.Iface]; ok {
-				vrf = i.VRFOrDefault()
-			}
-			fr.Traces = s.Traceroute().Run(src.Device, vrf, src.Iface, p)
-		}
-		out = append(out, fr)
 	}
 	return out
 }
 
+// reachOne answers the reachability question for a single source.
+func (s *Snapshot) reachOne(src reach.SourceLoc, params ReachabilityParams) (FlowResult, bool) {
+	an := s.Analysis()
+	enc := an.Enc
+	f := enc.F
+	hs := params.Headers
+	if hs == 0 {
+		hs = bdd.True
+	}
+	// Default source-IP scope: the source interface's subnet minus the
+	// gateway itself (§4.4.2 "limit the set of source and destination
+	// IPs to those that can likely originate at those interfaces").
+	d := s.Net.Devices[src.Device]
+	if i, ok := d.Interfaces[src.Iface]; ok {
+		srcScope := bdd.False
+		for _, p := range i.Addresses {
+			if p.Len < 32 {
+				srcScope = f.Or(srcScope, enc.Prefix(hdr.SrcIP, p))
+			}
+		}
+		if srcScope != bdd.False {
+			for _, p := range i.Addresses {
+				srcScope = f.Diff(srcScope, enc.FieldEq(hdr.SrcIP, uint32(p.Addr)))
+			}
+			hs = f.And(hs, srcScope)
+		}
+	}
+	for _, dst := range params.DstIPs {
+		hs = f.And(hs, enc.Prefix(hdr.DstIP, dst))
+	}
+	sinks, ok := s.sinkSetsFor(src, hs)
+	if !ok {
+		return FlowResult{}, false
+	}
+	success, failure := reach.Partition(sinks, f)
+	fr := FlowResult{Source: src, Delivered: success, Failed: failure}
+	// Example preferences implement Lesson 4's uninteresting-violation
+	// suppression: common protocol/application, unprivileged source
+	// port, and fresh-request TCP flags (not a spoofed reply).
+	prefs := []bdd.Ref{
+		enc.FieldEq(hdr.Protocol, hdr.ProtoTCP),
+		enc.FieldEq(hdr.DstPort, 80),
+		enc.FieldGE(hdr.SrcPort, 1024),
+		enc.FieldEq(hdr.TCPFlags, hdr.FlagSYN),
+	}
+	if p, ok := enc.PickPacket(success, prefs...); ok {
+		fr.PositiveExample, fr.HasPositive = p, true
+	}
+	if p, ok := enc.PickPacket(failure, prefs...); ok {
+		fr.NegativeExample, fr.HasNegative = p, true
+		vrf := config.DefaultVRF
+		if i, ok := d.Interfaces[src.Iface]; ok {
+			vrf = i.VRFOrDefault()
+		}
+		fr.Traces = s.Traceroute().Run(src.Device, vrf, src.Iface, p)
+	}
+	return fr, true
+}
+
 // MultipathConsistency runs the paper's benchmark verification query
-// (§6.1) over the default header space.
-func (s *Snapshot) MultipathConsistency() []reach.MultipathViolation {
-	return s.Analysis().MultipathConsistency(bdd.True)
+// (§6.1) over the default header space. A panic or budget trip inside the
+// query becomes a question-stage diagnostic and nil violations.
+func (s *Snapshot) MultipathConsistency() (out []reach.MultipathViolation) {
+	s.guardQuestion("multipath-consistency", func() {
+		out = s.Analysis().MultipathConsistency(bdd.True)
+	})
+	return out
 }
 
 // DifferentialFlows compares delivered sets between this snapshot and a
@@ -299,7 +341,14 @@ type DifferentialFlows struct {
 // caching pipeline, no NAT), the comparison is incremental: only sources
 // whose flows can touch a changed device are re-examined, restricted to
 // their blast radius — with results identical to the full comparison.
-func (s *Snapshot) CompareWith(after *Snapshot) []DifferentialFlows {
+func (s *Snapshot) CompareWith(after *Snapshot) (out []DifferentialFlows) {
+	s.guardQuestion("compare", func() {
+		out = s.compareWith(after)
+	})
+	return out
+}
+
+func (s *Snapshot) compareWith(after *Snapshot) []DifferentialFlows {
 	if out, ok := s.compareIncremental(after); ok {
 		return out
 	}
@@ -354,7 +403,12 @@ const (
 )
 
 // DetectLoops reports forwarding loops per source location: packet sets
-// with no path to any disposition sink necessarily cycle forever.
-func (s *Snapshot) DetectLoops() []reach.LoopResult {
-	return s.Analysis().DetectLoops(bdd.True)
+// with no path to any disposition sink necessarily cycle forever. A panic
+// or budget trip inside the query becomes a question-stage diagnostic and
+// nil results.
+func (s *Snapshot) DetectLoops() (out []reach.LoopResult) {
+	s.guardQuestion("detect-loops", func() {
+		out = s.Analysis().DetectLoops(bdd.True)
+	})
+	return out
 }

@@ -56,7 +56,14 @@ type ServiceReachableResult struct {
 // ambiguity of Lesson 4. Source IPs are scoped to each client subnet and
 // examples prefer unprivileged source ports, suppressing the paper's
 // uninteresting-violation classes (spoofed sources, privileged ports).
-func (s *Snapshot) ServiceReachable(spec ServiceSpec) []ServiceReachableResult {
+func (s *Snapshot) ServiceReachable(spec ServiceSpec) (out []ServiceReachableResult) {
+	s.guardQuestion("service-reachable", func() {
+		out = s.serviceReachable(spec)
+	})
+	return out
+}
+
+func (s *Snapshot) serviceReachable(spec ServiceSpec) []ServiceReachableResult {
 	an := s.Analysis()
 	enc := an.Enc
 	f := enc.F
@@ -100,7 +107,14 @@ type ServiceExposure struct {
 // fixed — no flow from any non-allowed source location may be delivered.
 // Unlike the availability query, source-IP scoping is NOT applied to the
 // attacker's packets (a security check must include spoofed sources).
-func (s *Snapshot) ServiceProtected(spec ServiceSpec) []ServiceExposure {
+func (s *Snapshot) ServiceProtected(spec ServiceSpec) (out []ServiceExposure) {
+	s.guardQuestion("service-protected", func() {
+		out = s.serviceProtected(spec)
+	})
+	return out
+}
+
+func (s *Snapshot) serviceProtected(spec ServiceSpec) []ServiceExposure {
 	an := s.Analysis()
 	enc := an.Enc
 	f := enc.F

@@ -15,13 +15,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 
 	"repro/internal/bdd"
 	"repro/internal/config"
 	"repro/internal/dataplane"
+	"repro/internal/diag"
 	"repro/internal/fwdgraph"
 	"repro/internal/netgen"
 	"repro/internal/pipeline"
@@ -68,6 +72,19 @@ type Snapshot struct {
 	impact     map[reach.SourceLoc]bdd.Ref
 	impactDone bool
 	impactOK   bool
+
+	// ctx governs every stage this snapshot runs; nil means Background.
+	ctx context.Context
+	// parseDiags are the containment diagnostics from the parse stage
+	// (quarantined devices, cancellation).
+	parseDiags []diag.Diagnostic
+	// qDiags collects question-stage diagnostics (recovered panics, budget
+	// exhaustion) as questions run.
+	qMu    sync.Mutex
+	qDiags []diag.Diagnostic
+	// bddBudget, when positive, bounds the BDD factory's node count for
+	// this snapshot's analyses (applied when the graph is built).
+	bddBudget int
 }
 
 type memoKey struct {
@@ -88,15 +105,142 @@ func LoadText(texts map[string]string) *Snapshot {
 // LoadTextWith parses texts with an explicit pipeline. Devices parse in
 // parallel; the resulting model is deterministic and ordered by name.
 func LoadTextWith(pl *pipeline.Pipeline, texts map[string]string) *Snapshot {
+	return LoadTextWithContext(context.Background(), pl, texts)
+}
+
+// LoadTextWithContext is LoadTextWith under a context. The context governs
+// the parse stage now and every later stage this snapshot runs (data
+// plane, graph, analysis): when it expires, in-flight stages stop at their
+// next checkpoint and the snapshot degrades to partial results with
+// cancellation diagnostics instead of blocking. A device whose parser
+// panics is quarantined — excluded from the network, reported via Diags —
+// and the rest of the snapshot stays usable.
+func LoadTextWithContext(ctx context.Context, pl *pipeline.Pipeline, texts map[string]string) *Snapshot {
 	if pl == nil {
 		pl = pipeline.Disabled()
 	}
-	net, warns, devKeys := pl.Parse(texts)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	net, warns, devKeys, diags := pl.ParseCtx(ctx, texts)
 	own := make(map[string]string, len(texts))
 	for n, t := range texts {
 		own[n] = t
 	}
-	return &Snapshot{Net: net, Warnings: warns, pl: pl, texts: own, devKeys: devKeys}
+	s := &Snapshot{Net: net, Warnings: warns, pl: pl, texts: own, devKeys: devKeys,
+		parseDiags: diags}
+	if ctx != context.Background() {
+		s.ctx = ctx
+	}
+	return s
+}
+
+// WithContext rebinds the context used by stages this snapshot has not run
+// yet and returns the snapshot for chaining. Background (and nil) unbinds:
+// stages then run uncancellable and shared-cache-eligible again.
+func (s *Snapshot) WithContext(ctx context.Context) *Snapshot {
+	if ctx == nil || ctx == context.Background() {
+		s.ctx = nil
+	} else {
+		s.ctx = ctx
+	}
+	return s
+}
+
+func (s *Snapshot) context() context.Context {
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
+}
+
+// SetBDDNodeBudget bounds the BDD factory node count for this snapshot's
+// symbolic analyses; 0 removes the bound. Exceeding the budget aborts the
+// offending question with a "Budget exceeded" diagnostic instead of
+// letting the factory grow without limit. The budget attaches to the
+// graph's factory, which a caching pipeline shares across its snapshots —
+// set it on dedicated pipelines (or pipeline.Disabled()) when isolation
+// matters.
+func (s *Snapshot) SetBDDNodeBudget(n int) {
+	s.bddBudget = n
+	if s.g != nil {
+		s.g.Enc.F.SetNodeBudget(n)
+	}
+}
+
+func (s *Snapshot) addDiag(d diag.Diagnostic) {
+	s.qMu.Lock()
+	s.qDiags = append(s.qDiags, d)
+	s.qMu.Unlock()
+}
+
+// Diags returns every containment diagnostic accumulated so far, in stage
+// order: parse (quarantines, cancellation), data plane (quarantines,
+// budget exhaustion, non-convergence, cancellation), graph/analysis
+// cancellation, then question-stage recoveries. The slice is a copy.
+func (s *Snapshot) Diags() []diag.Diagnostic {
+	var out []diag.Diagnostic
+	out = append(out, s.parseDiags...)
+	if s.dp != nil {
+		out = append(out, s.dp.Diags...)
+	}
+	if s.g != nil && s.g.Cancelled {
+		out = append(out, diag.Diagnostic{Stage: diag.StageGraph, Kind: diag.KindCancelled,
+			Message: "forwarding graph construction cancelled; graph covers a device prefix"})
+	}
+	if s.an != nil && s.an.Cancelled {
+		out = append(out, diag.Diagnostic{Stage: diag.StageAnalysis, Kind: diag.KindCancelled,
+			Message: "reachability fixed point cancelled; sets are under-approximate"})
+	}
+	s.qMu.Lock()
+	out = append(out, s.qDiags...)
+	s.qMu.Unlock()
+	return out
+}
+
+// Quarantined returns the sorted device names excluded from this snapshot
+// by failure containment: parse-stage quarantines plus devices the data
+// plane simulation isolated after a panic.
+func (s *Snapshot) Quarantined() []string {
+	seen := make(map[string]bool)
+	for _, d := range s.parseDiags {
+		if d.Kind == diag.KindQuarantine && d.Device != "" {
+			seen[d.Device] = true
+		}
+	}
+	if s.dp != nil {
+		for _, n := range s.dp.Quarantined {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Degraded reports whether any stage produced less than the full answer —
+// cancellation, quarantined devices, budget exhaustion, or a recovered
+// panic. Degraded results are still usable (healthy devices answer
+// questions) but are never cached by the pipeline.
+func (s *Snapshot) Degraded() bool {
+	return len(s.Diags()) > 0
+}
+
+// Cancelled reports whether any stage observed an expired context.
+func (s *Snapshot) Cancelled() bool {
+	if s.dp != nil && s.dp.Cancelled {
+		return true
+	}
+	if s.g != nil && s.g.Cancelled {
+		return true
+	}
+	if s.an != nil && s.an.Cancelled {
+		return true
+	}
+	return diag.Has(s.parseDiags, diag.KindCancelled)
 }
 
 // LoadDir reads every *.cfg / *.conf / *.txt file in dir as one device.
@@ -106,6 +250,12 @@ func LoadDir(dir string) (*Snapshot, error) {
 
 // LoadDirWith is LoadDir with an explicit pipeline.
 func LoadDirWith(pl *pipeline.Pipeline, dir string) (*Snapshot, error) {
+	return LoadDirWithContext(context.Background(), pl, dir)
+}
+
+// LoadDirWithContext is LoadDirWith under a context (see
+// LoadTextWithContext for the containment semantics).
+func LoadDirWithContext(ctx context.Context, pl *pipeline.Pipeline, dir string) (*Snapshot, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -129,7 +279,7 @@ func LoadDirWith(pl *pipeline.Pipeline, dir string) (*Snapshot, error) {
 	if len(texts) == 0 {
 		return nil, fmt.Errorf("core: no configuration files in %s", dir)
 	}
-	return LoadTextWith(pl, texts), nil
+	return LoadTextWithContext(ctx, pl, texts), nil
 }
 
 // LoadGenerated wraps a generated snapshot (benchmarks and examples),
@@ -141,11 +291,17 @@ func LoadGenerated(snap *netgen.Snapshot) *Snapshot {
 
 // LoadGeneratedWith is LoadGenerated with an explicit pipeline.
 func LoadGeneratedWith(pl *pipeline.Pipeline, snap *netgen.Snapshot) *Snapshot {
+	return LoadGeneratedWithContext(context.Background(), pl, snap)
+}
+
+// LoadGeneratedWithContext is LoadGeneratedWith under a context (see
+// LoadTextWithContext for the containment semantics).
+func LoadGeneratedWithContext(ctx context.Context, pl *pipeline.Pipeline, snap *netgen.Snapshot) *Snapshot {
 	texts := make(map[string]string, len(snap.Devices))
 	for _, dt := range snap.Devices {
 		texts[dt.Hostname] = dt.Text
 	}
-	return LoadTextWith(pl, texts)
+	return LoadTextWithContext(ctx, pl, texts)
 }
 
 // Edit derives a new snapshot by overlaying config changes (name → new
@@ -166,9 +322,10 @@ func (s *Snapshot) Edit(changes map[string]string) *Snapshot {
 			texts[n] = t
 		}
 	}
-	ns := LoadTextWith(s.pl, texts)
+	ns := LoadTextWithContext(s.context(), s.pl, texts)
 	ns.opts = s.opts
 	ns.baseline = s
+	ns.bddBudget = s.bddBudget
 	return ns
 }
 
@@ -188,9 +345,9 @@ func (s *Snapshot) SetDataPlaneOptions(o dataplane.Options) { s.opts = o }
 func (s *Snapshot) DataPlane() *dataplane.Result {
 	if s.dp == nil {
 		if s.pl != nil {
-			s.dp, s.dpKey = s.pl.DataPlane(s.Net, s.devKeys, s.opts)
+			s.dp, s.dpKey = s.pl.DataPlaneCtx(s.context(), s.Net, s.devKeys, s.opts)
 		} else {
-			s.dp = dataplane.Run(s.Net, s.opts)
+			s.dp = dataplane.RunContext(s.context(), s.Net, s.opts)
 		}
 	}
 	return s.dp
@@ -200,9 +357,12 @@ func (s *Snapshot) DataPlane() *dataplane.Result {
 func (s *Snapshot) Graph() *fwdgraph.Graph {
 	if s.g == nil {
 		if s.pl != nil {
-			s.g, s.gKey = s.pl.Graph(s.DataPlane(), s.dpKey)
+			s.g, s.gKey = s.pl.GraphCtx(s.context(), s.DataPlane(), s.dpKey)
 		} else {
-			s.g = fwdgraph.New(s.DataPlane())
+			s.g = fwdgraph.NewContext(s.context(), s.DataPlane())
+		}
+		if s.bddBudget > 0 {
+			s.g.Enc.F.SetNodeBudget(s.bddBudget)
 		}
 	}
 	return s.g
@@ -211,9 +371,15 @@ func (s *Snapshot) Graph() *fwdgraph.Graph {
 // Analysis returns the BDD reachability analysis (graph-compressed).
 func (s *Snapshot) Analysis() *reach.Analysis {
 	if s.an == nil {
-		if s.pl != nil {
+		switch {
+		case s.ctx != nil:
+			// A context-bound analysis carries mutable cancellation state,
+			// so it must be private to this snapshot: build fresh and skip
+			// the shared artifact store entirely.
+			s.an = reach.New(s.Graph()).WithContext(s.ctx)
+		case s.pl != nil:
 			s.an, _ = s.pl.Analysis(s.Graph(), s.gKey)
-		} else {
+		default:
 			s.an = reach.New(s.Graph())
 		}
 	}

@@ -158,8 +158,8 @@ func (cp *ControlPlane) addRules() {
 	)
 }
 
-// Run evaluates the program.
-func (cp *ControlPlane) Run() { cp.E.Run() }
+// Run evaluates the program, reporting the first program error (if any).
+func (cp *ControlPlane) Run() error { return cp.E.Run() }
 
 // BestOspfRoutes extracts the computed best OSPF routes per node.
 func (cp *ControlPlane) BestOspfRoutes(node string) map[ip4.Prefix]uint32 {

@@ -97,13 +97,30 @@ func (r *relation) add(t []Value) bool {
 }
 
 // Engine evaluates a stratified Datalog program.
+//
+// Program errors — predicate arity mismatches, facts with variables,
+// unbound head variables, unknown builtins — do not panic: the first one
+// is recorded, the offending derivation or fact is dropped, and Run (or
+// Err) reports it. This keeps a malformed program from taking down a
+// process that embeds the engine.
 type Engine struct {
 	rels    map[string]*relation
 	strata  [][]Rule
 	symTab  map[string]Value
 	symRev  []string
 	derived uint64
+	err     error
 }
+
+// setErr records the first program error.
+func (e *Engine) setErr(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Err returns the first program error encountered so far.
+func (e *Engine) Err() error { return e.err }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
@@ -132,6 +149,10 @@ func (e *Engine) SymName(v Value) string {
 // Num encodes a small non-negative integer as a constant term. Numbers and
 // symbols share the constant space; programs keep them in distinct
 // argument positions (as the original Batfish predicates did).
+//
+// Panic policy: a negative n is a caller invariant violation (the free
+// function has no engine to report through), so it panics rather than
+// silently encoding a symbol-range value.
 func Num(n int) Term {
 	if n < 0 {
 		panic("datalog: negative numeric constant")
@@ -154,17 +175,22 @@ func (e *Engine) rel(name string, arity int) *relation {
 		e.rels[name] = r
 	}
 	if r.arity != arity {
-		panic(fmt.Sprintf("datalog: predicate %s used with arity %d and %d", name, r.arity, arity))
+		e.setErr(fmt.Errorf("datalog: predicate %s used with arity %d and %d", name, r.arity, arity))
+		// Hand back a detached relation of the requested arity so the
+		// caller's tuples index safely; it is never stored or queried.
+		return &relation{name: name, arity: arity, index: make(map[string]struct{})}
 	}
 	return r
 }
 
-// Fact asserts a ground fact.
+// Fact asserts a ground fact. A fact containing a variable is a program
+// error: it is dropped and reported by Run/Err.
 func (e *Engine) Fact(pred string, args ...Term) {
 	vals := make([]Value, len(args))
 	for i, a := range args {
 		if a.isVar() {
-			panic("datalog: fact with variable")
+			e.setErr(fmt.Errorf("datalog: fact %s with variable argument", pred))
+			return
 		}
 		vals[i] = Value(a)
 	}
@@ -193,11 +219,15 @@ func (e *Engine) FactCount() int {
 	return n
 }
 
-// Run evaluates all strata to fixed point.
-func (e *Engine) Run() {
+// Run evaluates all strata to fixed point. It returns the first program
+// error encountered (also before this call, e.g. a malformed Fact); the
+// engine still computes everything derivable from the well-formed part of
+// the program.
+func (e *Engine) Run() error {
 	for _, rules := range e.strata {
 		e.runStratum(rules)
 	}
+	return e.err
 }
 
 func (e *Engine) runStratum(rules []Rule) {
@@ -287,7 +317,8 @@ func (e *Engine) evalRule(rule Rule) {
 			for i, a := range rule.Head.Args {
 				if a.isVar() {
 					if !bound[a.varIdx()] {
-						panic(fmt.Sprintf("datalog: unbound head variable in %s", rule.Head.Pred))
+						e.setErr(fmt.Errorf("datalog: unbound head variable in %s", rule.Head.Pred))
+						return
 					}
 					out[i] = binding[a.varIdx()]
 				} else {
@@ -401,7 +432,8 @@ func (e *Engine) evalBuiltin(bi Builtin, binding []Value, bound []bool) (bool, i
 		bound[vi] = true
 		return true, vi
 	}
-	panic("datalog: unknown builtin " + bi.Name)
+	e.setErr(fmt.Errorf("datalog: unknown builtin %s", bi.Name))
+	return false, -1
 }
 
 // matchExists reports whether any tuple of the atom's relation matches the

@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/config"
@@ -189,14 +190,50 @@ func TestIntermediateFactRetention(t *testing.T) {
 	}
 }
 
-func TestUnboundHeadVarPanics(t *testing.T) {
+func TestUnboundHeadVarReturnsError(t *testing.T) {
 	e := NewEngine()
 	e.Fact("p", e.Sym("a"))
 	e.Stratum(Rule{Head: A("q", V(0), V(1)), Body: []Atom{A("p", V(0))}})
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for unbound head variable")
-		}
-	}()
-	e.Run()
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "unbound head variable") {
+		t.Errorf("expected unbound-head-variable error, got %v", err)
+	}
+	// The malformed derivation is dropped, not derived with garbage.
+	if got := len(e.Query("q", V(0), V(1))); got != 0 {
+		t.Errorf("malformed rule derived %d tuples", got)
+	}
+}
+
+func TestArityMismatchReturnsError(t *testing.T) {
+	e := NewEngine()
+	e.Fact("p", e.Sym("a"))
+	e.Fact("p", e.Sym("a"), e.Sym("b"))
+	if err := e.Run(); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Errorf("expected arity error, got %v", err)
+	}
+	// The original relation keeps its arity and content.
+	if got := len(e.Query("p", V(0))); got != 1 {
+		t.Errorf("original relation disturbed: %d tuples", got)
+	}
+}
+
+func TestFactWithVariableReturnsError(t *testing.T) {
+	e := NewEngine()
+	e.Fact("p", V(0))
+	if err := e.Run(); err == nil || !strings.Contains(err.Error(), "variable") {
+		t.Errorf("expected variable-fact error, got %v", err)
+	}
+	if got := len(e.Query("p", V(0))); got != 0 {
+		t.Errorf("variable fact stored: %d tuples", got)
+	}
+}
+
+func TestUnknownBuiltinReturnsError(t *testing.T) {
+	e := NewEngine()
+	e.Fact("p", Num(1))
+	e.Stratum(Rule{Head: A("q", V(0)), Body: []Atom{A("p", V(0))},
+		Builtins: []Builtin{{Name: "frobnicate", Args: []Term{V(0)}}}})
+	if err := e.Run(); err == nil || !strings.Contains(err.Error(), "unknown builtin") {
+		t.Errorf("expected unknown-builtin error, got %v", err)
+	}
 }

@@ -21,11 +21,14 @@
 package dataplane
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/config"
+	"repro/internal/diag"
 	"repro/internal/fib"
 	"repro/internal/ip4"
 	"repro/internal/routing"
@@ -145,6 +148,16 @@ func (s *Session) String() string {
 	return fmt.Sprintf("%s:%s <-> %s:%s [%s]", s.LocalNode, s.LocalIP, s.PeerNode, s.PeerIP, state)
 }
 
+// CycleInfo reports a detected routing oscillation: the protocol whose
+// RIB state cycled and the iterations at which the repeat was observed
+// (the partial result holds one state of the cycle).
+type CycleInfo struct {
+	Protocol        string
+	FirstIteration  int // iteration whose state was seen again
+	RepeatIteration int // iteration at which the repeat was detected
+	StateHash       uint64
+}
+
 // Result is the computed data plane.
 type Result struct {
 	Network  *config.Network
@@ -153,12 +166,27 @@ type Result struct {
 	Pool     *routing.Pool
 
 	Converged     bool
-	Oscillation   bool // a state cycle was detected (Figure 1 pathology)
+	Oscillation   bool       // a state cycle was detected (Figure 1 pathology)
+	Cycle         *CycleInfo // populated when Oscillation is true
+	Cancelled     bool       // the run's context was cancelled; state is partial
 	IGPIterations int
 	BGPIterations int
 	OuterRounds   int
 	Sessions      []*Session
 	Warnings      []string
+	// Diags are the run's structured failure-containment records:
+	// recovered per-device panics (with the device quarantined from
+	// later phases), iteration-budget trips, oscillations, cancellation.
+	Diags []diag.Diagnostic
+	// Quarantined lists devices whose simulation failed fatally; their
+	// state is partial and they were excluded from later phases.
+	Quarantined []string
+}
+
+// Degraded reports whether the result is partial or carries failure
+// diagnostics; degraded results are never cached by the pipeline.
+func (r *Result) Degraded() bool {
+	return r.Cancelled || len(r.Diags) > 0
 }
 
 // Engine runs the simulation.
@@ -171,6 +199,17 @@ type Engine struct {
 	nodes   map[string]*NodeState
 	res     *Result
 	workers *workerPool // nil when running serially
+	ctx     context.Context
+
+	// curStage labels the phase for diagnostics; set between phases
+	// (never concurrently with a running phase).
+	curStage diag.Stage
+
+	// failMu guards failed and the result's Diags/Quarantined during
+	// parallel phases. A device that panics is quarantined: recorded
+	// here and excluded from every later phase.
+	failMu sync.Mutex
+	failed map[string]bool
 
 	// ipOwner maps an interface IP to its owner, for session matching and
 	// next-hop resolution.
@@ -184,12 +223,14 @@ type ifaceRef struct {
 // New creates an engine over the parsed network.
 func New(net *config.Network, opts Options) *Engine {
 	e := &Engine{
-		net:   net,
-		topo:  topo.Infer(net),
-		opts:  opts,
-		clock: &routing.Clock{},
-		pool:  routing.NewPool(),
-		nodes: make(map[string]*NodeState),
+		net:    net,
+		topo:   topo.Infer(net),
+		opts:   opts,
+		clock:  &routing.Clock{},
+		pool:   routing.NewPool(),
+		nodes:  make(map[string]*NodeState),
+		ctx:    context.Background(),
+		failed: make(map[string]bool),
 	}
 	e.ipOwner = make(map[ip4.Addr][]ifaceRef)
 	for _, name := range net.DeviceNames() {
@@ -253,8 +294,39 @@ func Run(net *config.Network, opts Options) *Result {
 	return New(net, opts).Run()
 }
 
-// Run executes the simulation.
-func (e *Engine) Run() *Result {
+// RunContext executes the full simulation under a context: cancellation
+// (or a deadline) is checked between phases and once per color-class
+// round of the exchange loops, so large runs stop promptly with a
+// partial, diagnosed result instead of running to completion.
+func RunContext(ctx context.Context, net *config.Network, opts Options) *Result {
+	e := New(net, opts)
+	if ctx != nil {
+		e.ctx = ctx
+	}
+	return e.Run()
+}
+
+// cancelled checks the run's context; the first observation records the
+// cancellation diagnostic and marks the result partial.
+func (e *Engine) cancelled() bool {
+	if e.ctx.Err() == nil {
+		return false
+	}
+	if !e.res.Cancelled {
+		e.res.Cancelled = true
+		e.res.Diags = append(e.res.Diags, diag.Diagnostic{
+			Stage: diag.StageDataPlane, Kind: diag.KindCancelled,
+			Message: fmt.Sprintf("run cancelled during %s: %v", e.curStage, e.ctx.Err()),
+		})
+	}
+	return true
+}
+
+// Run executes the simulation. A panic in a parallel per-device phase
+// quarantines that device and the run continues; a panic anywhere else is
+// recovered here and the partial result returned with a diagnostic —
+// the process-level "always produce some answer" guarantee.
+func (e *Engine) Run() (result *Result) {
 	r := &Result{
 		Network:  e.net,
 		Topology: e.topo,
@@ -270,7 +342,15 @@ func (e *Engine) Run() *Result {
 			e.workers = nil
 		}()
 	}
+	defer func() {
+		if v := recover(); v != nil {
+			r.Diags = append(r.Diags, diag.FromPanic(e.curStage, "", v))
+			r.Converged = false
+			result = r
+		}
+	}()
 
+	e.curStage = diag.StageDataPlane
 	e.initConnected()
 	e.installStatics()
 
@@ -278,12 +358,26 @@ func (e *Engine) Run() *Result {
 	converged := true
 	for round := 1; round <= maxOuter; round++ {
 		r.OuterRounds = round
+		if e.cancelled() {
+			converged = false
+			break
+		}
 		igpOK := e.runOSPF()
 		e.buildFIBs()
+		if e.cancelled() {
+			converged = false
+			break
+		}
+		e.curStage = diag.StageDataPlane
 		e.establishSessions()
 		bgpOK := e.runBGP()
 		e.buildFIBs()
+		e.curStage = diag.StageDataPlane
 		converged = igpOK && bgpOK
+		if e.cancelled() {
+			converged = false
+			break
+		}
 		// Re-check session viability against the new data plane; if any
 		// session flips, the next round re-establishes sessions and
 		// resimulates BGP (paper §4.1.1: "re-evaluate the viability of
@@ -296,7 +390,8 @@ func (e *Engine) Run() *Result {
 			converged = false
 		}
 	}
-	r.Converged = converged && !r.Oscillation
+	sort.Strings(r.Quarantined) // parallel panics surface in arbitrary order
+	r.Converged = converged && !r.Oscillation && len(r.Quarantined) == 0
 	return r
 }
 
@@ -319,17 +414,48 @@ func (e *Engine) forEachVRF(fn func(node string, d *config.Device, cv *config.VR
 // persistent worker pool (serially when the pool is absent or the batch is
 // trivial). Callers guarantee the nodes are independent (same color class,
 // or a stage that only writes node-local state).
+//
+// Quarantined devices are excluded up front, and a panic in fn(node)
+// quarantines that device — it is recorded as a diagnostic and skipped by
+// every later phase — instead of killing the worker (and with it the
+// process). The device's own state is partial; every other device's state
+// is untouched because same-phase nodes share no mutable state.
 func (e *Engine) runParallel(nodes []string, fn func(node string)) {
+	if len(e.failed) > 0 {
+		e.failMu.Lock()
+		kept := make([]string, 0, len(nodes))
+		for _, n := range nodes {
+			if !e.failed[n] {
+				kept = append(kept, n)
+			}
+		}
+		e.failMu.Unlock()
+		nodes = kept
+	}
+	guarded := func(node string) {
+		defer func() {
+			if v := recover(); v != nil {
+				d := diag.FromPanic(e.curStage, node, v)
+				e.failMu.Lock()
+				e.failed[node] = true
+				e.res.Quarantined = append(e.res.Quarantined, node)
+				e.res.Diags = append(e.res.Diags, d)
+				e.failMu.Unlock()
+			}
+		}()
+		fn(node)
+	}
 	if e.workers == nil || len(nodes) <= 1 {
 		for _, n := range nodes {
-			fn(n)
+			guarded(n)
 		}
 		return
 	}
-	e.workers.run(nodes, fn)
+	e.workers.run(nodes, guarded)
 }
 
-// warnf records a simulation warning.
+// warnf records a simulation warning. Phases are sequential, so the
+// append needs no lock; parallel phases buffer their own warnings.
 func (e *Engine) warnf(format string, args ...any) {
 	e.res.Warnings = append(e.res.Warnings, fmt.Sprintf(format, args...))
 }

@@ -3,6 +3,8 @@ package dataplane
 import (
 	"fmt"
 
+	"repro/internal/diag"
+	"repro/internal/faults"
 	"repro/internal/fib"
 	"repro/internal/ip4"
 )
@@ -14,6 +16,7 @@ import (
 // VRF states. Warnings are buffered per device and appended in device
 // order so the report is deterministic.
 func (e *Engine) buildFIBs() {
+	e.curStage = diag.StageFIB
 	names := e.net.DeviceNames()
 	warnings := make([][]string, len(names))
 	idx := make(map[string]int, len(names))
@@ -21,6 +24,7 @@ func (e *Engine) buildFIBs() {
 		idx[n] = i
 	}
 	e.runParallel(names, func(node string) {
+		faults.Fire("fib", node)
 		ns := e.nodes[node]
 		var warns []string
 		for _, vn := range sortedVRFNames(ns) {

@@ -1,10 +1,13 @@
 package dataplane
 
 import (
+	"fmt"
 	"sort"
 	"sync/atomic"
 
 	"repro/internal/config"
+	"repro/internal/diag"
+	"repro/internal/faults"
 	"repro/internal/ip4"
 	"repro/internal/policy"
 	"repro/internal/routing"
@@ -403,8 +406,15 @@ func (e *Engine) exchangeLoop(proto string, nodes []string, edges [][2]string,
 		*iterOut = iter
 		anyChange := false
 		for _, class := range classes {
+			// Cancellation is checked once per color-class round: classes
+			// are short (one pull+merge per node), so a deadline stops the
+			// loop promptly with a clean partial state between phases.
+			if e.cancelled() {
+				return false
+			}
 			var mu chanBool
 			e.runParallel(class, func(u string) {
+				faults.Fire("dataplane", u)
 				if process(u) {
 					mu.set()
 				}
@@ -440,13 +450,29 @@ func (e *Engine) exchangeLoop(proto string, nodes []string, edges [][2]string,
 		h := hash()
 		if prev, ok := seen[h]; ok && prev < iter {
 			// State cycle: the routing oscillates (Figure 1 pathology).
+			// The cycle report plus the current (partial but coherent) RIB
+			// state is the answer — non-convergence is reported, never
+			// papered over, and never a hang.
 			e.res.Oscillation = true
+			if e.res.Cycle == nil {
+				e.res.Cycle = &CycleInfo{
+					Protocol: proto, FirstIteration: prev, RepeatIteration: iter, StateHash: h,
+				}
+			}
 			e.warnf("%s: oscillation detected (state at iteration %d repeats iteration %d)", proto, iter, prev)
+			e.res.Diags = append(e.res.Diags, diag.Diagnostic{
+				Stage: diag.StageDataPlane, Kind: diag.KindNonConvergence,
+				Message: fmt.Sprintf("%s oscillation: state at iteration %d repeats iteration %d", proto, iter, prev),
+			})
 			return false
 		}
 		seen[h] = iter
 	}
 	e.warnf("%s: no convergence within %d iterations", proto, maxIters)
+	e.res.Diags = append(e.res.Diags, diag.Diagnostic{
+		Stage: diag.StageDataPlane, Kind: diag.KindBudget,
+		Message: fmt.Sprintf("Budget exceeded: %s exchange loop hit its %d-iteration budget", proto, maxIters),
+	})
 	return false
 }
 

@@ -1,0 +1,156 @@
+// Package diag defines the structured diagnostic records that carry the
+// engine's failure-containment story (the paper's operational core:
+// "always produce *some* answer"). Every contained failure — a recovered
+// panic, a quarantined device, an exhausted resource budget, a cancelled
+// run, a non-converging simulation — becomes a Diagnostic naming the
+// pipeline stage and device it happened at, instead of taking down the
+// process or silently disappearing.
+//
+// The package is a leaf: every layer (pipeline, dataplane, reach, core,
+// cmd) imports it, it imports only the standard library.
+package diag
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// Stage names the pipeline stage a diagnostic originated in.
+type Stage string
+
+// Pipeline stages, in execution order.
+const (
+	StageParse     Stage = "parse"
+	StageDataPlane Stage = "dataplane"
+	StageFIB       Stage = "fib"
+	StageGraph     Stage = "graph"
+	StageAnalysis  Stage = "analysis"
+	StageQuestion  Stage = "question"
+)
+
+// Kind classifies what was contained.
+type Kind string
+
+// Diagnostic kinds.
+const (
+	// KindPanic is a recovered panic: the stage/device failed fatally but
+	// the process survived and the rest of the snapshot kept going.
+	KindPanic Kind = "panic"
+	// KindQuarantine marks a device excluded from the snapshot because its
+	// parse or conversion failed fatally (the red-flag analogue of the
+	// paper's unrecognized-line warnings, applied to whole devices).
+	KindQuarantine Kind = "quarantine"
+	// KindBudget is a resource budget trip: BDD node count or
+	// exchange-loop iteration budget exceeded; the result is partial.
+	KindBudget Kind = "budget"
+	// KindCancelled is a context cancellation or deadline expiry.
+	KindCancelled Kind = "cancelled"
+	// KindNonConvergence is a detected routing oscillation (Figure 1).
+	KindNonConvergence Kind = "non-convergence"
+	// KindError is a contained, non-fatal error that degraded the result.
+	KindError Kind = "error"
+)
+
+// Diagnostic is one structured failure record.
+type Diagnostic struct {
+	Stage   Stage
+	Device  string // empty when not attributable to one device
+	Kind    Kind
+	Message string
+	Stack   string // captured goroutine stack for recovered panics
+}
+
+func (d Diagnostic) String() string {
+	dev := d.Device
+	if dev == "" {
+		dev = "-"
+	}
+	return fmt.Sprintf("[%s] %s/%s: %s", d.Kind, d.Stage, dev, d.Message)
+}
+
+// budgeter is implemented by error values (e.g. bdd.BudgetError) that
+// represent a resource-budget trip, so panic classification does not need
+// a dependency on the package that defines them.
+type budgeter interface{ IsBudget() bool }
+
+// FromPanic converts a recovered panic value into a Diagnostic, capturing
+// the current goroutine's stack. Budget-trip panics (values implementing
+// IsBudget) are classified KindBudget; everything else is KindPanic.
+func FromPanic(stage Stage, device string, v any) Diagnostic {
+	d := Diagnostic{
+		Stage:   stage,
+		Device:  device,
+		Kind:    KindPanic,
+		Message: fmt.Sprintf("panic: %v", v),
+		Stack:   string(debug.Stack()),
+	}
+	if b, ok := v.(budgeter); ok && b.IsBudget() {
+		d.Kind = KindBudget
+		d.Message = fmt.Sprintf("Budget exceeded: %v", v)
+		d.Stack = ""
+	}
+	return d
+}
+
+// Capture runs fn, converting a panic into a Diagnostic. It returns nil
+// when fn completes normally.
+func Capture(stage Stage, device string, fn func()) (d *Diagnostic) {
+	defer func() {
+		if v := recover(); v != nil {
+			dd := FromPanic(stage, device, v)
+			d = &dd
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Filter returns the diagnostics of one kind.
+func Filter(ds []Diagnostic, k Kind) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ds {
+		if d.Kind == k {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Has reports whether any diagnostic of kind k is present.
+func Has(ds []Diagnostic, k Kind) bool {
+	for _, d := range ds {
+		if d.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders a compact per-kind count plus one line per diagnostic
+// (stacks elided), for CLI and log output.
+func Summary(ds []Diagnostic) string {
+	if len(ds) == 0 {
+		return "no diagnostics"
+	}
+	counts := make(map[Kind]int)
+	for _, d := range ds {
+		counts[d.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d diagnostic(s):", len(ds))
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, counts[Kind(k)])
+	}
+	for _, d := range ds {
+		b.WriteString("\n  ")
+		b.WriteString(d.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCapturePanic(t *testing.T) {
+	d := Capture(StageParse, "leaf1", func() { panic("boom") })
+	if d == nil {
+		t.Fatal("panic not captured")
+	}
+	if d.Kind != KindPanic || d.Stage != StageParse || d.Device != "leaf1" {
+		t.Fatalf("bad diagnostic: %+v", d)
+	}
+	if !strings.Contains(d.Message, "boom") {
+		t.Fatalf("message %q does not name the panic", d.Message)
+	}
+	if d.Stack == "" {
+		t.Fatal("stack not captured")
+	}
+	if got := Capture(StageParse, "leaf1", func() {}); got != nil {
+		t.Fatalf("spurious diagnostic for clean run: %+v", got)
+	}
+}
+
+type fakeBudgetErr struct{}
+
+func (fakeBudgetErr) Error() string  { return "node budget 10 exceeded" }
+func (fakeBudgetErr) IsBudget() bool { return true }
+
+func TestBudgetPanicClassified(t *testing.T) {
+	d := Capture(StageAnalysis, "", func() { panic(fakeBudgetErr{}) })
+	if d == nil || d.Kind != KindBudget {
+		t.Fatalf("budget panic not classified as budget: %+v", d)
+	}
+	if !strings.Contains(d.Message, "Budget exceeded") {
+		t.Fatalf("message %q lacks budget marker", d.Message)
+	}
+}
+
+func TestSummaryAndFilter(t *testing.T) {
+	ds := []Diagnostic{
+		{Stage: StageParse, Device: "a", Kind: KindQuarantine, Message: "m1"},
+		{Stage: StageDataPlane, Kind: KindBudget, Message: "m2"},
+		{Stage: StageParse, Device: "b", Kind: KindQuarantine, Message: "m3"},
+	}
+	s := Summary(ds)
+	for _, want := range []string{"3 diagnostic(s)", "quarantine=2", "budget=1", "parse/a"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+	if got := len(Filter(ds, KindQuarantine)); got != 2 {
+		t.Fatalf("Filter quarantine = %d, want 2", got)
+	}
+	if !Has(ds, KindBudget) || Has(ds, KindCancelled) {
+		t.Fatal("Has misreports")
+	}
+	if Summary(nil) != "no diagnostics" {
+		t.Fatal("empty summary wrong")
+	}
+}

@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFireInactiveIsNoop(t *testing.T) {
+	Fire("parse", "dev") // no active injector: must not panic
+}
+
+func TestPanicRuleAndWildcard(t *testing.T) {
+	inj := New().Enable("parse", "leaf1", Rule{Kind: Panic})
+	defer Activate(inj)()
+
+	Fire("parse", "leaf2") // different device: no-op
+	Fire("fib", "leaf1")   // different stage: no-op
+
+	func() {
+		defer func() {
+			v := recover()
+			pv, ok := v.(PanicValue)
+			if !ok {
+				t.Fatalf("recovered %v (%T), want PanicValue", v, v)
+			}
+			if pv.Stage != "parse" || pv.Device != "leaf1" {
+				t.Fatalf("bad panic value %+v", pv)
+			}
+		}()
+		Fire("parse", "leaf1")
+	}()
+
+	if h := inj.Hits(); h["parse/leaf1"] != 1 || len(h) != 1 {
+		t.Fatalf("hits = %v", h)
+	}
+
+	wild := New().Enable("dataplane", "*", Rule{Kind: Panic, Count: 1})
+	defer Activate(wild)()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("wildcard rule did not fire")
+			}
+		}()
+		Fire("dataplane", "anything")
+	}()
+	Fire("dataplane", "anything") // count exhausted: no-op
+	if h := wild.Hits(); h["dataplane/anything"] != 1 {
+		t.Fatalf("wildcard hits = %v", h)
+	}
+}
+
+func TestSleepRule(t *testing.T) {
+	inj := New().Enable("analysis", "d", Rule{Kind: Sleep, Sleep: 30 * time.Millisecond})
+	defer Activate(inj)()
+	start := time.Now()
+	Fire("analysis", "d")
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sleep rule returned after %v", d)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	inj, err := ParseSpec("parse:leaf1=panic, dataplane:*=sleep:50ms:2 ,fib:s2=panic:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Describe(); got != "dataplane/*=sleep,fib/s2=panic,parse/leaf1=panic" {
+		t.Fatalf("Describe = %q", got)
+	}
+	for _, bad := range []string{
+		"nodelimiter", "onlystage=panic", "parse:x=explode",
+		"parse:x=sleep", "parse:x=sleep:abc", "parse:x=panic:x", "parse:x=panic:1:2",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseSpec(""); err != nil {
+		t.Fatalf("empty spec rejected: %v", err)
+	}
+}

@@ -8,6 +8,7 @@
 package fwdgraph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -116,6 +117,10 @@ type Graph struct {
 	Out   [][]int // adjacency: edge indices by From
 	In    [][]int // edge indices by To
 
+	// Cancelled reports that construction stopped early because the
+	// context expired; the graph covers a prefix of the devices.
+	Cancelled bool
+
 	ids map[string]int
 
 	dp *dataplane.Result
@@ -137,12 +142,21 @@ const WaypointBits = 2
 // Parallel analyses therefore replicate the whole graph — one factory per
 // worker — via BuildReplicas instead of sharing one.
 func New(dp *dataplane.Result) *Graph {
+	return NewContext(context.Background(), dp)
+}
+
+// NewContext is New with cooperative cancellation: construction checks the
+// context between devices and stops early when it expires, returning a
+// partial graph with Cancelled set. A partial graph is structurally valid
+// (indexes are built) but covers only a prefix of the devices, so queries
+// against it see a degraded network.
+func NewContext(ctx context.Context, dp *dataplane.Result) *Graph {
 	g := &Graph{
 		Enc: hdr.NewEnc(ZoneBits + WaypointBits),
 		ids: make(map[string]int),
 		dp:  dp,
 	}
-	g.build()
+	g.build(ctx)
 	g.index()
 	return g
 }
@@ -173,8 +187,14 @@ func BuildReplicas(dp *dataplane.Result, n int) []*Graph {
 // NewWithEnc builds the graph reusing an existing encoder (for tests that
 // need to construct query BDDs with the same factory).
 func NewWithEnc(dp *dataplane.Result, enc *hdr.Enc) *Graph {
+	return NewWithEncContext(context.Background(), dp, enc)
+}
+
+// NewWithEncContext is NewWithEnc with the cancellation behavior of
+// NewContext.
+func NewWithEncContext(ctx context.Context, dp *dataplane.Result, enc *hdr.Enc) *Graph {
 	g := &Graph{Enc: enc, ids: make(map[string]int), dp: dp}
-	g.build()
+	g.build(ctx)
 	g.index()
 	return g
 }
@@ -254,10 +274,14 @@ func zoneIDs(d *config.Device) map[string]uint32 {
 	return ids
 }
 
-func (g *Graph) build() {
+func (g *Graph) build(ctx context.Context) {
 	aclCache := make(map[string]bdd.Ref)
 	net := g.dp.Network
 	for _, name := range net.DeviceNames() {
+		if ctx.Err() != nil {
+			g.Cancelled = true
+			return
+		}
 		d := net.Devices[name]
 		g.buildDevice(d, aclCache)
 	}

@@ -15,6 +15,13 @@
 //   - this yields 261 network-independent base variables; a handful of
 //     extension variables (firewall zones, waypoints — "0–6 in the
 //     real-world networks evaluated", §4.2.2) are allocated after them.
+//
+// Panic policy: like package bdd, this package panics only on violated
+// library invariants — a layout that does not produce the expected
+// variable count, an extension variable beyond the allocated range, an
+// unknown Field, or transforming a non-transformable field. None are
+// reachable from user configuration input; the failure-containment layer
+// in internal/core recovers them at stage boundaries as a backstop.
 package hdr
 
 import (

@@ -245,7 +245,9 @@ func PairedDC(name string, half FabricParams) *Snapshot {
 }
 
 // appendIOS appends extra IOS config to an existing device's text.
-// The parser merges repeated "router bgp" blocks by process.
+// The parser merges repeated "router bgp" blocks by process. A hostname
+// that matches no device records a snapshot warning instead of panicking;
+// the overlay is skipped and the rest of the snapshot stays valid.
 func appendIOS(s *Snapshot, hostname string, fn func(*iosConfig)) {
 	for i := range s.Devices {
 		if s.Devices[i].Hostname != hostname {
@@ -262,5 +264,5 @@ func appendIOS(s *Snapshot, hostname string, fn func(*iosConfig)) {
 		}
 		return
 	}
-	panic("netgen: unknown device " + hostname)
+	s.Warnings = append(s.Warnings, "netgen: unknown device "+hostname+"; overlay skipped")
 }

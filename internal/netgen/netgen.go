@@ -42,6 +42,10 @@ type Snapshot struct {
 	Name    string
 	Type    string
 	Devices []DeviceText
+	// Warnings records non-fatal generation problems (e.g. an overlay
+	// targeting a device that does not exist); the snapshot is still
+	// usable without the affected piece.
+	Warnings []string
 }
 
 // LoC returns total configuration lines (Table 1's LoC column).

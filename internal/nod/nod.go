@@ -53,6 +53,11 @@ type cnf struct {
 	s  *sat.Solver
 	dp *dataplane.Result
 
+	// err records the first encoding error (e.g. an unsupported header
+	// field); the affected constraint encodes as "matches nothing" and the
+	// query entry points surface the error instead of panicking.
+	err error
+
 	// Packet bits, MSB first.
 	dstIP, srcIP     []int
 	dstPort, srcPort []int
@@ -132,7 +137,9 @@ func (c *cnf) orVar(ls ...sat.Lit) int {
 	return v
 }
 
-// fieldBits returns the bit variables for a field.
+// fieldBits returns the bit variables for a field, or nil for a field
+// outside the NoD packet model (the error is recorded on the cnf; callers
+// degrade the constraint to "matches nothing").
 func (c *cnf) fieldBits(f hdr.Field) []int {
 	switch f {
 	case hdr.DstIP:
@@ -146,7 +153,10 @@ func (c *cnf) fieldBits(f hdr.Field) []int {
 	case hdr.Protocol:
 		return c.proto
 	}
-	panic("nod: unsupported field " + f.String())
+	if c.err == nil {
+		c.err = fmt.Errorf("nod: unsupported field %s", f.String())
+	}
+	return nil
 }
 
 // prefixVar returns a var equivalent to "field ∈ prefix".
@@ -157,6 +167,9 @@ func (c *cnf) prefixVar(f hdr.Field, p ip4.Prefix) int {
 		return v
 	}
 	bits := c.fieldBits(f)
+	if bits == nil {
+		return c.constFalse()
+	}
 	if p.Len == 0 {
 		v := c.constTrue()
 		c.prefixMatch[key] = v
@@ -174,6 +187,9 @@ func (c *cnf) prefixVar(f hdr.Field, p ip4.Prefix) int {
 // eqVar returns a var equivalent to "field == value" over all bits.
 func (c *cnf) eqVar(f hdr.Field, val uint32) int {
 	bits := c.fieldBits(f)
+	if bits == nil {
+		return c.constFalse()
+	}
 	w := len(bits)
 	ls := make([]sat.Lit, w)
 	for b := 0; b < w; b++ {
@@ -190,6 +206,9 @@ func (c *cnf) geVar(f hdr.Field, k uint32) int {
 		return v
 	}
 	bits := c.fieldBits(f)
+	if bits == nil {
+		return c.constFalse()
+	}
 	w := len(bits)
 	// ge_i: the number formed by bits[i..] >= k's suffix. ge_w = true.
 	ge := c.constTrue()
@@ -212,6 +231,9 @@ func (c *cnf) leVar(f hdr.Field, k uint32) int {
 		return v
 	}
 	bits := c.fieldBits(f)
+	if bits == nil {
+		return c.constFalse()
+	}
 	w := len(bits)
 	le := c.constTrue()
 	for i := w - 1; i >= 0; i-- {
@@ -605,17 +627,30 @@ func (c *cnf) extractPacket(m []bool) hdr.Packet {
 }
 
 // Reachable asks: does some packet injected at startNode reach acc:dst
-// within maxHops? Returns a witness packet when satisfiable.
-func (e *Encoder) Reachable(startNode, dstDevice string, maxHops int) (bool, hdr.Packet) {
+// within maxHops? Returns a witness packet when satisfiable. Unknown
+// device names and encoding failures are reported as errors instead of
+// panicking or silently querying the wrong location.
+func (e *Encoder) Reachable(startNode, dstDevice string, maxHops int) (bool, hdr.Packet, error) {
 	c := newCNF(e.dp)
 	ls := e.locations()
-	ch := e.buildChain(c, ls, maxHops)
-	c.s.AddClause(lit(ch.loc[0][ls.index[startNode]], false))
-	c.s.AddClause(lit(ch.loc[maxHops][ls.index["acc:"+dstDevice]], false))
-	if !c.s.Solve() {
-		return false, hdr.Packet{}
+	start, ok := ls.index[startNode]
+	if !ok {
+		return false, hdr.Packet{}, fmt.Errorf("nod: unknown start device %q", startNode)
 	}
-	return true, c.extractPacket(c.s.Model())
+	dst, ok := ls.index["acc:"+dstDevice]
+	if !ok {
+		return false, hdr.Packet{}, fmt.Errorf("nod: unknown destination device %q", dstDevice)
+	}
+	ch := e.buildChain(c, ls, maxHops)
+	if c.err != nil {
+		return false, hdr.Packet{}, c.err
+	}
+	c.s.AddClause(lit(ch.loc[0][start], false))
+	c.s.AddClause(lit(ch.loc[maxHops][dst], false))
+	if !c.s.Solve() {
+		return false, hdr.Packet{}, nil
+	}
+	return true, c.extractPacket(c.s.Model()), nil
 }
 
 // Violation is a multipath-consistency counterexample.
@@ -626,7 +661,9 @@ type Violation struct {
 
 // MultipathConsistency searches, per start device, for a packet that one
 // ECMP path delivers and another drops — the Figure 3 verification query.
-func (e *Encoder) MultipathConsistency(maxHops int) []Violation {
+// An encoding failure aborts with the error and the violations found so
+// far.
+func (e *Encoder) MultipathConsistency(maxHops int) ([]Violation, error) {
 	var out []Violation
 	for _, start := range e.nodes {
 		c := newCNF(e.dp)
@@ -648,9 +685,12 @@ func (e *Encoder) MultipathConsistency(maxHops int) []Violation {
 			fail = append(fail, lit(b.loc[maxHops][ls.index[n]], false))
 		}
 		c.s.AddClause(fail...)
+		if c.err != nil {
+			return out, c.err
+		}
 		if c.s.Solve() {
 			out = append(out, Violation{Start: start, Packet: c.extractPacket(c.s.Model())})
 		}
 	}
-	return out
+	return out, nil
 }

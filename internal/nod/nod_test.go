@@ -22,7 +22,10 @@ func run(t *testing.T, net *config.Network) (*dataplane.Result, *Encoder) {
 
 func TestReachableLine(t *testing.T) {
 	dp, e := run(t, testnet.Line3())
-	ok, p := e.Reachable("r1", "r3", 6)
+	ok, p, err := e.Reachable("r1", "r3", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("r1 should reach r3")
 	}
@@ -47,11 +50,11 @@ func TestUnreachableWhenFiltered(t *testing.T) {
 	r2.ACLs["BLOCK"] = aclDenyTo("10.0.23.3/32", "192.168.3.0/24")
 	r2.Interfaces["eth1"].OutACL = "BLOCK"
 	_, e := run(t, net)
-	if ok, p := e.Reachable("r1", "r3", 6); ok {
+	if ok, p, _ := e.Reachable("r1", "r3", 6); ok {
 		t.Fatalf("blocked path should be unreachable, witness %v", p)
 	}
 	// r2 itself is still reachable.
-	if ok, _ := e.Reachable("r1", "r2", 6); !ok {
+	if ok, _, _ := e.Reachable("r1", "r2", 6); !ok {
 		t.Error("r2 should remain reachable")
 	}
 }
@@ -69,14 +72,17 @@ func aclDenyTo(prefixes ...string) *acl.ACL {
 
 func TestMultipathCleanDiamond(t *testing.T) {
 	_, e := run(t, testnet.Diamond())
-	if vs := e.MultipathConsistency(7); len(vs) != 0 {
+	if vs, err := e.MultipathConsistency(7); err != nil || len(vs) != 0 {
 		t.Errorf("clean diamond should be consistent, got %v", vs)
 	}
 }
 
 func TestMultipathBrokenBranch(t *testing.T) {
 	dp, e := run(t, testnet.ECMPWithBrokenBranch())
-	vs := e.MultipathConsistency(7)
+	vs, err := e.MultipathConsistency(7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(vs) == 0 {
 		t.Fatal("broken branch should violate multipath consistency")
 	}
@@ -117,7 +123,10 @@ func TestWitnessRespectsACLPorts(t *testing.T) {
 	// requires dst port 22 for dst in P3... but r3 is also reachable via
 	// r2 (default routes), so instead verify reachability is found and
 	// the chain machinery handles the ACL by blocking port-80-only paths:
-	ok, _ := e.Reachable("r1", "r3", 8)
+	ok, _, err := e.Reachable("r1", "r3", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("r3 should be reachable from r1")
 	}
@@ -130,7 +139,7 @@ func TestNoRouteIsolated(t *testing.T) {
 	d2 := testnet.Dev(net, "other")
 	testnet.Iface(d2, "eth0", "172.16.0.1/24")
 	_, e := run(t, net)
-	if ok, _ := e.Reachable("lonely", "other", 4); ok {
+	if ok, _, _ := e.Reachable("lonely", "other", 4); ok {
 		t.Error("disconnected devices should be unreachable")
 	}
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -10,6 +11,8 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/diag"
+	"repro/internal/faults"
 	"repro/internal/vendors/cisco"
 	"repro/internal/vendors/juniper"
 )
@@ -43,6 +46,7 @@ type parsed struct {
 // fallback (file basename without extension) before the artifact is
 // cached, so the cached model is complete.
 func parseOne(name, text string) parsed {
+	faults.Fire("parse", name)
 	var d *config.Device
 	var w []config.Warning
 	switch DetectDialect(text) {
@@ -63,7 +67,24 @@ func parseOne(name, text string) parsed {
 // same-hostname overwrite semantics, and warning order are deterministic
 // and identical to a serial run. The returned map gives each device's
 // parse-artifact key (hostname → Key) for downstream stage keys.
+//
+// A panicking parser quarantines its device instead of crashing the run:
+// the device is excluded from the returned network and the failure is
+// reported via ParseCtx's diagnostics. Parse keeps the historic signature
+// by dropping those diagnostics; callers that need them use ParseCtx.
 func (p *Pipeline) Parse(texts map[string]string) (*config.Network, []config.Warning, map[string]Key) {
+	net, warns, devKeys, _ := p.ParseCtx(context.Background(), texts)
+	return net, warns, devKeys
+}
+
+// ParseCtx is Parse with cooperative cancellation and failure containment.
+// The context is checked before each device parse; once it expires the
+// remaining devices are skipped and a single cancellation diagnostic is
+// appended. A device whose parser panics is quarantined: it is excluded
+// from the returned network, its artifact is never cached, and the
+// returned diagnostics carry the panic (with stack) plus a quarantine
+// record naming the device.
+func (p *Pipeline) ParseCtx(ctx context.Context, texts map[string]string) (*config.Network, []config.Warning, map[string]Key, []diag.Diagnostic) {
 	start := time.Now()
 	names := make([]string, 0, len(texts))
 	for n := range texts {
@@ -74,22 +95,33 @@ func (p *Pipeline) Parse(texts map[string]string) (*config.Network, []config.War
 	keys := make([]Key, len(names))
 	results := make([]parsed, len(names))
 	hits := make([]bool, len(names))
+	panics := make([]*diag.Diagnostic, len(names))
+	skipped := make([]bool, len(names))
 	work := func(i int) {
 		n := names[i]
+		if ctx.Err() != nil {
+			skipped[i] = true
+			return
+		}
 		text := texts[n]
-		if p.store != nil {
-			k := keyOf([]byte("parse"), []byte(n), []byte(text))
-			keys[i] = k
-			if v, ok := p.store.Get(k); ok {
-				results[i] = v.(parsed)
-				hits[i] = true
+		if d := diag.Capture(diag.StageParse, n, func() {
+			if p.store != nil {
+				k := keyOf([]byte("parse"), []byte(n), []byte(text))
+				keys[i] = k
+				if v, ok := p.store.Get(k); ok {
+					results[i] = v.(parsed)
+					hits[i] = true
+					return
+				}
+				results[i] = parseOne(n, text)
+				p.store.Put(k, results[i])
 				return
 			}
 			results[i] = parseOne(n, text)
-			p.store.Put(k, results[i])
-			return
+		}); d != nil {
+			panics[i] = d
+			results[i] = parsed{} // drop any half-built model
 		}
-		results[i] = parseOne(n, text)
 	}
 
 	workers := p.parseWorkers
@@ -127,9 +159,26 @@ func (p *Pipeline) Parse(texts map[string]string) (*config.Network, []config.War
 
 	net := config.NewNetwork()
 	var warns []config.Warning
+	var diags []diag.Diagnostic
 	devKeys := make(map[string]Key, len(names))
 	warm := len(names) > 0
+	cancelled := false
 	for i := range names {
+		if skipped[i] {
+			cancelled = true
+			warm = false
+			continue
+		}
+		if d := panics[i]; d != nil {
+			diags = append(diags, *d, diag.Diagnostic{
+				Stage:   diag.StageParse,
+				Device:  names[i],
+				Kind:    diag.KindQuarantine,
+				Message: "device quarantined: configuration excluded from the snapshot",
+			})
+			warm = false
+			continue
+		}
 		r := results[i]
 		net.Devices[r.dev.Hostname] = r.dev
 		devKeys[r.dev.Hostname] = keys[i]
@@ -138,6 +187,13 @@ func (p *Pipeline) Parse(texts map[string]string) (*config.Network, []config.War
 			warm = false
 		}
 	}
+	if cancelled {
+		diags = append(diags, diag.Diagnostic{
+			Stage:   diag.StageParse,
+			Kind:    diag.KindCancelled,
+			Message: "parse stage cancelled before all devices were parsed",
+		})
+	}
 	p.record(&p.parse, start, warm)
-	return net, warns, devKeys
+	return net, warns, devKeys, diags
 }

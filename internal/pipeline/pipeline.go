@@ -24,6 +24,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -164,6 +165,15 @@ func DataPlaneKey(net *config.Network, devKeys map[string]Key, opts dataplane.Op
 
 // DataPlane runs (or reuses) the simulation stage.
 func (p *Pipeline) DataPlane(net *config.Network, devKeys map[string]Key, opts dataplane.Options) (*dataplane.Result, Key) {
+	return p.DataPlaneCtx(context.Background(), net, devKeys, opts)
+}
+
+// DataPlaneCtx is DataPlane with cooperative cancellation. Degraded
+// results — cancelled, quarantined, or carrying any diagnostic — are
+// returned with a zero Key and never stored: caching a partial simulation
+// would let a transient failure masquerade as the truth for every later
+// byte-identical snapshot.
+func (p *Pipeline) DataPlaneCtx(ctx context.Context, net *config.Network, devKeys map[string]Key, opts dataplane.Options) (*dataplane.Result, Key) {
 	start := time.Now()
 	var k Key
 	if p.store != nil {
@@ -176,7 +186,10 @@ func (p *Pipeline) DataPlane(net *config.Network, devKeys map[string]Key, opts d
 			}
 		}
 	}
-	res := dataplane.Run(net, opts)
+	res := dataplane.RunContext(ctx, net, opts)
+	if res.Degraded() {
+		k = Key{}
+	}
 	if p.store != nil && !k.IsZero() {
 		p.store.Put(k, res)
 	}
@@ -188,6 +201,13 @@ func (p *Pipeline) DataPlane(net *config.Network, devKeys map[string]Key, opts d
 // caching enabled the graph uses the Pipeline's shared encoder; disabled
 // pipelines get a fresh encoder per graph, matching historic behavior.
 func (p *Pipeline) Graph(dp *dataplane.Result, dpKey Key) (*fwdgraph.Graph, Key) {
+	return p.GraphCtx(context.Background(), dp, dpKey)
+}
+
+// GraphCtx is Graph with cooperative cancellation. A partial graph
+// (construction stopped by the context) is returned with a zero Key and
+// never cached.
+func (p *Pipeline) GraphCtx(ctx context.Context, dp *dataplane.Result, dpKey Key) (*fwdgraph.Graph, Key) {
 	start := time.Now()
 	var k Key
 	if p.store != nil && !dpKey.IsZero() {
@@ -200,9 +220,12 @@ func (p *Pipeline) Graph(dp *dataplane.Result, dpKey Key) (*fwdgraph.Graph, Key)
 	}
 	var g *fwdgraph.Graph
 	if p.store != nil {
-		g = fwdgraph.NewWithEnc(dp, p.sharedEnc())
+		g = fwdgraph.NewWithEncContext(ctx, dp, p.sharedEnc())
 	} else {
-		g = fwdgraph.New(dp)
+		g = fwdgraph.NewContext(ctx, dp)
+	}
+	if g.Cancelled {
+		k = Key{}
 	}
 	if p.store != nil && !k.IsZero() {
 		p.store.Put(k, g)

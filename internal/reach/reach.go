@@ -8,6 +8,7 @@
 package reach
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/bdd"
@@ -31,6 +32,35 @@ type Analysis struct {
 	in    [][]int32
 	// origin maps compressed-away node ids to themselves; kept for sinks
 	// and sources which are never compressed.
+
+	ctx context.Context // nil means context.Background()
+
+	// Cancelled latches when a fixed-point loop observed an expired
+	// context and returned an under-approximate result.
+	Cancelled bool
+}
+
+// WithContext attaches a context checked periodically inside the
+// Forward/Backward fixed-point loops. When it expires the loop stops
+// early: the returned sets are a sound under-approximation (every packet
+// reported reachable truly is) and Cancelled is set. Returns the analysis
+// for chaining.
+func (a *Analysis) WithContext(ctx context.Context) *Analysis {
+	a.ctx = ctx
+	return a
+}
+
+// checkEvery is how many queue pops pass between context checks in the
+// fixed-point loops — frequent enough for sub-millisecond cancellation
+// latency, rare enough that the atomic load in ctx.Err is invisible.
+const checkEvery = 64
+
+func (a *Analysis) expired(pops int) bool {
+	if a.ctx == nil || pops%checkEvery != 0 || a.ctx.Err() == nil {
+		return false
+	}
+	a.Cancelled = true
+	return true
 }
 
 // New builds an analysis with graph compression enabled.
@@ -163,7 +193,12 @@ func (a *Analysis) forward(start map[int]bdd.Ref, fastPath map[string]bdd.Ref) [
 		reach[n] = f.Or(reach[n], start[n])
 		push(n)
 	}
+	pops := 0
 	for len(queue) > 0 {
+		pops++
+		if a.expired(pops) {
+			return reach
+		}
 		n := queue[0]
 		queue = queue[1:]
 		inQueue[n] = false
@@ -220,7 +255,12 @@ func (a *Analysis) Backward(sinks map[int]bdd.Ref) []bdd.Ref {
 		sets[n] = f.Or(sets[n], sinks[n])
 		push(n)
 	}
+	pops := 0
 	for len(queue) > 0 {
+		pops++
+		if a.expired(pops) {
+			return sets
+		}
 		n := queue[0]
 		queue = queue[1:]
 		inQueue[n] = false

@@ -1,0 +1,66 @@
+package cisco
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the IOS parser's containment contract: any input —
+// however mangled — must produce a device model and warnings, never a
+// panic or a nil device. Seeds cover the grammar (interfaces, OSPF, BGP,
+// ACLs, statics, NAT, zones) plus generated fabric configs, so mutations
+// explore realistic structure.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("hostname r1\n")
+	f.Add("!\nhostname edge\ninterface GigabitEthernet0/0\n ip address 10.0.0.1 255.255.255.0\n no shutdown\n!\nend\n")
+	f.Add("interface eth0\n ip address 10.0.0.1/33\n")
+	f.Add("router ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n passive-interface eth0\n")
+	f.Add("router bgp 65001\n neighbor 10.0.0.2 remote-as 65002\n network 10.1.0.0 mask 255.255.0.0\n")
+	f.Add("ip access-list extended BLOCK\n deny tcp any host 10.0.0.5 eq 22\n permit ip any any\n")
+	f.Add("ip route 0.0.0.0 0.0.0.0 10.0.0.254\nip route 10.9.0.0 255.255.0.0 Null0\n")
+	f.Add("ip nat inside source list NATLIST interface eth1 overload\n")
+	f.Add("zone security inside\nzone-pair security in2out source inside destination outside\n")
+	f.Add("interface eth0\n ip address dhcp\n shutdown\nrouter ospf\nrouter bgp\nneighbor\n")
+	// A realistic fabric-style leaf config exercises the combined grammar
+	// (mirrors the netgen emitter, which cannot be imported here: netgen
+	// itself depends on this package).
+	f.Add(`hostname fz-tor01
+!
+interface Loopback0
+ ip address 172.16.0.1 255.255.255.255
+!
+interface Ethernet1
+ description to fz-agg01
+ ip address 10.64.0.1 255.255.255.254
+!
+interface Vlan100
+ description host network
+ ip address 10.0.0.1 255.255.255.0
+!
+router bgp 65101
+ neighbor 10.64.0.0 remote-as 65001
+ neighbor 10.64.0.0 send-community
+ network 10.0.0.0 mask 255.255.255.0
+ maximum-paths 4
+!
+ntp server 192.0.2.10
+end
+`)
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		d, _ := Parse(text)
+		if d == nil {
+			t.Fatal("Parse returned nil device")
+		}
+		// Truncation containment: parsing any prefix must also not panic
+		// (models a half-written config file).
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			if d2, _ := Parse(text[:i]); d2 == nil {
+				t.Fatal("Parse returned nil device for truncated input")
+			}
+		}
+	})
+}

@@ -1,0 +1,36 @@
+package juniper
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the Junos parser's containment contract: any input
+// must produce a device model and warnings, never a panic or nil device.
+// Seeds cover set-style statements for interfaces, OSPF, BGP, policies,
+// firewall filters, and statics.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("set system host-name r1\n")
+	f.Add("set interfaces ge-0/0/0 unit 0 family inet address 10.0.0.1/24\n")
+	f.Add("set protocols ospf area 0.0.0.0 interface ge-0/0/0.0\nset protocols ospf area 0 interface ge-0/0/1.0 metric 20\n")
+	f.Add("set routing-options static route 0.0.0.0/0 next-hop 10.0.0.254\nset routing-options static route 10.9.0.0/16 discard\n")
+	f.Add("set protocols bgp group ebgp neighbor 10.0.0.2 peer-as 65002\nset routing-options autonomous-system 65001\n")
+	f.Add("set policy-options policy-statement EXPORT term 1 from protocol direct\nset policy-options policy-statement EXPORT term 1 then accept\n")
+	f.Add("set firewall family inet filter BLOCK term 1 from destination-address 10.0.0.5/32\nset firewall family inet filter BLOCK term 1 then discard\n")
+	f.Add("set interfaces ge-0/0/0 unit 0 family inet address 10.0.0.1/33\nset protocols\nset\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		d, _ := Parse(text)
+		if d == nil {
+			t.Fatal("Parse returned nil device")
+		}
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			if d2, _ := Parse(text[:i]); d2 == nil {
+				t.Fatal("Parse returned nil device for truncated input")
+			}
+		}
+	})
+}
