@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench benchjson cover fuzz-smoke
+.PHONY: build vet test race soak check bench benchjson cover fuzz-smoke
 
 # Coverage floor for the caching/incremental layer. The pipeline and core
 # packages carry the correctness-critical cache keying and blast-radius
@@ -29,6 +29,12 @@ race:
 	$(GO) test -race -run 'TestParallelParseDeterminism|TestIncrementalEquivalence' ./internal/pipeline/ ./internal/core/
 	$(GO) test -race -run 'TestChaos|TestCancel' ./internal/faults/
 
+# Race-gated server soak: mixed concurrent workload against batfishd's
+# engine with a persistent cache, then a warm restart over the same
+# directory (skipped by -short, so `race` does not run it twice).
+soak:
+	$(GO) test -race -run TestSoak -count=1 ./internal/server/
+
 # Short native-fuzzing pass over the vendor parsers: any input must yield
 # a device model, never a panic. Crashers land in testdata/fuzz/ and
 # reproduce with plain `go test`.
@@ -45,7 +51,7 @@ cover:
 		if (t+0 < min+0) { printf "coverage %.1f%% below floor %.1f%%\n", t, min; exit 1 } \
 		else { printf "coverage %.1f%% meets floor %.1f%%\n", t, min } }'
 
-check: vet test race fuzz-smoke
+check: vet test race soak fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

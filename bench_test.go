@@ -4,10 +4,16 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/apt"
 	"repro/internal/bdd"
@@ -23,6 +29,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/reach"
 	"repro/internal/routing"
+	"repro/internal/server"
 	"repro/internal/testnet"
 )
 
@@ -576,5 +583,97 @@ func BenchmarkIncrementalCompare(b *testing.B) {
 		b.ReportMetric(float64(ist.AttrMisses), "intern-attr-misses")
 		b.ReportMetric(float64(ist.PathHits), "intern-path-hits")
 		b.ReportMetric(float64(ist.PathMisses), "intern-path-misses")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E12: the resilient analysis service. `request` measures steady-state
+// HTTP question latency against a warm batfishd engine and reports the
+// service's own p50/p99 window; `warm-restart` measures a full
+// start → load → first-answer cycle cold (empty cache directory) vs warm
+// (persistent cache populated by a previous "process"), the restart
+// scenario the disk tier exists for.
+
+func BenchmarkServer(b *testing.B) {
+	gen := netgen.Fabric(netgen.FabricParams{Name: "sv", Spines: 2, Pods: 4,
+		AggPerPod: 2, TorPerPod: 6, HostNetsPerTor: 1, Multipath: true})
+	texts := make(map[string]string, len(gen.Devices))
+	for _, dt := range gen.Devices {
+		texts[dt.Hostname] = dt.Text
+	}
+	body, err := json.Marshal(map[string]any{"configs": texts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// startAndAsk boots a server over httptest, loads the snapshot, and
+	// answers one reachability question; it returns the server for metric
+	// scraping and keeps ts open until cleanup.
+	startAndAsk := func(b *testing.B, cacheDir string) (*server.Server, *httptest.Server) {
+		b.Helper()
+		srv, err := server.New(server.Config{CacheDir: cacheDir, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		resp, err := http.Post(ts.URL+"/snapshots/prod", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("load: %d", resp.StatusCode)
+		}
+		resp, err = http.Get(ts.URL + "/snapshots/prod/reachability")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("question: %d", resp.StatusCode)
+		}
+		return srv, ts
+	}
+
+	b.Run("request", func(b *testing.B) {
+		srv, ts := startAndAsk(b, "")
+		defer ts.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(ts.URL + "/snapshots/prod/reachability")
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		b.StopTimer()
+		m := srv.Metrics()
+		b.ReportMetric(m.P50Ms, "server-p50-ms")
+		b.ReportMetric(m.P99Ms, "server-p99-ms")
+	})
+
+	b.Run("warm-restart", func(b *testing.B) {
+		dir := b.TempDir()
+		start := time.Now()
+		_, ts := startAndAsk(b, dir) // cold: populates the persistent cache
+		coldNs := float64(time.Since(start).Nanoseconds())
+		ts.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, ts := startAndAsk(b, dir)
+			ts.Close()
+		}
+		b.StopTimer()
+		warmNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		if warmNs > 0 {
+			b.ReportMetric(coldNs/warmNs, "server-warm-speedup")
+		}
+		b.ReportMetric(coldNs/1e6, "server-cold-start-ms")
+		b.ReportMetric(warmNs/1e6, "server-warm-start-ms")
 	})
 }

@@ -40,7 +40,9 @@ type Result struct {
 // artifact-cache hit/miss/eviction counts (cache-*), per-stage cold vs
 // warm wall times (stage-*), and routing intern-pool counters (intern-*)
 // — so trajectory diffs can track cache effectiveness without digging
-// through per-benchmark metric maps.
+// through per-benchmark metric maps. Server does the same for the
+// analysis service's metrics (server-*): request latency percentiles and
+// the warm-restart speedup the persistent cache buys.
 type File struct {
 	Date     string             `json:"date"`
 	GOOS     string             `json:"goos,omitempty"`
@@ -49,18 +51,23 @@ type File struct {
 	CPU      string             `json:"cpu,omitempty"`
 	Results  []Result           `json:"results"`
 	Pipeline map[string]float64 `json:"pipeline,omitempty"`
+	Server   map[string]float64 `json:"server,omitempty"`
 }
 
-// pipelineSummary collects cache-*, stage-*, and intern-* metrics across
-// all results, summing when more than one benchmark reports the same
-// counter.
-func pipelineSummary(results []Result) map[string]float64 {
+// summarize collects metrics matching any of the prefixes across all
+// results, summing when more than one benchmark reports the same counter.
+func summarize(results []Result, prefixes ...string) map[string]float64 {
 	var sum map[string]float64
 	for _, r := range results {
 		for name, v := range r.Metrics {
-			if !strings.HasPrefix(name, "cache-") &&
-				!strings.HasPrefix(name, "stage-") &&
-				!strings.HasPrefix(name, "intern-") {
+			matched := false
+			for _, p := range prefixes {
+				if strings.HasPrefix(name, p) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
 				continue
 			}
 			if sum == nil {
@@ -104,7 +111,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	doc.Pipeline = pipelineSummary(doc.Results)
+	doc.Pipeline = summarize(doc.Results, "cache-", "stage-", "intern-")
+	doc.Server = summarize(doc.Results, "server-")
 
 	path := filepath.Join(*outDir, "BENCH_"+doc.Date+".json")
 	b, err := json.MarshalIndent(doc, "", "  ")

@@ -1,0 +1,211 @@
+package dataplane
+
+// Persistence for clean data-plane results: the disk-cache tier of the
+// staged pipeline stores converged simulations across process restarts,
+// so a warm-restarted service skips the most expensive stage entirely.
+//
+// The format dumps exactly the post-convergence state the rest of the
+// engine observes — per-VRF best-route sets (which NodeFingerprint and
+// StateHash are defined over), resolved FIB entries, BGP sessions, and
+// convergence metadata — and rebuilds live structures on load: RIBs are
+// re-merged under the same comparators, FIBs re-inserted, the topology
+// re-inferred from the (deterministic) network model, and NodeState
+// device pointers re-linked into the decoded network. Degraded results
+// (cancelled, quarantined, diagnostics) are rejected at marshal time:
+// the disk tier must never let a transient failure impersonate a
+// converged truth after a restart.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/fib"
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+// persistVersion guards the gob schema; bump on any layout change so
+// stale disk entries decode-fail (and get recomputed) instead of
+// misloading.
+const persistVersion = 1
+
+type persistVRF struct {
+	Name          string
+	MultipathEBGP bool
+	MultipathIBGP bool
+	Conn          []routing.Route
+	Stat          []routing.Route
+	OSPF          []routing.Route
+	BGP           []routing.Route
+	Main          []routing.Route
+	FIB           []fib.Entry
+	HasFIB        bool
+}
+
+type persistNode struct {
+	Name string
+	VRFs []persistVRF
+}
+
+type persistSession struct {
+	Session Session
+}
+
+type persistResult struct {
+	Version       int
+	Network       *config.Network
+	Nodes         []persistNode
+	Sessions      []persistSession
+	Converged     bool
+	Oscillation   bool
+	Cycle         *CycleInfo
+	IGPIterations int
+	BGPIterations int
+	OuterRounds   int
+	Warnings      []string
+}
+
+// MarshalResult encodes a clean result for the persistent cache tier.
+// Degraded results (the same set the in-memory tier refuses to cache)
+// return an error.
+func MarshalResult(r *Result) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("dataplane: marshal of nil result")
+	}
+	if r.Degraded() || len(r.Quarantined) > 0 {
+		return nil, fmt.Errorf("dataplane: refusing to persist a degraded result")
+	}
+	p := persistResult{
+		Version:       persistVersion,
+		Network:       r.Network,
+		Converged:     r.Converged,
+		Oscillation:   r.Oscillation,
+		Cycle:         r.Cycle,
+		IGPIterations: r.IGPIterations,
+		BGPIterations: r.BGPIterations,
+		OuterRounds:   r.OuterRounds,
+		Warnings:      r.Warnings,
+	}
+	names := make([]string, 0, len(r.Nodes))
+	for n := range r.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ns := r.Nodes[name]
+		pn := persistNode{Name: name}
+		for _, vn := range sortedVRFNames(ns) {
+			vs := ns.VRFs[vn]
+			pv := persistVRF{
+				Name:          vn,
+				MultipathEBGP: vs.multipathEBGP,
+				MultipathIBGP: vs.multipathIBGP,
+				Conn:          vs.ConnRIB.AllBest(),
+				Stat:          vs.StatRIB.AllBest(),
+				OSPF:          vs.OSPFRIB.AllBest(),
+				BGP:           vs.BGPRIB.AllBest(),
+				Main:          vs.Main.AllBest(),
+			}
+			if vs.FIB != nil {
+				pv.FIB = vs.FIB.Entries()
+				pv.HasFIB = true
+			}
+			pn.VRFs = append(pn.VRFs, pv)
+		}
+		p.Nodes = append(p.Nodes, pn)
+	}
+	for _, s := range r.Sessions {
+		p.Sessions = append(p.Sessions, persistSession{Session: *s})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		return nil, fmt.Errorf("dataplane: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalResult rebuilds a live Result from MarshalResult bytes. The
+// rebuilt result answers every post-convergence consumer identically:
+// best-route sets, FIB lookups, node fingerprints, session status, and
+// the inferred topology all match the originally computed result.
+func UnmarshalResult(b []byte) (*Result, error) {
+	var p persistResult
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("dataplane: unmarshal: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("dataplane: artifact version %d, want %d", p.Version, persistVersion)
+	}
+	if p.Network == nil {
+		return nil, fmt.Errorf("dataplane: artifact has no network")
+	}
+	clock := &routing.Clock{}
+	r := &Result{
+		Network:       p.Network,
+		Topology:      topo.Infer(p.Network),
+		Nodes:         make(map[string]*NodeState, len(p.Nodes)),
+		Pool:          routing.NewPool(),
+		Converged:     p.Converged,
+		Oscillation:   p.Oscillation,
+		Cycle:         p.Cycle,
+		IGPIterations: p.IGPIterations,
+		BGPIterations: p.BGPIterations,
+		OuterRounds:   p.OuterRounds,
+		Warnings:      p.Warnings,
+	}
+	for _, pn := range p.Nodes {
+		ns := &NodeState{Device: p.Network.Devices[pn.Name], VRFs: make(map[string]*VRFState)}
+		for _, pv := range pn.VRFs {
+			vs := &VRFState{
+				Name:          pv.Name,
+				ConnRIB:       routing.NewRIB(routing.ConnectedComparator, clock),
+				StatRIB:       routing.NewRIB(routing.MainComparator, clock),
+				OSPFRIB:       routing.NewRIB(routing.OSPFComparator, clock),
+				Main:          routing.NewRIB(routing.MainComparator, clock),
+				bgpOriginated: make(map[routing.Key]bool),
+				ospfExternal:  make(map[routing.Key]bool),
+				multipathEBGP: pv.MultipathEBGP,
+				multipathIBGP: pv.MultipathIBGP,
+			}
+			// The BGP decision process needs the engine's comparator; a
+			// zero-options engine shell supplies it (clocks enabled, the
+			// persisted default — clean results only exist post-convergence,
+			// where the comparator is only consulted to re-rank the already
+			// winning routes being re-merged here).
+			vs.BGPRIB = routing.NewRIB((&Engine{clock: clock}).bgpCmp(vs), clock)
+			mergeAll := func(rib *routing.RIB, routes []routing.Route) {
+				for _, rt := range routes {
+					rib.Merge(rt)
+				}
+				rib.TakeDelta() // rebuild deltas are not announcements
+			}
+			mergeAll(vs.ConnRIB, pv.Conn)
+			mergeAll(vs.StatRIB, pv.Stat)
+			mergeAll(vs.OSPFRIB, pv.OSPF)
+			mergeAll(vs.BGPRIB, pv.BGP)
+			mergeAll(vs.Main, pv.Main)
+			if pv.HasFIB {
+				f := fib.New()
+				for _, e := range pv.FIB {
+					f.Add(e)
+				}
+				vs.FIB = f
+			}
+			ns.VRFs[pv.Name] = vs
+		}
+		r.Nodes[pn.Name] = ns
+	}
+	for i := range p.Sessions {
+		s := p.Sessions[i].Session
+		r.Sessions = append(r.Sessions, &s)
+		if ns := r.Nodes[s.LocalNode]; ns != nil {
+			if vs := ns.VRFs[s.LocalVRF]; vs != nil {
+				vs.Sessions = append(vs.Sessions, &s)
+			}
+		}
+	}
+	return r, nil
+}

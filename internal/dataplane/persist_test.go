@@ -1,0 +1,98 @@
+package dataplane_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/dataplane"
+	"repro/internal/testnet"
+)
+
+// roundTrip marshals a clean result and rebuilds it, failing the test on
+// any codec error.
+func roundTrip(t *testing.T, r *dataplane.Result) *dataplane.Result {
+	t.Helper()
+	b, err := dataplane.MarshalResult(r)
+	if err != nil {
+		t.Fatalf("MarshalResult: %v", err)
+	}
+	got, err := dataplane.UnmarshalResult(b)
+	if err != nil {
+		t.Fatalf("UnmarshalResult: %v", err)
+	}
+	return got
+}
+
+// TestPersistRoundTripFingerprints asserts the rebuilt result is
+// indistinguishable from the original through every post-convergence
+// consumer surface: per-node fingerprints (covering all RIB best sets and
+// FIB entries), session renderings, route listings, and convergence
+// metadata.
+func TestPersistRoundTripFingerprints(t *testing.T) {
+	for name, net := range map[string]func() *config.Network{
+		"figure2":   testnet.Figure2,
+		"diamond":   testnet.Diamond,
+		"ebgpchain": testnet.EBGPChain,
+		"ecmp":      testnet.ECMPWithBrokenBranch,
+	} {
+		t.Run(name, func(t *testing.T) {
+			r := dataplane.Run(net(), dataplane.Options{})
+			if r.Degraded() {
+				t.Fatalf("%s: baseline run degraded: %v", name, r.Diags)
+			}
+			got := roundTrip(t, r)
+
+			if got.Converged != r.Converged || got.BGPIterations != r.BGPIterations ||
+				got.IGPIterations != r.IGPIterations || got.OuterRounds != r.OuterRounds {
+				t.Errorf("convergence metadata changed: got %+v", got)
+			}
+			if len(got.Nodes) != len(r.Nodes) {
+				t.Fatalf("node count: got %d want %d", len(got.Nodes), len(r.Nodes))
+			}
+			for n := range r.Nodes {
+				if gf, wf := got.NodeFingerprint(n), r.NodeFingerprint(n); gf != wf {
+					t.Errorf("node %s fingerprint mismatch: %x != %x", n, gf, wf)
+				}
+			}
+			if len(got.Sessions) != len(r.Sessions) {
+				t.Fatalf("session count: got %d want %d", len(got.Sessions), len(r.Sessions))
+			}
+			for i := range r.Sessions {
+				if got.Sessions[i].String() != r.Sessions[i].String() {
+					t.Errorf("session %d: %s != %s", i, got.Sessions[i], r.Sessions[i])
+				}
+			}
+			// Route listings (the user-visible "routes" question) must render
+			// identically.
+			for n, ns := range r.Nodes {
+				want := fmt.Sprint(ns.DefaultVRF().Main.AllBest())
+				have := fmt.Sprint(got.Nodes[n].DefaultVRF().Main.AllBest())
+				if have != want {
+					t.Errorf("node %s routes:\n got %s\nwant %s", n, have, want)
+				}
+			}
+			// Topology must be re-inferred identically.
+			if len(got.Topology.Edges) != len(r.Topology.Edges) {
+				t.Errorf("topology edges: got %d want %d", len(got.Topology.Edges), len(r.Topology.Edges))
+			}
+			// Device pointers must be re-linked into the decoded network.
+			for n, ns := range got.Nodes {
+				if ns.Device != got.Network.Devices[n] {
+					t.Errorf("node %s device pointer not linked to decoded network", n)
+				}
+			}
+		})
+	}
+}
+
+// TestPersistRefusesDegraded asserts degraded results cannot be persisted.
+func TestPersistRefusesDegraded(t *testing.T) {
+	r := dataplane.Run(testnet.BadGadget(), dataplane.Options{MaxIterations: 50})
+	if !r.Degraded() {
+		t.Fatal("bad gadget run should be degraded")
+	}
+	if _, err := dataplane.MarshalResult(r); err == nil {
+		t.Fatal("MarshalResult accepted a degraded result")
+	}
+}

@@ -10,7 +10,14 @@
 package faults_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -19,9 +26,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataplane"
 	"repro/internal/diag"
+	"repro/internal/diskcache"
 	"repro/internal/faults"
 	"repro/internal/netgen"
 	"repro/internal/pipeline"
+	"repro/internal/server"
 	"repro/internal/testnet"
 )
 
@@ -226,6 +235,205 @@ func TestCancelFabricDeadline(t *testing.T) {
 			buf = buf[:runtime.Stack(buf, true)]
 			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
 				before, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// chaosFabricTexts renders a small Clos fabric for the service-level
+// chaos tests.
+func chaosFabricTexts(name string) map[string]string {
+	fab := netgen.Fabric(netgen.FabricParams{Name: name, Spines: 2, Pods: 2,
+		AggPerPod: 2, TorPerPod: 2, HostNetsPerTor: 1, Multipath: true})
+	texts := make(map[string]string, len(fab.Devices))
+	for _, d := range fab.Devices {
+		texts[d.Hostname] = d.Text
+	}
+	return texts
+}
+
+// chaosServer starts an analysis service over httptest, returning the
+// server and a tiny client closure: GET/PUT a path, return status and the
+// CLI-equivalent exit code header.
+func chaosServer(t *testing.T, cfg server.Config) (*server.Server, func(method, path string, body any) (int, string)) {
+	t.Helper()
+	cfg.Seed = 1
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	do := func(method, path string, body any) (int, string) {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			b, err := json.Marshal(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(b)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get(server.ExitCodeHeader)
+	}
+	return srv, do
+}
+
+// TestChaosKillMidWriteCacheRecovery kills a persistent-cache write
+// mid-flight (injected panic between header and payload), leaves an
+// orphan temp file as a crash would, and asserts the reopened cache
+// recovers: the torn temp is swept, nothing corrupt is served, and a warm
+// restart recomputes only the lost artifact.
+func TestChaosKillMidWriteCacheRecovery(t *testing.T) {
+	dir := t.TempDir()
+	texts := chaosFabricTexts("kw")
+
+	inj := faults.New().Enable("diskcache", "write", faults.Rule{Kind: faults.Panic, Count: 1})
+	restore := faults.Activate(inj)
+	d1, err := diskcache.Open(dir, diskcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := pipeline.New(pipeline.Config{Disk: d1})
+	snap1 := core.LoadTextWith(p1, texts)
+	dp1 := snap1.DataPlane()
+	if snap1.Degraded() || dp1 == nil {
+		t.Fatalf("killed cache write degraded the analysis: %s", diag.Summary(snap1.Diags()))
+	}
+	if st := d1.Stats(); st.PutErrors != 1 {
+		t.Fatalf("PutErrors = %d, want exactly the injected kill", st.PutErrors)
+	}
+	restore()
+	// A second crash legacy: an orphan temp file (killed before rename).
+	if err := os.WriteFile(filepath.Join(dir, "put-1.tmp"), []byte("torn header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen the directory and rerun on a fresh memory tier.
+	d2, err := diskcache.Open(dir, diskcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d2.Stats()
+	if st.ScanRemoved != 1 {
+		t.Errorf("recovery swept %d temp files, want 1", st.ScanRemoved)
+	}
+	if st.Quarantined != 0 {
+		t.Errorf("a clean kill-mid-write must not quarantine entries: %+v", st)
+	}
+	p2 := pipeline.New(pipeline.Config{Disk: d2})
+	snap2 := core.LoadTextWith(p2, texts)
+	dp2 := snap2.DataPlane()
+	if snap2.Degraded() || dp2 == nil {
+		t.Fatalf("warm restart degraded: %s", diag.Summary(snap2.Diags()))
+	}
+	// Only the killed artifact recomputes; everything else is a disk hit.
+	ps := p2.Stats()
+	if got := ps.Parse.DiskHits + ps.DataPlane.DiskHits; got != int64(len(texts)) {
+		t.Errorf("disk hits = %d, want %d (all but the killed write)", got, len(texts))
+	}
+	if ps.Parse.ColdRuns != 1 {
+		t.Errorf("parse cold runs = %d, want 1 (the killed artifact)", ps.Parse.ColdRuns)
+	}
+	for name := range dp1.Nodes {
+		if dp2.NodeFingerprint(name) != dp1.NodeFingerprint(name) {
+			t.Errorf("node %s fingerprint differs after recovery", name)
+		}
+	}
+}
+
+// TestChaosBreakerTripHalfOpenReset drives a snapshot's circuit breaker
+// through its full cycle over the service API: persistent injected panics
+// trip it (closed → open), the cooldown half-opens it, and a healthy
+// probe closes it again.
+func TestChaosBreakerTripHalfOpenReset(t *testing.T) {
+	restore := faults.Activate(faults.New().
+		Enable("server", "reachability", faults.Rule{Kind: faults.Panic}))
+	defer restore()
+
+	_, do := chaosServer(t, server.Config{Retries: -1, BreakerThreshold: 2,
+		BreakerCooldown: 100 * time.Millisecond})
+	if st, _ := do(http.MethodPut, "/snapshots/s", map[string]any{"configs": chaosFabricTexts("br")}); st != http.StatusOK {
+		t.Fatalf("load: %d", st)
+	}
+	for i := 0; i < 2; i++ {
+		if st, exit := do(http.MethodGet, "/snapshots/s/reachability", nil); st != http.StatusOK || exit != "4" {
+			t.Fatalf("failing question %d: status %d exit %s", i, st, exit)
+		}
+	}
+	if st, _ := do(http.MethodGet, "/snapshots/s/reachability", nil); st != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker admitted a request: %d", st)
+	}
+	restore() // heal the fault
+	time.Sleep(120 * time.Millisecond)
+	if st, exit := do(http.MethodGet, "/snapshots/s/reachability", nil); st != http.StatusOK || exit != "0" {
+		t.Fatalf("half-open probe: status %d exit %s", st, exit)
+	}
+	if st, exit := do(http.MethodGet, "/snapshots/s/reachability", nil); st != http.StatusOK || exit != "0" {
+		t.Fatalf("breaker did not close after probe: status %d exit %s", st, exit)
+	}
+}
+
+// TestChaosDrainUnderLoad drains the service while slowed requests are in
+// flight: every admitted request completes (exit 0), new arrivals shed
+// 503, and no goroutines leak.
+func TestChaosDrainUnderLoad(t *testing.T) {
+	defer faults.Activate(faults.New().
+		Enable("server", "reachability", faults.Rule{Kind: faults.Sleep, Sleep: 100 * time.Millisecond}))()
+
+	srv, do := chaosServer(t, server.Config{MaxConcurrent: 4})
+	if st, _ := do(http.MethodPut, "/snapshots/s", map[string]any{"configs": chaosFabricTexts("dr")}); st != http.StatusOK {
+		t.Fatalf("load failed: %d", st)
+	}
+	do(http.MethodGet, "/snapshots/s/reachability", nil) // warm the snapshot
+
+	before := runtime.NumGoroutine()
+	const n = 3
+	type result struct {
+		status int
+		exit   string
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			st, exit := do(http.MethodGet, "/snapshots/s/reachability", nil)
+			results <- result{st, exit}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // let them pass admission
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st, _ := do(http.MethodGet, "/snapshots/s/reachability", nil); st != http.StatusServiceUnavailable {
+		t.Errorf("new request after drain: %d, want 503", st)
+	}
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.status != http.StatusOK || r.exit != "0" {
+			t.Errorf("in-flight request dropped during drain: status %d exit %s", r.status, r.exit)
+		}
+	}
+	// Goroutines settle back (slack for the HTTP stack's idle conns).
+	settle := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+8 {
+			break
+		}
+		if time.Now().After(settle) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 		}
 		time.Sleep(25 * time.Millisecond)
 	}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/dataplane"
+	"repro/internal/diskcache"
 	"repro/internal/fwdgraph"
 	"repro/internal/hdr"
 	"repro/internal/reach"
@@ -43,16 +44,25 @@ type Config struct {
 	// ParseWorkers is the per-device parse parallelism; 0 means
 	// runtime.GOMAXPROCS(0), negative forces serial parsing.
 	ParseWorkers int
+	// Disk, when non-nil, adds a persistent second tier under the
+	// in-memory store for the serializable stages (parse, dataplane):
+	// lookups fall through memory → disk → compute, computes write
+	// through to both tiers, and memory evictions demote to disk. The
+	// cache may be shared by several pipelines.
+	Disk *diskcache.Cache
 }
 
 // StageTimes accumulates wall time for one stage, split by whether the
 // artifact came from the store (warm) or was computed (cold). A parse run
-// counts as warm only when every device hit the cache.
+// counts as warm only when every device hit the cache. DiskHits counts
+// artifacts served from the persistent tier (a subset of warm activity:
+// a disk hit is decoded, promoted to memory, and reused).
 type StageTimes struct {
 	ColdNs   int64
 	ColdRuns int64
 	WarmNs   int64
 	WarmRuns int64
+	DiskHits int64
 }
 
 func (t *StageTimes) add(d time.Duration, warm bool) {
@@ -66,9 +76,11 @@ func (t *StageTimes) add(d time.Duration, warm bool) {
 }
 
 // Stats is a point-in-time view of a Pipeline's store counters and
-// per-stage timings.
+// per-stage timings. Disk reports the persistent tier's counters (zero
+// when none is configured).
 type Stats struct {
 	Store     StoreStats
+	Disk      diskcache.Stats
 	Parse     StageTimes
 	DataPlane StageTimes
 	Graph     StageTimes
@@ -78,7 +90,8 @@ type Stats struct {
 // Pipeline runs the staged computation against one artifact store. The
 // zero value is not usable; construct with New or Disabled.
 type Pipeline struct {
-	store        *Store // nil when caching is disabled
+	store        *Store           // nil when caching is disabled
+	disk         *diskcache.Cache // nil when no persistent tier
 	parseWorkers int
 
 	encMu sync.Mutex
@@ -93,7 +106,11 @@ type Pipeline struct {
 
 // New returns a caching Pipeline.
 func New(cfg Config) *Pipeline {
-	return &Pipeline{store: NewStore(cfg.StoreCapacity), parseWorkers: cfg.ParseWorkers}
+	p := &Pipeline{store: NewStore(cfg.StoreCapacity), parseWorkers: cfg.ParseWorkers, disk: cfg.Disk}
+	if p.disk != nil {
+		p.store.OnEvict(p.demote)
+	}
+	return p
 }
 
 // Disabled returns a Pipeline that never caches and gives every graph its
@@ -112,6 +129,7 @@ func (p *Pipeline) Stats() Stats {
 	defer p.statMu.Unlock()
 	return Stats{
 		Store:     p.store.Stats(),
+		Disk:      p.disk.Stats(),
 		Parse:     p.parse,
 		DataPlane: p.dp,
 		Graph:     p.graph,
@@ -123,6 +141,16 @@ func (p *Pipeline) record(stage *StageTimes, start time.Time, warm bool) {
 	d := time.Since(start)
 	p.statMu.Lock()
 	stage.add(d, warm)
+	p.statMu.Unlock()
+}
+
+// recordDiskHits counts n disk-tier hits against one stage.
+func (p *Pipeline) recordDiskHits(stage *StageTimes, n int64) {
+	if n == 0 {
+		return
+	}
+	p.statMu.Lock()
+	stage.DiskHits += n
 	p.statMu.Unlock()
 }
 
@@ -184,6 +212,11 @@ func (p *Pipeline) DataPlaneCtx(ctx context.Context, net *config.Network, devKey
 				p.record(&p.dp, start, true)
 				return res, k
 			}
+			if res, ok := p.diskGetDataPlane(k); ok {
+				p.recordDiskHits(&p.dp, 1)
+				p.record(&p.dp, start, true)
+				return res, k
+			}
 		}
 	}
 	res := dataplane.RunContext(ctx, net, opts)
@@ -192,6 +225,7 @@ func (p *Pipeline) DataPlaneCtx(ctx context.Context, net *config.Network, devKey
 	}
 	if p.store != nil && !k.IsZero() {
 		p.store.Put(k, res)
+		p.diskPutDataPlane(k, res)
 	}
 	p.record(&p.dp, start, false)
 	return res, k

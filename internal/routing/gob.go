@@ -1,0 +1,27 @@
+package routing
+
+// Gob support for the interned route-attribute types, so data-plane
+// artifacts can persist to the disk cache tier. The interned types wrap a
+// single unexported string; encoding round-trips that string verbatim.
+// Decoded values compare correctly with == (string equality), though they
+// are not re-interned into any Pool — consumers that rely on pointer
+// identity of *BGPAttrs only do so during convergence, which persisted
+// (post-convergence) results never re-enter.
+
+// GobEncode encodes the packed ASN string.
+func (p ASPath) GobEncode() ([]byte, error) { return []byte(p.asns), nil }
+
+// GobDecode restores the packed ASN string.
+func (p *ASPath) GobDecode(b []byte) error {
+	p.asns = string(b)
+	return nil
+}
+
+// GobEncode encodes the packed community string.
+func (c CommunitySet) GobEncode() ([]byte, error) { return []byte(c.comms), nil }
+
+// GobDecode restores the packed community string.
+func (c *CommunitySet) GobDecode(b []byte) error {
+	c.comms = string(b)
+	return nil
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-snapshot circuit breaker over question outcomes. A
+// service-quality failure (recovered panic, budget trip — not a client's
+// own deadline) counts against the snapshot; BreakerThreshold consecutive
+// failures trip it open, shedding questions with 503 + Retry-After until
+// the cooldown passes. The first arrival after the cooldown is admitted
+// as a half-open probe: its success closes the breaker, its failure
+// re-opens it for a fresh cooldown.
+type breaker struct {
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+	trips    int64
+}
+
+// allow decides whether a question may proceed. When it returns false,
+// retryAfter is the suggested client backoff. threshold<=0 disables the
+// breaker entirely.
+func (b *breaker) allow(threshold int, cooldown time.Duration) (ok bool, retryAfter time.Duration) {
+	if threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if rem := cooldown - time.Since(b.openedAt); rem > 0 {
+			return false, rem
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			return false, cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// record feeds one question outcome back into the machine.
+func (b *breaker) record(threshold int, success bool) {
+	if threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if success {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.trips++
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if success {
+			b.state = breakerClosed
+			b.fails = 0
+		} else {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.trips++
+		}
+	case breakerOpen:
+		// A request admitted before the trip finished late; ignore.
+	}
+}
+
+// snapshotState reports the state for diagnostics/metrics.
+func (b *breaker) snapshotState() (state string, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		state = "open"
+	case breakerHalfOpen:
+		state = "half-open"
+	default:
+		state = "closed"
+	}
+	return state, b.trips
+}

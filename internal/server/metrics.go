@@ -1,0 +1,135 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/diskcache"
+	"repro/internal/pipeline"
+)
+
+// latWindow is how many recent request latencies the percentile window
+// keeps (a ring buffer; old samples fall off).
+const latWindow = 4096
+
+// counters is the server's hot-path instrumentation: plain atomics so
+// request handling never contends on a stats lock.
+type counters struct {
+	Requests        atomic.Int64
+	OK              atomic.Int64
+	Degraded        atomic.Int64
+	ClientErrors    atomic.Int64
+	ServerErrors    atomic.Int64
+	Cancelled       atomic.Int64
+	Shed429         atomic.Int64
+	Shed503         atomic.Int64
+	BreakerRejects  atomic.Int64
+	Retries         atomic.Int64
+	PanicsRecovered atomic.Int64
+	peakConc        atomic.Int64
+	peakQueue       atomic.Int64
+
+	latMu  sync.Mutex
+	lats   [latWindow]time.Duration
+	latIdx int
+	latN   int
+}
+
+func (c *counters) observe(d time.Duration) {
+	c.latMu.Lock()
+	c.lats[c.latIdx] = d
+	c.latIdx = (c.latIdx + 1) % latWindow
+	if c.latN < latWindow {
+		c.latN++
+	}
+	c.latMu.Unlock()
+}
+
+// percentiles returns the p50/p99 of the latency window (zeros when
+// empty).
+func (c *counters) percentiles() (p50, p99 time.Duration) {
+	c.latMu.Lock()
+	n := c.latN
+	buf := make([]time.Duration, n)
+	copy(buf, c.lats[:n])
+	c.latMu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := func(p float64) int {
+		i := int(p * float64(n-1))
+		return i
+	}
+	return buf[idx(0.50)], buf[idx(0.99)]
+}
+
+// Metrics is a point-in-time view of the server's counters, suitable for
+// JSON rendering (the /metrics endpoint and batfishd's expvar export).
+type Metrics struct {
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Snapshots       int     `json:"snapshots"`
+	Requests        int64   `json:"requests"`
+	OK              int64   `json:"ok"`
+	Degraded        int64   `json:"degraded"`
+	ClientErrors    int64   `json:"client_errors"`
+	ServerErrors    int64   `json:"server_errors"`
+	Cancelled       int64   `json:"cancelled"`
+	Shed429         int64   `json:"shed_429"`
+	Shed503         int64   `json:"shed_503"`
+	BreakerRejects  int64   `json:"breaker_rejects"`
+	BreakerTrips    int64   `json:"breaker_trips"`
+	Retries         int64   `json:"retries"`
+	PanicsRecovered int64   `json:"panics_recovered"`
+	InFlight        int64   `json:"in_flight"`
+	PeakInFlight    int64   `json:"peak_in_flight"`
+	Queued          int64   `json:"queued"`
+	PeakQueued      int64   `json:"peak_queued"`
+	Draining        bool    `json:"draining"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+
+	Pipeline pipeline.Stats  `json:"pipeline"`
+	Disk     diskcache.Stats `json:"disk"`
+}
+
+// Metrics snapshots the server's counters, pipeline stats, and the
+// persistent cache tier's stats.
+func (s *Server) Metrics() Metrics {
+	p50, p99 := s.m.percentiles()
+	var trips int64
+	s.mu.Lock()
+	n := len(s.snaps)
+	for _, e := range s.snaps {
+		_, t := e.br.snapshotState()
+		trips += t
+	}
+	s.mu.Unlock()
+	return Metrics{
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Snapshots:       n,
+		Requests:        s.m.Requests.Load(),
+		OK:              s.m.OK.Load(),
+		Degraded:        s.m.Degraded.Load(),
+		ClientErrors:    s.m.ClientErrors.Load(),
+		ServerErrors:    s.m.ServerErrors.Load(),
+		Cancelled:       s.m.Cancelled.Load(),
+		Shed429:         s.m.Shed429.Load(),
+		Shed503:         s.m.Shed503.Load(),
+		BreakerRejects:  s.m.BreakerRejects.Load(),
+		BreakerTrips:    trips,
+		Retries:         s.m.Retries.Load(),
+		PanicsRecovered: s.m.PanicsRecovered.Load(),
+		InFlight:        s.cur.Load(),
+		PeakInFlight:    s.m.peakConc.Load(),
+		Queued:          s.queued.Load(),
+		PeakQueued:      s.m.peakQueue.Load(),
+		Draining:        s.draining.Load(),
+		P50Ms:           float64(p50) / float64(time.Millisecond),
+		P99Ms:           float64(p99) / float64(time.Millisecond),
+		Pipeline:        s.pl.Stats(),
+		Disk:            s.pl.DiskStats(),
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/diag"
+)
+
+// The renderers turn question results into the exact text the CLI prints,
+// so a scripted client can diff service answers against batfish runs (and
+// the end-to-end tests can assert byte-identical output between the HTTP
+// API and the in-process API).
+
+// diagStrings renders diagnostics for the JSON envelope.
+func diagStrings(ds []diag.Diagnostic) []string {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// RenderFlows renders reachability results in the CLI's format.
+func RenderFlows(rs []core.FlowResult) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%s/%s:\n", r.Source.Device, r.Source.Iface)
+		if r.HasPositive {
+			fmt.Fprintf(&b, "  delivered example: %v\n", r.PositiveExample)
+		}
+		if r.HasNegative {
+			fmt.Fprintf(&b, "  failed example:    %v\n", r.NegativeExample)
+			for _, t := range r.Traces {
+				fmt.Fprintln(&b, "  "+strings.ReplaceAll(t.String(), "\n", "\n  "))
+			}
+		}
+	}
+	return b.String()
+}
+
+// RenderService renders service-reachability results, one client per
+// line.
+func RenderService(rs []core.ServiceReachableResult) string {
+	var b strings.Builder
+	for _, r := range rs {
+		status := "UNREACHABLE"
+		if r.OK {
+			status = "ok"
+		}
+		fmt.Fprintf(&b, "%s/%s: %s", r.Client.Device, r.Client.Iface, status)
+		if r.HasEx {
+			fmt.Fprintf(&b, " example %v", r.Example)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderDiffs renders differential reachability results.
+func RenderDiffs(ds []core.DifferentialFlows) string {
+	if len(ds) == 0 {
+		return "no differences\n"
+	}
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintf(&b, "%s/%s:\n", d.Source.Device, d.Source.Iface)
+		if d.Broken != bdd.False {
+			fmt.Fprintf(&b, "  flows broken by change")
+			if d.HasBroken {
+				fmt.Fprintf(&b, ", example %v", d.BrokenEx)
+			}
+			fmt.Fprintln(&b)
+		}
+		if d.NewlyArrive != bdd.False {
+			fmt.Fprintln(&b, "  flows newly delivered by change")
+		}
+	}
+	return b.String()
+}
