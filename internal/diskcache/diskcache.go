@@ -225,19 +225,33 @@ func (c *Cache) Get(key [sha256.Size]byte) ([]byte, bool) {
 	faults.Fire("diskcache", "get")
 	hexKey := hex.EncodeToString(key[:])
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.index[hexKey]; !ok {
 		c.stats.Misses++
+		c.mu.Unlock()
 		return nil, false
 	}
+	c.mu.Unlock()
+	// Read and verify outside the lock so disk latency never serializes
+	// the cache's callers. The entry may be evicted or replaced while we
+	// read: rename-based commits mean we always see a complete old or new
+	// file, and an eviction surfaces as file-not-found, a plain miss.
 	payload, err := c.readVerified(c.path(hexKey))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, indexed := c.index[hexKey]
 	if err != nil {
-		c.dropLocked(hexKey)
-		c.quarantine(c.path(hexKey), hexKey)
+		if indexed {
+			c.dropLocked(hexKey)
+			if !os.IsNotExist(err) {
+				c.quarantine(c.path(hexKey), hexKey)
+			}
+		}
 		c.stats.Misses++
 		return nil, false
 	}
-	c.touch(hexKey)
+	if indexed {
+		c.touch(hexKey)
+	}
 	c.stats.Hits++
 	return payload, true
 }
@@ -250,18 +264,28 @@ func (c *Cache) Put(key [sha256.Size]byte, payload []byte) {
 	if c == nil || key == [sha256.Size]byte{} {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	size := int64(headerSize + len(payload))
 	if c.max > 0 && size > c.max {
+		c.mu.Lock()
 		c.stats.PutErrors++
+		c.mu.Unlock()
 		return
 	}
+	// Write, fsync, and rename outside the lock: each Put uses its own
+	// temp file and the rename is atomic, so concurrent Puts of the same
+	// key just race benignly (last committed file wins; the index update
+	// below is serialized). A concurrent eviction can remove the freshly
+	// renamed file before this Put indexes it — the stale index entry then
+	// surfaces as a not-found miss on the next Get and is dropped there.
 	if err := c.writeEntry(key, payload); err != nil {
+		c.mu.Lock()
 		c.stats.PutErrors++
+		c.mu.Unlock()
 		return
 	}
 	hexKey := hex.EncodeToString(key[:])
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if old, ok := c.index[hexKey]; ok {
 		c.bytes -= old.size
 	}

@@ -58,6 +58,23 @@ func (b *breaker) allow(threshold int, cooldown time.Duration) (ok bool, retryAf
 	}
 }
 
+// abort neutrally releases a half-open probe that never produced a
+// service-quality signal — the request was shed, rejected for a client
+// error, or cancelled by the client's own deadline before (or while)
+// touching the snapshot. The probe slot is freed so the next arrival is
+// admitted as a fresh probe; no success or failure is counted, and a
+// closed breaker's consecutive-failure count is left untouched.
+func (b *breaker) abort(threshold int) {
+	if threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
 // record feeds one question outcome back into the machine.
 func (b *breaker) record(threshold int, success bool) {
 	if threshold <= 0 {

@@ -244,6 +244,15 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiResponse{ExitCode: ExitUsage, Error: `"as" must name a distinct snapshot`})
 		return
 	}
+	if s.inBaseChain(name, body.As) {
+		// Replacing an ancestor of the edit target would make the base
+		// chain circular (edit A as B, then edit B as A), poisoning every
+		// future rebuild of either snapshot.
+		s.m.ClientErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, apiResponse{ExitCode: ExitUsage,
+			Error: fmt.Sprintf("%q is in %q's base chain; the edit would create a cycle", body.As, name)})
+		return
+	}
 	ctx, cancel, err := s.reqContext(r)
 	if err != nil {
 		s.m.ClientErrors.Add(1)
@@ -473,7 +482,10 @@ func (s *Server) serveQuestion(w http.ResponseWriter, r *http.Request, q string,
 	}
 	ctx, cancel, err := s.reqContext(r)
 	if err != nil {
-		e.br.record(s.cfg.BreakerThreshold, true) // client error, not the snapshot's fault
+		// Client error, not the snapshot's fault: release a half-open probe
+		// neutrally — neither closing the breaker nor resetting the
+		// consecutive-failure count of a closed one.
+		e.br.abort(s.cfg.BreakerThreshold)
 		s.m.ClientErrors.Add(1)
 		writeJSON(w, http.StatusBadRequest, apiResponse{ExitCode: ExitUsage, Error: err.Error()})
 		return
@@ -481,8 +493,10 @@ func (s *Server) serveQuestion(w http.ResponseWriter, r *http.Request, q string,
 	defer cancel()
 	release, err := s.acquire(ctx)
 	if err != nil {
-		// Shed before execution: a half-open probe must not stay stuck.
-		e.br.record(s.cfg.BreakerThreshold, true)
+		// Shed before execution: the probe never touched the snapshot, so
+		// release it neutrally rather than counting a success — overload
+		// must not close a failing snapshot's breaker or mask its failures.
+		e.br.abort(s.cfg.BreakerThreshold)
 		s.rejectAdmission(w, err)
 		return
 	}
@@ -497,8 +511,10 @@ func (s *Server) serveQuestion(w http.ResponseWriter, r *http.Request, q string,
 		Diags: diagStrings(qr.diags), Text: *text}
 	switch {
 	case qr.cancelled:
-		// The client's own deadline is not a service-quality signal;
-		// leave the breaker as-is.
+		// The client's own deadline is not a service-quality signal: count
+		// neither success nor failure, but release a half-open probe so the
+		// breaker cannot wedge with probing set forever.
+		e.br.abort(s.cfg.BreakerThreshold)
 		s.m.Cancelled.Add(1)
 		resp.ExitCode = ExitCancelled
 		resp.Error = "question cancelled by deadline"

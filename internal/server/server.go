@@ -272,9 +272,23 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 		return nil, &shedError{status: http.StatusServiceUnavailable,
 			retryAfter: time.Second, reason: "server is draining"}
 	}
+	release = func() {
+		s.cur.Add(-1)
+		<-s.sem
+	}
+	// Fast path: a free slot means the request never waits and does not
+	// count against the queue bound.
+	select {
+	case s.sem <- struct{}{}:
+		maxInt64(&s.m.peakConc, s.cur.Add(1))
+		return release, nil
+	default:
+	}
+	// All slots are busy, so this request is a genuine waiter: queued
+	// counts exactly those, and the shed bound is exactly MaxQueue.
 	q := s.queued.Add(1)
 	maxInt64(&s.m.peakQueue, q)
-	if q > int64(s.cfg.MaxQueue)+int64(s.cfg.MaxConcurrent) {
+	if q > int64(s.cfg.MaxQueue) {
 		s.queued.Add(-1)
 		s.m.Shed429.Add(1)
 		return nil, &shedError{status: http.StatusTooManyRequests,
@@ -286,10 +300,7 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	case s.sem <- struct{}{}:
 		s.queued.Add(-1)
 		maxInt64(&s.m.peakConc, s.cur.Add(1))
-		return func() {
-			s.cur.Add(-1)
-			<-s.sem
-		}, nil
+		return release, nil
 	case <-timer.C:
 		s.queued.Add(-1)
 		s.m.Shed429.Add(1)
@@ -365,6 +376,17 @@ func (s *Server) names() []string {
 // read/write snapshot internals that questions mutate, and a published
 // snapshot may be touched by any request. Lock order is anMu → e.mu.
 func (s *Server) snapshotFor(e *snapEntry) (*core.Snapshot, error) {
+	return s.snapshotForChain(e, nil)
+}
+
+// snapshotForChain is snapshotFor with cycle protection: visited holds
+// the entry names already locked on this rebuild path. handleEdit
+// rejects edits that would put the new name in its target's base-chain
+// ancestry, but two racing edits can still weave a cycle past that
+// check, so a revisited base rebuilds standalone from the entry's
+// merged texts instead of recursing — recursing would re-lock a mutex
+// this goroutine already holds and deadlock the server.
+func (s *Server) snapshotForChain(e *snapEntry, visited map[string]bool) (*core.Snapshot, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.snap != nil && !e.snap.Cancelled() {
@@ -374,18 +396,45 @@ func (s *Server) snapshotFor(e *snapEntry) (*core.Snapshot, error) {
 		e.snap = core.LoadTextWith(s.pl, e.texts)
 		return e.snap, nil
 	}
+	if visited == nil {
+		visited = make(map[string]bool)
+	}
+	visited[e.name] = true
 	be, ok := s.entry(e.base)
-	if !ok {
-		// Base was deleted: rebuild standalone from the merged texts.
+	if !ok || visited[be.name] {
+		// Base deleted, or a base cycle: rebuild standalone from the
+		// merged texts (which always reproduce the snapshot exactly; only
+		// the incremental-compare baseline link is lost).
 		e.snap = core.LoadTextWith(s.pl, e.texts)
 		return e.snap, nil
 	}
-	bs, err := s.snapshotFor(be)
+	bs, err := s.snapshotForChain(be, visited)
 	if err != nil {
 		return nil, err
 	}
 	e.snap = bs.Edit(e.changes)
 	return e.snap, nil
+}
+
+// inBaseChain reports whether ancestor appears in name's base-chain
+// ancestry (name itself included). Used by handleEdit to refuse edits
+// that would create a base cycle.
+func (s *Server) inBaseChain(name, ancestor string) bool {
+	seen := make(map[string]bool)
+	for cur := name; cur != "" && !seen[cur]; {
+		if cur == ancestor {
+			return true
+		}
+		seen[cur] = true
+		e, ok := s.entry(cur)
+		if !ok {
+			return false
+		}
+		e.mu.Lock()
+		cur = e.base
+		e.mu.Unlock()
+	}
+	return false
 }
 
 // transient reports whether the diagnostics describe a failure worth

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netgen"
+)
+
+// TestBreakerAbortReleasesProbe covers the neutral probe release: a
+// half-open probe that ends without a service-quality verdict (shed,
+// client error, client deadline) must free the probe slot without
+// closing the breaker, and an abort on a closed breaker must not reset
+// its consecutive-failure count.
+func TestBreakerAbortReleasesProbe(t *testing.T) {
+	const th = 2
+	var b breaker
+
+	// Trip it.
+	b.record(th, false)
+	b.record(th, false)
+	if ok, _ := b.allow(th, time.Hour); ok {
+		t.Fatal("open breaker admitted a request")
+	}
+
+	// Cooldown elapsed (zero cooldown): first arrival is the probe,
+	// second is rejected while the probe is in flight.
+	if ok, _ := b.allow(th, 0); !ok {
+		t.Fatal("no half-open probe after cooldown")
+	}
+	if ok, _ := b.allow(th, 0); ok {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+
+	// Abort the probe: still half-open, but the slot is free again —
+	// before the fix, probing stayed true and every allow returned false.
+	b.abort(th)
+	if st, _ := b.snapshotState(); st != "half-open" {
+		t.Fatalf("state after aborted probe = %s, want half-open", st)
+	}
+	if ok, _ := b.allow(th, 0); !ok {
+		t.Fatal("breaker wedged: no probe admitted after an aborted one")
+	}
+	b.record(th, true)
+	if st, _ := b.snapshotState(); st != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", st)
+	}
+
+	// Closed state: abort must not reset the failure count the way the
+	// old record(success=true) call did.
+	b.record(th, false)
+	b.abort(th)
+	b.record(th, false)
+	if st, _ := b.snapshotState(); st != "open" {
+		t.Fatalf("state = %s, want open: abort reset the failure count", st)
+	}
+}
+
+// TestSnapshotForBaseCycle is the backstop for racing edits that weave a
+// base cycle past handleEdit's ancestry check: rebuilding either entry
+// must terminate (standalone from merged texts) instead of re-locking an
+// entry mutex already held on the rebuild path and deadlocking.
+func TestSnapshotForBaseCycle(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := netgen.Fabric(netgen.FabricParams{Name: "cy", Spines: 1, Pods: 1,
+		AggPerPod: 1, TorPerPod: 1, HostNetsPerTor: 1})
+	texts := make(map[string]string, len(fab.Devices))
+	for _, d := range fab.Devices {
+		texts[d.Hostname] = d.Text
+	}
+	a := &snapEntry{name: "a", texts: texts, base: "b", changes: map[string]string{}}
+	b := &snapEntry{name: "b", texts: texts, base: "a", changes: map[string]string{}}
+	s.putEntry(a)
+	s.putEntry(b)
+
+	for _, e := range []*snapEntry{a, b} {
+		done := make(chan error, 1)
+		go func() {
+			s.anMu.Lock()
+			defer s.anMu.Unlock()
+			_, err := s.snapshotFor(e)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("rebuild %q: %v", e.name, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("rebuild %q deadlocked on the base cycle", e.name)
+		}
+	}
+}

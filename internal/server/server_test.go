@@ -462,6 +462,112 @@ func TestCircuitBreaker(t *testing.T) {
 	}
 }
 
+// TestEditCycleRejected: an edit whose "as" name sits in the target's
+// base-chain ancestry would make every future rebuild circular, so the
+// server must refuse it as a usage error.
+func TestEditCycleRejected(t *testing.T) {
+	_, ts := newServer(t, server.Config{})
+	tc := newTestClient(t, ts)
+	texts := smallFabric()
+	tc.load("a", texts)
+
+	var dev string
+	for d := range texts {
+		dev = d
+		break
+	}
+	edit := func(from, as string) (*http.Response, apiResp) {
+		return tc.do(http.MethodPost, "/snapshots/"+from+"/edit",
+			map[string]any{"as": as, "changes": map[string]string{
+				dev: addRoute(t, texts[dev], "ip route 10.99.0.0 255.255.255.0 Null0")}})
+	}
+	if resp, ar := edit("a", "b"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit a as b: %d %s", resp.StatusCode, ar.Error)
+	}
+	// Direct cycle: b's base is a.
+	if resp, ar := edit("b", "a"); resp.StatusCode != http.StatusBadRequest || ar.ExitCode != server.ExitUsage {
+		t.Fatalf("edit b as a accepted: %d exit %d %s", resp.StatusCode, ar.ExitCode, ar.Error)
+	}
+	// Transitive cycle: c → b → a, then a as an ancestor again.
+	if resp, ar := edit("b", "c"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit b as c: %d %s", resp.StatusCode, ar.Error)
+	}
+	if resp, ar := edit("c", "a"); resp.StatusCode != http.StatusBadRequest || ar.ExitCode != server.ExitUsage {
+		t.Fatalf("edit c as a accepted: %d exit %d %s", resp.StatusCode, ar.ExitCode, ar.Error)
+	}
+	// Replacing a non-ancestor is still allowed, and both snapshots answer.
+	if resp, ar := edit("a", "c"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit a as c (replace non-ancestor): %d %s", resp.StatusCode, ar.Error)
+	}
+	for _, name := range []string{"b", "c"} {
+		resp, ar := tc.do(http.MethodGet, "/snapshots/"+name+"/reachability", nil)
+		if resp.StatusCode != http.StatusOK || ar.ExitCode != server.ExitOK {
+			t.Errorf("question on %s after edits: %d exit %d %v", name, resp.StatusCode, ar.ExitCode, ar.Diags)
+		}
+	}
+}
+
+// TestBreakerSurvivesAbortedProbe: a half-open probe whose request ends
+// without a service-quality verdict (here: a client error, rejected
+// after the probe slot was taken) must release the slot — not wedge the
+// breaker with a probe marked in flight forever, and not close it as a
+// phantom success. The next real arrival is then admitted as a fresh
+// probe and closes the breaker on success.
+func TestBreakerSurvivesAbortedProbe(t *testing.T) {
+	restore := faults.Activate(faults.New().
+		Enable("server", "reachability", faults.Rule{Kind: faults.Panic}))
+	defer restore()
+
+	_, ts := newServer(t, server.Config{Retries: -1, BreakerThreshold: 2,
+		BreakerCooldown: 50 * time.Millisecond})
+	tc := newTestClient(t, ts)
+	tc.load("s", smallFabric())
+
+	for i := 0; i < 2; i++ {
+		if resp, ar := tc.do(http.MethodGet, "/snapshots/s/reachability", nil); ar.ExitCode != server.ExitDegraded {
+			t.Fatalf("failing question %d: %d exit %d", i, resp.StatusCode, ar.ExitCode)
+		}
+	}
+	if resp, _ := tc.do(http.MethodGet, "/snapshots/s/reachability", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("breaker did not trip: %d", resp.StatusCode)
+	}
+
+	// Wait out the cooldown, then burn the half-open probe on a request
+	// rejected for a bad parameter after the breaker admitted it.
+	time.Sleep(70 * time.Millisecond)
+	resp, ar := tc.do(http.MethodGet, "/snapshots/s/reachability?timeout=bogus", nil)
+	if resp.StatusCode != http.StatusBadRequest || ar.ExitCode != server.ExitUsage {
+		t.Fatalf("aborted probe: %d exit %d (%s)", resp.StatusCode, ar.ExitCode, ar.Error)
+	}
+	// The phantom outcome must not have closed the breaker: the fault is
+	// still active, so if the next request is admitted it degrades (a real
+	// probe), and its failure re-opens the breaker rather than counting
+	// from a wrongly reset state.
+	resp, ar = tc.do(http.MethodGet, "/snapshots/s/reachability", nil)
+	if resp.StatusCode != http.StatusOK || ar.ExitCode != server.ExitDegraded {
+		t.Fatalf("probe after aborted probe: %d exit %d (want admitted + degraded)", resp.StatusCode, ar.ExitCode)
+	}
+	if resp, _ := tc.do(http.MethodGet, "/snapshots/s/reachability", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("failed probe did not re-open the breaker: %d", resp.StatusCode)
+	}
+
+	// Heal the fault; after another cooldown the same abort-then-probe
+	// sequence must end with the breaker closed, not wedged.
+	restore()
+	time.Sleep(70 * time.Millisecond)
+	if resp, ar := tc.do(http.MethodGet, "/snapshots/s/reachability?timeout=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("second aborted probe: %d (%s)", resp.StatusCode, ar.Error)
+	}
+	resp, ar = tc.do(http.MethodGet, "/snapshots/s/reachability", nil)
+	if resp.StatusCode != http.StatusOK || ar.ExitCode != server.ExitOK {
+		t.Fatalf("breaker wedged after aborted probe: %d exit %d %s", resp.StatusCode, ar.ExitCode, ar.Error)
+	}
+	resp, ar = tc.do(http.MethodGet, "/snapshots/s/reachability", nil)
+	if resp.StatusCode != http.StatusOK || ar.ExitCode != server.ExitOK {
+		t.Fatalf("breaker did not close after probe success: %d exit %d", resp.StatusCode, ar.ExitCode)
+	}
+}
+
 // TestDrain verifies graceful shutdown: in-flight requests complete with
 // full answers, new requests shed 503, readiness flips, and no goroutines
 // leak.
