@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race soak check bench benchjson cover fuzz-smoke
+.PHONY: build vet vet-extra lint test race soak check bench benchjson cover fuzz-smoke
 
 # Coverage floor for the caching/incremental layer. The pipeline and core
 # packages carry the correctness-critical cache keying and blast-radius
@@ -19,6 +19,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Opt-in vet analyzers beyond the default set: copied-lock values,
+# pre-1.22 loop-variable capture, and discarded error-returning calls.
+vet-extra:
+	$(GO) vet -copylocks -loopclosure -unusedresult ./...
+
+# gblint: the repo-invariant analyzer suite (DESIGN.md §7). Exits
+# nonzero on any finding; suppressions require a written reason.
+lint:
+	$(GO) run ./cmd/gblint ./...
 
 test:
 	$(GO) test ./...
@@ -51,7 +61,7 @@ cover:
 		if (t+0 < min+0) { printf "coverage %.1f%% below floor %.1f%%\n", t, min; exit 1 } \
 		else { printf "coverage %.1f%% meets floor %.1f%%\n", t, min } }'
 
-check: vet test race soak fuzz-smoke
+check: vet vet-extra lint test race soak fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

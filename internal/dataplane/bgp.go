@@ -532,7 +532,11 @@ func (e *Engine) runBGP() bool {
 	}
 	publish := func(u string) bool {
 		any := false
-		for _, vs := range e.nodes[u].VRFs {
+		// Sorted VRF order: applyBGPToMain draws logical clocks from the
+		// shared engine clock, and map order would interleave draws across
+		// VRFs differently run to run (clocks persist in artifacts).
+		for _, vn := range sortedVRFNames(e.nodes[u]) {
+			vs := e.nodes[u].VRFs[vn]
 			d := vs.BGPRIB.TakeDelta()
 			vs.bgpPublished = d
 			e.applyBGPToMain(vs, d)

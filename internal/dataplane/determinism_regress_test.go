@@ -1,0 +1,135 @@
+package dataplane
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/ip4"
+	"repro/internal/routing"
+)
+
+// TestWithdrawStaleExternalsSortedDeltas is the regression test for the
+// gblint determinism finding in redistributeIntoOSPF: withdrawing stale
+// externals by ranging over the ospfExternal map directly accumulated
+// the RIB's published delta — and the logical-clock draws behind it —
+// in map iteration order. The fix withdraws in sorted key order, so the
+// delta peers import must come out sorted on every trial.
+func TestWithdrawStaleExternalsSortedDeltas(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		vs := &VRFState{
+			OSPFRIB:      routing.NewRIB(routing.OSPFComparator, &routing.Clock{}),
+			ospfExternal: make(map[routing.Key]bool),
+		}
+		for i := 0; i < 16; i++ {
+			rt := routing.Route{
+				Prefix:   ip4.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", i)),
+				Protocol: routing.OSPFE2,
+				Metric:   20,
+				AD:       routing.OSPFE2.DefaultAdminDistance(),
+			}
+			vs.OSPFRIB.Merge(rt)
+			vs.ospfExternal[rt.Key()] = true
+		}
+		vs.OSPFRIB.TakeDelta() // clear origination noise
+
+		withdrawStaleExternals(vs, map[routing.Key]bool{})
+
+		d := vs.OSPFRIB.TakeDelta()
+		if len(d.Removed) != 16 {
+			t.Fatalf("trial %d: %d removals, want 16", trial, len(d.Removed))
+		}
+		for i := 1; i < len(d.Removed); i++ {
+			if !lessKey(d.Removed[i-1].Key(), d.Removed[i].Key()) {
+				t.Fatalf("trial %d: removal order not sorted at index %d: %v before %v",
+					trial, i, d.Removed[i-1].Prefix, d.Removed[i].Prefix)
+			}
+		}
+	}
+}
+
+// TestMultiVRFClockAssignmentStable is the regression test for the
+// VRF-publish nondeterminism: the per-round publish closures iterated
+// each node's VRF map in map order, so VRFs drew logical clocks from
+// the shared engine clock in a random order — and Route.Clock is
+// gob-encoded into persisted artifacts (it breaks eBGP age tie-breaks
+// too). With four VRFs originating BGP routes, every route's Clock
+// must come out identical run after run. (Raw artifact bytes cannot be
+// compared: gob encodes the network's maps in iteration order.)
+func TestMultiVRFClockAssignmentStable(t *testing.T) {
+	// Two routers, one eBGP session per VRF. r2 originates a distinct
+	// prefix in each VRF, so r1 learns routes over every session and the
+	// publish step merges them into each VRF's main RIB — the clock
+	// draws whose order the bug scrambled. Locally originated routes
+	// would not do: applyBGPToMain skips them (NextHopNode == "").
+	build := func() *config.Network {
+		net := config.NewNetwork()
+		r1 := dev(net, "r1")
+		r2 := dev(net, "r2")
+		for i, vrf := range []string{config.DefaultVRF, "red", "blue", "green"} {
+			link := fmt.Sprintf("10.%d.0", i)
+			addIface(r1, fmt.Sprintf("eth%d", i), link+".1/24").VRFName = vrf
+			addIface(r2, fmt.Sprintf("eth%d", i), link+".2/24").VRFName = vrf
+			lan := fmt.Sprintf("192.168.%d.0/24", i)
+			addIface(r2, fmt.Sprintf("lan%d", i), fmt.Sprintf("192.168.%d.1/24", i)).VRFName = vrf
+			r1.VRF(vrf).BGP = &config.BGPConfig{ASN: 65001, Neighbors: []*config.BGPNeighbor{
+				{PeerIP: ip4.MustParseAddr(link + ".2"), RemoteAS: 65002},
+			}}
+			r2.VRF(vrf).BGP = &config.BGPConfig{
+				ASN:      65002,
+				Networks: []ip4.Prefix{ip4.MustParsePrefix(lan)},
+				Neighbors: []*config.BGPNeighbor{
+					{PeerIP: ip4.MustParseAddr(link + ".1"), RemoteAS: 65001},
+				},
+			}
+		}
+		return net
+	}
+
+	// clockTrace renders every persisted route of every VRF, including
+	// its logical clock, in deterministic (sorted) traversal order.
+	clockTrace := func(t *testing.T, r *Result) string {
+		t.Helper()
+		var b strings.Builder
+		learned := 0
+		for _, node := range []string{"r1", "r2"} {
+			ns := r.Nodes[node]
+			for _, vn := range sortedVRFNames(ns) {
+				vs := ns.VRFs[vn]
+				for _, rib := range []*routing.RIB{vs.ConnRIB, vs.StatRIB, vs.OSPFRIB, vs.BGPRIB, vs.Main} {
+					for _, rt := range rib.AllBest() {
+						fmt.Fprintf(&b, "%s/%s %s %v %v clk=%d\n", node, vn, rt.Prefix, rt.Protocol, rt.NextHop, rt.Clock)
+						if rt.NextHopNode != "" {
+							learned++
+						}
+					}
+				}
+			}
+		}
+		if learned < 4 {
+			t.Fatalf("only %d learned routes; the eBGP sessions did not form:\n%s", learned, b.String())
+		}
+		return b.String()
+	}
+
+	var want string
+	for trial := 0; trial < 8; trial++ {
+		r := Run(build(), Options{})
+		if len(r.Diags) != 0 {
+			t.Fatalf("trial %d: unexpected diagnostics: %+v", trial, r.Diags)
+		}
+		if _, err := MarshalResult(r); err != nil {
+			t.Fatalf("trial %d: MarshalResult: %v", trial, err)
+		}
+		got := clockTrace(t, r)
+		if trial == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("trial %d: clock assignment differs from trial 0:\n--- trial 0:\n%s--- trial %d:\n%s",
+				trial, want, trial, got)
+		}
+	}
+}

@@ -184,17 +184,66 @@ func (e *Engine) redistributeIntoOSPF(node string, d *config.Device, cv *config.
 	}
 	// Withdraw externals that are no longer sourced (e.g. the underlying
 	// BGP route went away between outer rounds).
+	withdrawStaleExternals(vs, seen)
+	vs.ospfExternal = seen
+}
+
+// withdrawStaleExternals withdraws every previously originated external
+// whose key is absent from seen, in sorted key order: Withdraw
+// accumulates the RIB's published delta in call order, so iterating the
+// map directly would leak map iteration order into the deltas peers
+// import — and from there into logical-clock draws and persisted
+// artifact bytes.
+func withdrawStaleExternals(vs *VRFState, seen map[routing.Key]bool) {
+	stale := make([]routing.Key, 0, len(vs.ospfExternal))
 	for k := range vs.ospfExternal {
 		if !seen[k] {
-			vs.OSPFRIB.Withdraw(routing.Route{
-				Prefix: k.Prefix, Protocol: k.Protocol, Metric: k.Metric,
-				AD: k.AD, Tag: k.Tag, Area: k.Area, NextHop: k.NextHop,
-				NextHopIface: k.NextHopIface, NextHopNode: k.NextHopNode,
-				Drop: k.Drop, Attrs: k.Attrs,
-			})
+			stale = append(stale, k)
 		}
 	}
-	vs.ospfExternal = seen
+	sort.Slice(stale, func(i, j int) bool { return lessKey(stale[i], stale[j]) })
+	for _, k := range stale {
+		vs.OSPFRIB.Withdraw(routing.Route{
+			Prefix: k.Prefix, Protocol: k.Protocol, Metric: k.Metric,
+			AD: k.AD, Tag: k.Tag, Area: k.Area, NextHop: k.NextHop,
+			NextHopIface: k.NextHopIface, NextHopNode: k.NextHopNode,
+			Drop: k.Drop, Attrs: k.Attrs,
+		})
+	}
+}
+
+// lessKey orders route keys for deterministic withdrawal. Attrs is
+// deliberately ignored: OSPF externals never carry BGP attributes
+// (Route.Attrs is nil unless Protocol.IsBGP()).
+func lessKey(a, b routing.Key) bool {
+	if c := a.Prefix.Compare(b.Prefix); c != 0 {
+		return c < 0
+	}
+	if a.Protocol != b.Protocol {
+		return a.Protocol < b.Protocol
+	}
+	if a.NextHop != b.NextHop {
+		return a.NextHop < b.NextHop
+	}
+	if a.NextHopIface != b.NextHopIface {
+		return a.NextHopIface < b.NextHopIface
+	}
+	if a.NextHopNode != b.NextHopNode {
+		return a.NextHopNode < b.NextHopNode
+	}
+	if a.Metric != b.Metric {
+		return a.Metric < b.Metric
+	}
+	if a.AD != b.AD {
+		return a.AD < b.AD
+	}
+	if a.Tag != b.Tag {
+		return a.Tag < b.Tag
+	}
+	if a.Area != b.Area {
+		return a.Area < b.Area
+	}
+	return !a.Drop && b.Drop
 }
 
 // deriveOSPF computes the route node u installs when neighbor v (over
@@ -318,7 +367,11 @@ func (e *Engine) runOSPF() bool {
 
 	publish := func(u string) bool {
 		any := false
-		for _, vs := range e.nodes[u].VRFs {
+		// Sorted VRF order: applyOSPFToMain draws logical clocks from the
+		// shared engine clock, and map order would interleave draws across
+		// VRFs differently run to run (clocks persist in artifacts).
+		for _, vn := range sortedVRFNames(e.nodes[u]) {
+			vs := e.nodes[u].VRFs[vn]
 			vs.ospfPublished = vs.OSPFRIB.TakeDelta()
 			e.applyOSPFToMain(vs, vs.ospfPublished)
 			if !vs.ospfPublished.Empty() {

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxPlumb enforces the PR-3 robustness contract: every exported entry
+// point in the pipeline/service layers that can run for an unbounded
+// time — because it loops without a bound or spawns goroutines — must
+// accept a context.Context so callers can cancel it. Functions taking
+// an *http.Request are exempt (the request carries the context), as are
+// methods on unexported types (not callable from outside the package).
+type CtxPlumb struct{}
+
+// ctxScope lists the packages whose exported surface must be
+// cancellable.
+var ctxScope = []string{
+	"repro/internal/pipeline",
+	"repro/internal/core",
+	"repro/internal/dataplane",
+	"repro/internal/server",
+}
+
+func (CtxPlumb) Name() string { return "ctx-plumb" }
+
+func (CtxPlumb) Doc() string {
+	return "exported functions that loop unboundedly or spawn goroutines without a context.Context"
+}
+
+func (CtxPlumb) Check(p *Package) []Finding {
+	if !inScope(p.Path, ctxScope) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Recv != nil && !exportedReceiver(fd.Recv) {
+				continue
+			}
+			if hasParamOf(p, fd, "context", "Context") || hasParamOf(p, fd, "net/http", "Request") {
+				continue
+			}
+			if reason, bad := uncancellable(fd.Body); bad {
+				out = append(out, finding(p, "ctx-plumb", fd.Name.Pos(),
+					"exported %s %s but takes no context.Context (callers cannot cancel it)",
+					fd.Name.Name, reason))
+			}
+		}
+	}
+	return out
+}
+
+// exportedReceiver reports whether the method receiver's base type name
+// is exported.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.IndexListExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// hasParamOf reports whether any parameter's type (possibly behind a
+// pointer) is the named type pkgPath.name.
+func hasParamOf(p *Package, fd *ast.FuncDecl, pkgPath, name string) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := p.Info.TypeOf(field.Type)
+		gotPkg, gotName := namedType(t)
+		if gotPkg == pkgPath && gotName == name {
+			return true
+		}
+	}
+	return false
+}
+
+// uncancellable reports whether the body contains an unbounded loop
+// (for with no condition) or spawns a goroutine, returning a human
+// description of the first trigger found.
+func uncancellable(body *ast.BlockStmt) (reason string, bad bool) {
+	var why string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.ForStmt:
+			if v.Cond == nil {
+				why = "contains an unbounded for-loop"
+			}
+		case *ast.GoStmt:
+			why = "spawns goroutines"
+		}
+		return true
+	})
+	return why, why != ""
+}

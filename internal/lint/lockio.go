@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockIO enforces the lock-discipline invariant distilled from the
+// PR-4 diskcache incident: disk latency must never serialize lock
+// holders. Within a single function body it flags file I/O (os.*,
+// io.*), network operations (net.*, net/http.*, os/exec.*), method
+// calls on os/net objects (*os.File, net.Conn, ...), and channel sends
+// that occur while a sync.Mutex or sync.RWMutex is held.
+//
+// The held region is computed conservatively: from a Lock()/RLock()
+// call to the first matching Unlock()/RUnlock() on the same receiver
+// expression, or to the end of the function when the unlock is
+// deferred. Function literals inside the region are not scanned (they
+// usually run later, off the lock); each literal's own body is analyzed
+// separately. The analysis is intra-procedural by design — a helper
+// that does I/O internally is the helper's problem at its own
+// definition site.
+type LockIO struct{}
+
+func (LockIO) Name() string { return "lock-io" }
+
+func (LockIO) Doc() string {
+	return "file I/O, net calls, or channel sends while a sync mutex is held"
+}
+
+// lockIOPkgs are the packages whose direct calls count as I/O under a
+// lock.
+var lockIOPkgs = map[string]bool{
+	"os":        true,
+	"io":        true,
+	"io/fs":     true,
+	"io/ioutil": true,
+	"net":       true,
+	"net/http":  true,
+	"os/exec":   true,
+}
+
+// lockIOPure are functions from the I/O packages that are pure
+// predicates or parsers — no syscall, no blocking — and therefore fine
+// to call under a lock (e.g. diskcache classifying a read error while
+// holding its index mutex).
+var lockIOPure = map[string]bool{
+	"os.IsNotExist":           true,
+	"os.IsExist":              true,
+	"os.IsPermission":         true,
+	"os.IsTimeout":            true,
+	"os.Getpid":               true,
+	"net.ParseIP":             true,
+	"net.ParseCIDR":           true,
+	"net.ParseMAC":            true,
+	"net.JoinHostPort":        true,
+	"net.SplitHostPort":       true,
+	"net.CIDRMask":            true,
+	"http.StatusText":         true,
+	"http.CanonicalHeaderKey": true,
+}
+
+func (LockIO) Check(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		funcBodies(f, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+			out = append(out, checkLockedRegions(p, body)...)
+		})
+	}
+	return out
+}
+
+// lockEvent is one Lock/Unlock call site on a sync mutex.
+type lockEvent struct {
+	pos      token.Pos
+	key      string // rendered receiver expression, e.g. "s.mu"
+	method   string // Lock, RLock, Unlock, RUnlock
+	deferred bool
+}
+
+func checkLockedRegions(p *Package, body *ast.BlockStmt) []Finding {
+	events := collectLockEvents(p, body)
+	if len(events) == 0 {
+		return nil
+	}
+	var out []Finding
+	for i, e := range events {
+		var unlockName string
+		switch e.method {
+		case "Lock":
+			unlockName = "Unlock"
+		case "RLock":
+			unlockName = "RUnlock"
+		default:
+			continue
+		}
+		end := body.End()
+		for _, u := range events[i+1:] {
+			if u.key == e.key && u.method == unlockName {
+				if !u.deferred {
+					end = u.pos
+				}
+				break
+			}
+		}
+		out = append(out, scanHeldRegion(p, body, e, end)...)
+	}
+	return out
+}
+
+// collectLockEvents finds mutex Lock/Unlock calls in the body (not in
+// nested function literals), in source order.
+func collectLockEvents(p *Package, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		var call *ast.CallExpr
+		deferred := false
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			call = v.Call
+			deferred = true
+		case *ast.ExprStmt:
+			c, ok := v.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			call = c
+		default:
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return
+		}
+		if !isSyncMutexMethod(p, sel) {
+			return
+		}
+		events = append(events, lockEvent{
+			pos:      call.Pos(),
+			key:      types.ExprString(sel.X),
+			method:   sel.Sel.Name,
+			deferred: deferred,
+		})
+	})
+	return events
+}
+
+// isSyncMutexMethod reports whether the selector resolves to a method
+// of sync.Mutex or sync.RWMutex (including promoted via embedding).
+func isSyncMutexMethod(p *Package, sel *ast.SelectorExpr) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	pkgPath, name := namedType(sig.Recv().Type())
+	return pkgPath == "sync" && (name == "Mutex" || name == "RWMutex")
+}
+
+// scanHeldRegion reports I/O and channel sends between lock.pos and
+// end, skipping nested function literals.
+func scanHeldRegion(p *Package, body *ast.BlockStmt, lock lockEvent, end token.Pos) []Finding {
+	var out []Finding
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		if n.Pos() <= lock.pos || n.Pos() >= end {
+			return
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			out = append(out, finding(p, "lock-io", v.Pos(),
+				"channel send while %s.%s is held (can block the lock on a slow receiver)",
+				lock.key, lock.method))
+		case *ast.CallExpr:
+			if name, ok := isPkgCall(p.Info, v, lockIOPkgs); ok {
+				if lockIOPure[name] {
+					return
+				}
+				out = append(out, finding(p, "lock-io", v.Pos(),
+					"call to %s while %s.%s is held (the PR-4 diskcache bug class: I/O latency serializes every lock holder)",
+					name, lock.key, lock.method))
+				return
+			}
+			if name, ok := isOSNetMethodCall(p, v); ok {
+				out = append(out, finding(p, "lock-io", v.Pos(),
+					"call to %s while %s.%s is held (I/O latency serializes every lock holder)",
+					name, lock.key, lock.method))
+			}
+		}
+	})
+	return out
+}
+
+// isOSNetMethodCall reports whether the call is a method call on a
+// value whose named type lives in os or net (e.g. (*os.File).Write,
+// net.Conn.Read).
+func isOSNetMethodCall(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, ok := p.Info.Selections[sel]; !ok {
+		return "", false // qualified identifier, handled by isPkgCall
+	}
+	recv := p.Info.TypeOf(sel.X)
+	pkgPath, name := namedType(recv)
+	if pkgPath == "os" || pkgPath == "net" {
+		return "(" + pkgPath + "." + name + ")." + sel.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"strings"
+)
+
+// suppressTag is the comment marker that exempts one line from one
+// check: //gblint:ignore <check> <reason>. The reason is mandatory —
+// a bare suppression is itself reported (check "suppression") so the
+// tree can never accumulate unexplained exemptions.
+const suppressTag = "gblint:ignore"
+
+// SuppressionCheck is the pseudo-check name under which malformed
+// suppressions are reported. It cannot itself be suppressed.
+const SuppressionCheck = "suppression"
+
+type suppression struct {
+	check string
+	file  string
+	line  int // the comment's own line; covers this line and the next
+}
+
+type suppressionSet struct {
+	rules     []suppression
+	malformed []Finding
+}
+
+// covers reports whether the finding is exempted by a suppression on
+// its own line (trailing comment) or the line immediately above
+// (comment-above style). Malformed-suppression findings are never
+// covered.
+func (s suppressionSet) covers(f Finding) bool {
+	if f.Check == SuppressionCheck {
+		return false
+	}
+	for _, r := range s.rules {
+		if r.check != f.Check || r.file != f.File {
+			continue
+		}
+		if f.Line == r.line || f.Line == r.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment in the package for
+// suppression markers, validating that each names a known check and
+// carries a non-empty reason.
+func collectSuppressions(p *Package) suppressionSet {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name()] = true
+	}
+	var set suppressionSet
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := cutSuppressTag(c.Text)
+				if !ok {
+					continue
+				}
+				file, line, _ := posOf(p.Fset, c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					set.malformed = append(set.malformed, Finding{
+						Check: SuppressionCheck, File: file, Line: line, Col: 1,
+						Message: "suppression names no check: //gblint:ignore <check> <reason>",
+					})
+				case !known[fields[0]]:
+					set.malformed = append(set.malformed, Finding{
+						Check: SuppressionCheck, File: file, Line: line, Col: 1,
+						Message: "suppression names unknown check " + quoted(fields[0]),
+					})
+				case len(fields) < 2:
+					set.malformed = append(set.malformed, Finding{
+						Check: SuppressionCheck, File: file, Line: line, Col: 1,
+						Message: "suppression for " + quoted(fields[0]) + " missing mandatory reason",
+					})
+				default:
+					set.rules = append(set.rules, suppression{
+						check: fields[0], file: file, line: line,
+					})
+				}
+			}
+		}
+	}
+	return set
+}
+
+// cutSuppressTag extracts the text after the //gblint:ignore marker
+// from a comment, reporting whether the marker is present.
+func cutSuppressTag(comment string) (string, bool) {
+	body := strings.TrimPrefix(comment, "//")
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, suppressTag)
+	if !ok {
+		return "", false
+	}
+	// Drop a trailing golden-corpus expectation if one shares the line.
+	if i := strings.Index(rest, "// want"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.TrimSpace(rest), true
+}
+
+func quoted(s string) string { return `"` + s + `"` }

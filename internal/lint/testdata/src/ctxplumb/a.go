@@ -1,0 +1,61 @@
+// Golden corpus for the ctx-plumb check: exported entry points that can
+// run unboundedly must accept a context.Context. Loaded under the
+// synthetic import path repro/internal/pipeline (in scope).
+package ctxplumb
+
+import (
+	"context"
+	"net/http"
+)
+
+type Engine struct{ n int }
+
+func (e *Engine) RunForever() { // want `exported RunForever contains an unbounded for-loop`
+	for {
+		e.n++
+	}
+}
+
+func (e *Engine) Spawn() { // want `exported Spawn spawns goroutines`
+	go func() { e.n++ }()
+}
+
+func (e *Engine) RunCtx(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		e.n++
+	}
+}
+
+// An *http.Request parameter carries the context.
+func (e *Engine) Handle(w http.ResponseWriter, r *http.Request) {
+	go func() { e.n++ }()
+}
+
+func (e *Engine) Bounded() {
+	for i := 0; i < 10; i++ {
+		e.n++
+	}
+}
+
+// Methods on unexported types are not callable from outside the package.
+type engine struct{ n int }
+
+func (e *engine) RunForever() {
+	for {
+		e.n++
+	}
+}
+
+func helper() {
+	for {
+	}
+}
+
+//gblint:ignore ctx-plumb drain loop is bounded by process lifetime and documented at the call site
+func Drain() {
+	for {
+	}
+}

@@ -1,0 +1,89 @@
+// Golden corpus for the determinism check: wall-clock reads, PRNG use,
+// and map ranges whose iteration order leaks into results. Loaded by
+// lint_test.go under the synthetic import path repro/internal/dataplane
+// so it falls inside the analyzer's scope.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock read time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+func jitter() int {
+	return rand.Intn(8) // want `PRNG use rand\.Intn`
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys accumulates map iteration order`
+	}
+	return keys
+}
+
+// The idiomatic collect-then-sort pattern is clean.
+func sortedAppendOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writerSink(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString inside map range`
+	}
+}
+
+func printSink(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println inside map range`
+	}
+}
+
+// fmt.Sprintf builds a value without emitting it; order-neutral.
+func sprintfOK(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ranging over a slice is inherently ordered; nothing to flag.
+func sliceRangeOK(xs []string, b *strings.Builder) {
+	for _, x := range xs {
+		b.WriteString(x)
+	}
+}
+
+func suppressedAbove() time.Time {
+	//gblint:ignore determinism corpus: documented suppression with a reason
+	return time.Now()
+}
+
+func suppressedInline() time.Time {
+	return time.Now() //gblint:ignore determinism corpus: trailing suppression with a reason
+}
+
+func suppressionMissingReason() time.Time {
+	//gblint:ignore determinism // want `missing mandatory reason`
+	return time.Now() // want `wall-clock read time\.Now`
+}
+
+//gblint:ignore nosuchcheck the named check does not exist // want `unknown check`
+func suppressionUnknownCheck() {}

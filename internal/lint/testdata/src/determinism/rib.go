@@ -1,0 +1,50 @@
+package determinism
+
+import (
+	"sort"
+
+	"repro/internal/routing"
+)
+
+// The VRF-publish bug class (DESIGN.md §7): RIB mutations inside a map
+// range accumulate published deltas and draw logical clocks in map
+// iteration order, which gob-encodes into persisted artifacts.
+func withdrawInMapOrder(r *routing.RIB, stale map[string]routing.Route) {
+	for _, rt := range stale {
+		r.Withdraw(rt) // want `\(routing\.RIB\)\.Withdraw inside map range`
+	}
+}
+
+func mergeInMapOrder(r *routing.RIB, add map[string]routing.Route) {
+	for _, rt := range add {
+		r.Merge(rt) // want `\(routing\.RIB\)\.Merge inside map range`
+	}
+}
+
+func clockInMapOrder(c *routing.Clock, m map[string]bool) {
+	for range m {
+		_ = c.Next() // want `\(routing\.Clock\)\.Next inside map range`
+	}
+}
+
+// Sorting the keys first, then mutating in sorted order, is the fix the
+// check steers toward; the slice range is not a map range.
+func withdrawSortedOK(r *routing.RIB, stale map[string]routing.Route) {
+	names := make([]string, 0, len(stale))
+	for n := range stale {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.Withdraw(stale[n])
+	}
+}
+
+// Clock.Now is a read, not a draw; call order does not change state.
+func clockReadOK(c *routing.Clock, m map[string]bool) uint64 {
+	var last uint64
+	for range m {
+		last = c.Now()
+	}
+	return last
+}

@@ -1,0 +1,48 @@
+// Golden corpus for the panic-safe check: goroutine literals in the
+// service/pipeline layers must recover or route through diag.Capture.
+// Loaded under the synthetic import path repro/internal/server.
+package panicsafe
+
+import "repro/internal/diag"
+
+type Server struct{ done chan struct{} }
+
+func (s *Server) unprotected() {
+	go func() { // want `goroutine literal has no recover`
+		work()
+	}()
+}
+
+func (s *Server) recoversDirectly() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+}
+
+func (s *Server) viaCapture() {
+	go func() {
+		if d := diag.Capture(diag.StageParse, "dev", work); d != nil {
+			_ = d
+		}
+	}()
+}
+
+// Goroutines on named functions are out of scope: containment belongs
+// at the named function's own definition site.
+func (s *Server) namedFunctionOK() {
+	go work()
+}
+
+func (s *Server) suppressed() {
+	//gblint:ignore panic-safe body is a close; a panic here means broken accounting and must crash loudly
+	go func() {
+		close(s.done)
+	}()
+}
+
+func work() {}

@@ -158,7 +158,17 @@ func (p *Pipeline) ParseCtx(ctx context.Context, texts map[string]string) (*conf
 					if i >= len(names) {
 						return
 					}
-					work(i)
+					// work() already captures parser panics per device;
+					// this outer capture contains harness bugs (cache
+					// type assertions, index bookkeeping) that would
+					// otherwise escape the goroutine and kill the
+					// process instead of quarantining one device.
+					if d := diag.Capture(diag.StageParse, names[i], func() {
+						faults.Fire("parse-worker", names[i])
+						work(i)
+					}); d != nil {
+						panics[i] = d
+					}
 				}
 			}()
 		}

@@ -1,0 +1,59 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/faults"
+)
+
+// TestParseWorkerPanicQuarantinesDevice injects a panic into the
+// parallel parse worker itself (not the per-device parse closure): the
+// outer diag.Capture added for the panic-safe invariant must contain
+// it, quarantine just that device, and let the rest of the snapshot
+// load normally.
+func TestParseWorkerPanicQuarantinesDevice(t *testing.T) {
+	defer faults.Activate(faults.New().
+		Enable("parse-worker", "b.cfg", faults.Rule{Kind: faults.Panic}))()
+
+	p := New(Config{StoreCapacity: 16, ParseWorkers: 4})
+	texts := map[string]string{
+		"a.cfg": "hostname a\n",
+		"b.cfg": "hostname b\n",
+		"c.cfg": "hostname c\n",
+	}
+	net, _, keys, diags := p.ParseCtx(context.Background(), texts)
+
+	if len(net.Devices) != 2 {
+		t.Fatalf("got %d devices, want 2 (b quarantined): %v", len(net.Devices), net.DeviceNames())
+	}
+	for _, name := range []string{"a", "c"} {
+		if _, ok := net.Devices[name]; !ok {
+			t.Errorf("device %s missing from snapshot", name)
+		}
+		if _, ok := keys[name]; !ok {
+			t.Errorf("device %s missing from artifact keys", name)
+		}
+	}
+	if _, ok := net.Devices["b"]; ok {
+		t.Error("panicking device b was not excluded from the snapshot")
+	}
+
+	var sawPanic, sawQuarantine bool
+	for _, d := range diags {
+		if d.Device != "b.cfg" {
+			t.Errorf("diagnostic for unexpected device %q: %+v", d.Device, d)
+			continue
+		}
+		switch d.Kind {
+		case diag.KindPanic:
+			sawPanic = true
+		case diag.KindQuarantine:
+			sawQuarantine = true
+		}
+	}
+	if !sawPanic || !sawQuarantine {
+		t.Errorf("diagnostics missing panic/quarantine pair: %+v", diags)
+	}
+}

@@ -556,4 +556,3 @@ func parseSourceLocs(vals []string) ([]reach.SourceLoc, error) {
 	}
 	return out, nil
 }
-

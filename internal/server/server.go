@@ -229,6 +229,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.trackMu.Unlock()
 	done := make(chan struct{})
+	//gblint:ignore panic-safe body is WaitGroup.Wait plus close; a panic here means broken in-flight accounting and must crash loudly, not be contained
 	go func() {
 		s.inflight.Wait()
 		close(done)
