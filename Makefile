@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet vet-extra lint test race soak check bench benchjson cover fuzz-smoke
+.PHONY: build vet vet-extra lint test race soak check bench benchjson bench-smoke bench-check cover fuzz-smoke
 
 # Coverage floor for the caching/incremental layer. The pipeline and core
 # packages carry the correctness-critical cache keying and blast-radius
@@ -61,11 +61,27 @@ cover:
 		if (t+0 < min+0) { printf "coverage %.1f%% below floor %.1f%%\n", t, min; exit 1 } \
 		else { printf "coverage %.1f%% meets floor %.1f%%\n", t, min } }'
 
-check: vet vet-extra lint test race soak fuzz-smoke
+check: vet vet-extra lint test race soak fuzz-smoke bench-smoke bench-check
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-# Emit a dated perf snapshot (BENCH_<date>.json) from the benchmarks.
+# Emit a dated perf snapshot (BENCH_<date>.json) from the benchmarks and
+# print per-benchmark deltas against the previous committed snapshot.
 benchjson:
-	$(GO) test -bench . -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson
+	$(GO) test -bench . -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -diff
+
+# bench-smoke: one-iteration pass over the floor-gated benchmarks — the
+# parallel fabric simulation and the route-interning pair. Proves they
+# still build, run, and emit their metrics without paying for a full
+# `-bench .` sweep; timing floors are bench-check's job, on the committed
+# snapshot, where the numbers came from enough iterations to be stable.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkParallelism|BenchmarkIntern' -benchmem -benchtime 1x -run '^$$' .
+
+# bench-check: the perf-regression gate. Reads the newest committed
+# BENCH_*.json and fails if the dev-204 sched-speedup at 8 workers is
+# below the floor or interned route churn is slower than non-interned.
+SPEEDUP_FLOOR ?= 4.0
+bench-check:
+	$(GO) run ./cmd/benchjson -check -speedup-floor $(SPEEDUP_FLOOR)

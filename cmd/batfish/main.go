@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -78,8 +79,41 @@ func main() {
 		cacheSt   = flag.Bool("cachestats", false, "print pipeline cache statistics after the run")
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none); expiry yields partial results and exit code 3")
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. \"parse:leaf1=panic,dataplane:*=sleep:50ms\"")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batfish: -cpuprofile: %v\n", err)
+			os.Exit(exitUsage)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "batfish: -cpuprofile: %v\n", err)
+			os.Exit(exitError)
+		}
+	}
+	// main exits via os.Exit (skipping defers), so profiles are flushed
+	// here explicitly before every exit path below.
+	stopProfiles := func() {
+		if *cpuProf != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProf != "" {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "batfish: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "batfish: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}
 
 	if *faultSpec != "" {
 		inj, err := faults.ParseSpec(*faultSpec)
@@ -118,6 +152,7 @@ func main() {
 	if *cacheSt {
 		printCacheStats()
 	}
+	stopProfiles()
 	os.Exit(code)
 }
 

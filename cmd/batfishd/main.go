@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +59,7 @@ func main() {
 		storeCap     = flag.Int("store-capacity", 0, "in-memory artifact store capacity (0 = default)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		faultSpec    = flag.String("faults", "", "fault-injection spec, e.g. \"server:*=sleep:100ms,diskcache:write=panic:1\"")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -96,6 +98,16 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if *pprofOn {
+		// Off by default: the profiling endpoints disclose internals and
+		// cost CPU when scraped, so they are opt-in per instance.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		fmt.Fprintln(os.Stderr, "batfishd: pprof enabled at /debug/pprof/")
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	errCh := make(chan error, 1)

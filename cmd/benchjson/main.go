@@ -5,12 +5,30 @@
 //
 // Usage:
 //
-//	go test -bench . -benchmem | go run ./cmd/benchjson [-o DIR]
+//	go test -bench . -benchmem | go run ./cmd/benchjson [-o DIR] [-diff]
+//	go run ./cmd/benchjson -check [FILE]
 //
 // The emitter parses the standard benchmark line format — name, run
 // count, ns/op, optional B/op and allocs/op, and any custom metrics
 // (e.g. the simulator's iterations/op or speedup) — plus the goos/
 // goarch/pkg/cpu preamble.
+//
+// With -diff the emitter also compares the fresh snapshot against the
+// most recent prior BENCH_*.json in the output directory and prints
+// per-benchmark deltas (ns/op, allocations, and custom metrics shared by
+// both snapshots), so a PR's perf effect is visible in its log without
+// opening two JSON files.
+//
+// -check is the regression gate (`make bench-check`): it loads a
+// snapshot — the named FILE, or the newest BENCH_*.json under -o — and
+// enforces the committed perf floors:
+//
+//   - the dev-204 parallel benchmark's sched-speedup at 8 workers must be
+//     at least -speedup-floor (the ISSUE 6 exit bar, default 4.0);
+//   - interned route churn must not be slower than non-interned
+//     (BenchmarkIntern/interned ns/op ≤ BenchmarkIntern/not-interned).
+//
+// Violations exit nonzero with one line per failed floor.
 package main
 
 import (
@@ -18,8 +36,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -81,7 +101,14 @@ func summarize(results []Result, prefixes ...string) map[string]float64 {
 
 func main() {
 	outDir := flag.String("o", ".", "directory for BENCH_<date>.json")
+	diff := flag.Bool("diff", false, "after writing, print deltas vs the previous BENCH_*.json in the output directory")
+	check := flag.Bool("check", false, "enforce perf floors on a snapshot (FILE arg, or newest BENCH_*.json under -o) instead of reading stdin")
+	speedupFloor := flag.Float64("speedup-floor", 4.0, "minimum sched-speedup for the dev-204 benchmark at 8 workers (with -check)")
 	flag.Parse()
+
+	if *check {
+		os.Exit(runCheck(*outDir, flag.Arg(0), *speedupFloor))
+	}
 
 	doc := File{Date: time.Now().UTC().Format("2006-01-02")}
 	sc := bufio.NewScanner(os.Stdin)
@@ -115,6 +142,12 @@ func main() {
 	doc.Server = summarize(doc.Results, "server-")
 
 	path := filepath.Join(*outDir, "BENCH_"+doc.Date+".json")
+	prev := ""
+	if *diff {
+		// Resolve the baseline before writing, so a same-day rerun diffs
+		// against the previous day's snapshot rather than itself.
+		prev = latestSnapshot(*outDir, path)
+	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -125,6 +158,179 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d results)\n", path, len(doc.Results))
+
+	if *diff {
+		if prev == "" {
+			fmt.Println("diff: no previous BENCH_*.json to compare against")
+			return
+		}
+		base, err := loadSnapshot(prev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: diff:", err)
+			os.Exit(1)
+		}
+		printDiff(os.Stdout, base, &doc, filepath.Base(prev))
+	}
+}
+
+// latestSnapshot returns the lexically greatest BENCH_*.json in dir other
+// than exclude. Dates are zero-padded ISO, so lexical order is date order.
+func latestSnapshot(dir, exclude string) string {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return ""
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if filepath.Clean(matches[i]) != filepath.Clean(exclude) {
+			return matches[i]
+		}
+	}
+	return ""
+}
+
+func loadSnapshot(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &f, nil
+}
+
+// printDiff reports per-benchmark deltas for every name present in both
+// snapshots, plus the names that appeared or disappeared. Deltas are
+// signed percentages for ns/op (negative = faster) and raw old→new for
+// custom metrics, which are not uniformly better in one direction.
+func printDiff(w *os.File, base, cur *File, baseName string) {
+	old := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	fmt.Fprintf(w, "diff vs %s:\n", baseName)
+	var added []string
+	seen := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		seen[r.Name] = true
+		o, ok := old[r.Name]
+		if !ok {
+			added = append(added, r.Name)
+			continue
+		}
+		fmt.Fprintf(w, "  %-56s %12.0f -> %-12.0f ns/op  %+6.1f%%", r.Name, o.NsPerOp, r.NsPerOp, pct(o.NsPerOp, r.NsPerOp))
+		if o.Allocs > 0 || r.Allocs > 0 {
+			fmt.Fprintf(w, "  allocs %+6.1f%%", pct(o.Allocs, r.Allocs))
+		}
+		fmt.Fprintln(w)
+		names := make([]string, 0, len(r.Metrics))
+		for name := range r.Metrics {
+			if _, ok := o.Metrics[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "      %-52s %12.3g -> %.3g\n", name, o.Metrics[name], r.Metrics[name])
+		}
+	}
+	for _, r := range base.Results {
+		if !seen[r.Name] {
+			fmt.Fprintf(w, "  %-56s removed\n", r.Name)
+		}
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "  %-56s new\n", name)
+	}
+}
+
+func pct(old, cur float64) float64 {
+	if old == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - old) / old * 100
+}
+
+// runCheck enforces the committed perf floors on a snapshot and returns
+// the process exit code. Benchmark names are matched by substring so the
+// GOMAXPROCS suffix and device count stay out of the contract; the
+// dev-204 fabric is located by the "/workers-8" leaf of the Parallelism
+// benchmark, which only the full-size run emits.
+func runCheck(dir, file string, speedupFloor float64) int {
+	if file == "" {
+		file = latestSnapshot(dir, "")
+		if file == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: check: no BENCH_*.json found in", dir)
+			return 1
+		}
+	}
+	doc, err := loadSnapshot(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: check:", err)
+		return 1
+	}
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchjson: check: FAIL: "+format+"\n", args...)
+		failures++
+	}
+
+	// Floor 1: parallel sched-speedup at 8 workers on the 204-device fabric.
+	found := false
+	for _, r := range doc.Results {
+		if !strings.Contains(r.Name, "Parallelism") || !strings.Contains(r.Name, "/workers-8") {
+			continue
+		}
+		found = true
+		s, ok := r.Metrics["sched-speedup"]
+		if !ok {
+			fail("%s reports no sched-speedup metric", r.Name)
+			continue
+		}
+		if s < speedupFloor {
+			fail("%s sched-speedup %.2f below floor %.2f", r.Name, s, speedupFloor)
+		} else {
+			fmt.Printf("benchjson: check: ok: %s sched-speedup %.2f >= %.2f\n", r.Name, s, speedupFloor)
+		}
+	}
+	if !found {
+		fail("no Parallelism */workers-8 result in %s", file)
+	}
+
+	// Floor 2: interning must pay for itself per operation.
+	var interned, notInterned *Result
+	for i, r := range doc.Results {
+		switch {
+		case strings.Contains(r.Name, "Intern/not-interned"):
+			notInterned = &doc.Results[i]
+		case strings.Contains(r.Name, "Intern/interned"):
+			interned = &doc.Results[i]
+		}
+	}
+	switch {
+	case interned == nil || notInterned == nil:
+		fail("missing BenchmarkIntern results in %s (interned=%v, not-interned=%v)",
+			file, interned != nil, notInterned != nil)
+	case interned.NsPerOp > notInterned.NsPerOp:
+		fail("interned %.0f ns/op slower than not-interned %.0f ns/op",
+			interned.NsPerOp, notInterned.NsPerOp)
+	default:
+		fmt.Printf("benchjson: check: ok: interned %.0f ns/op <= not-interned %.0f ns/op\n",
+			interned.NsPerOp, notInterned.NsPerOp)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: check: %d floor violation(s) in %s\n", failures, file)
+		return 1
+	}
+	fmt.Printf("benchjson: check: all floors hold in %s\n", file)
+	return 0
 }
 
 // parseLine handles "BenchmarkName-8  10  123 ns/op  4 B/op  2 allocs/op

@@ -1,0 +1,80 @@
+package bdd
+
+// Cross-factory migration for sharded BDD execution.
+//
+// Parallel analyses shard work across per-worker factories because a
+// Factory's hash-consed unique table and operation caches are
+// unsynchronized (see the package comment). Sharding creates two data
+// movement problems:
+//
+//   - fan-out: every worker needs its own copy of the shared input BDDs
+//     (the forwarding graph's edge labels), and
+//   - rendezvous: per-worker result BDDs must be rebased into one factory
+//     before they can be combined.
+//
+// A Migrator solves both with one memoized structural copy: each distinct
+// node of the source factory is inserted into the destination's unique
+// table exactly once, no matter how many roots share it or how many calls
+// reference it. Migrating a batch of N roots over a shared subgraph costs
+// O(distinct nodes), not O(N * size) — which is what makes batched
+// rendezvous cheaper than re-deriving results in the destination factory.
+
+import "fmt"
+
+// Migrator copies BDDs from one factory into another. Both factories must
+// have the same variable count (Refs are meaningless across factories;
+// only the structure is transported). The memo persists for the life of
+// the Migrator, so repeated and overlapping migrations share work; it is
+// not safe for concurrent use, and the destination factory must not be
+// used concurrently while a migration runs.
+type Migrator struct {
+	src, dst *Factory
+	memo     map[Ref]Ref
+}
+
+// NewMigrator returns a migrator from src to dst.
+func NewMigrator(src, dst *Factory) *Migrator {
+	if src == dst {
+		panic("bdd: migrator source and destination are the same factory")
+	}
+	if src.nvars != dst.nvars {
+		panic(fmt.Sprintf("bdd: cannot migrate between factories with %d and %d variables",
+			src.nvars, dst.nvars))
+	}
+	return &Migrator{
+		src:  src,
+		dst:  dst,
+		memo: map[Ref]Ref{False: False, True: True},
+	}
+}
+
+// Migrate returns the destination-factory Ref denoting the same boolean
+// function as the source-factory Ref r. Nodes already migrated (by this
+// or any earlier call on the same Migrator) are reused from the memo.
+func (m *Migrator) Migrate(r Ref) Ref {
+	if v, ok := m.memo[r]; ok {
+		return v
+	}
+	// Depth is bounded by the variable count (levels strictly increase
+	// along both child edges), so plain recursion is safe.
+	n := m.src.nodes[r]
+	lo := m.Migrate(n.low)
+	hi := m.Migrate(n.high)
+	v := m.dst.mk(n.level, lo, hi)
+	m.memo[r] = v
+	return v
+}
+
+// MigrateAll migrates a batch of roots, sharing the memo across the whole
+// batch (and with prior calls). The result slice is parallel to rs.
+func (m *Migrator) MigrateAll(rs []Ref) []Ref {
+	out := make([]Ref, len(rs))
+	for i, r := range rs {
+		out[i] = m.Migrate(r)
+	}
+	return out
+}
+
+// MemoSize returns the number of non-terminal source nodes migrated so
+// far — the actual structural work done, useful for tests and stats.
+func (m *Migrator) MemoSize() int { return len(m.memo) - 2 }

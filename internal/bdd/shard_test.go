@@ -1,0 +1,113 @@
+package bdd
+
+import "testing"
+
+// evalRef evaluates r under a total assignment (index = variable).
+func evalRef(f *Factory, r Ref, assign []bool) bool {
+	for r >= 2 {
+		n := f.nodes[r]
+		if assign[n.level] {
+			r = n.high
+		} else {
+			r = n.low
+		}
+	}
+	return r == True
+}
+
+// buildSample constructs a nontrivial function over 6 variables:
+// (x0 ∧ x1) ∨ (¬x2 ∧ x3) ⊕ (x4 ∨ x5).
+func buildSample(f *Factory) Ref {
+	a := f.And(f.Var(0), f.Var(1))
+	b := f.And(f.NVar(2), f.Var(3))
+	c := f.Or(f.Var(4), f.Var(5))
+	return f.Xor(f.Or(a, b), c)
+}
+
+// TestMigratorCrossShardRenumbering forces the destination factory into a
+// different node numbering before migrating, so every migrated Ref must be
+// renumbered (a Ref copied verbatim across shards would denote a different
+// function). Semantics are then checked exhaustively.
+func TestMigratorCrossShardRenumbering(t *testing.T) {
+	const nvars = 6
+	src := NewFactory(nvars)
+	r := buildSample(src)
+
+	// Pre-populate dst with unrelated structure in a *different creation
+	// order*, so node ids diverge from src's from the start.
+	dst := NewFactory(nvars)
+	junk := dst.Or(dst.Var(5), dst.And(dst.Var(4), dst.NVar(3)))
+	if junk == False {
+		t.Fatal("junk construction failed")
+	}
+
+	m := NewMigrator(src, dst)
+	got := m.Migrate(r)
+
+	if got == r {
+		t.Errorf("migrated ref %d equals source ref — numbering was not forced apart", got)
+	}
+	// Exhaustive semantic equality over all 2^6 assignments.
+	for bits := 0; bits < 1<<nvars; bits++ {
+		assign := make([]bool, nvars)
+		for v := 0; v < nvars; v++ {
+			assign[v] = bits&(1<<v) != 0
+		}
+		if evalRef(src, r, assign) != evalRef(dst, got, assign) {
+			t.Fatalf("semantics diverge at assignment %06b", bits)
+		}
+	}
+	if src.SatCount(r) != dst.SatCount(got) {
+		t.Errorf("SatCount diverges: src %v dst %v", src.SatCount(r), dst.SatCount(got))
+	}
+	if src.NodeCount(r) != dst.NodeCount(got) {
+		t.Errorf("structure size diverges: src %d dst %d", src.NodeCount(r), dst.NodeCount(got))
+	}
+}
+
+// TestMigratorMemoBatching checks the batched-rendezvous property: roots
+// sharing structure cost one insertion per distinct node, repeat
+// migrations are free, and results are canonical in the destination.
+func TestMigratorMemoBatching(t *testing.T) {
+	src := NewFactory(8)
+	shared := src.And(src.Var(0), src.Or(src.Var(1), src.Var(2)))
+	roots := []Ref{
+		shared,
+		src.Or(shared, src.Var(3)),
+		src.And(shared, src.NVar(4)),
+		shared, // duplicate root
+	}
+
+	dst := NewFactory(8)
+	m := NewMigrator(src, dst)
+	out := m.MigrateAll(roots)
+
+	if out[0] != out[3] {
+		t.Errorf("duplicate roots migrated to different refs: %d vs %d", out[0], out[3])
+	}
+	work := m.MemoSize()
+	// Re-migrating the same batch must do zero new structural work.
+	out2 := m.MigrateAll(roots)
+	if m.MemoSize() != work {
+		t.Errorf("repeat migration grew the memo: %d -> %d", work, m.MemoSize())
+	}
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Errorf("root %d not stable across batches: %d vs %d", i, out[i], out2[i])
+		}
+	}
+	// Canonicity in dst: rebuilding the function natively yields the same ref.
+	native := dst.And(dst.Var(0), dst.Or(dst.Var(1), dst.Var(2)))
+	if native != out[0] {
+		t.Errorf("migrated ref %d is not canonical in destination (native %d)", out[0], native)
+	}
+}
+
+func TestMigratorRejectsMismatchedFactories(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched variable counts")
+		}
+	}()
+	NewMigrator(NewFactory(4), NewFactory(5))
+}

@@ -139,7 +139,7 @@ func (e *Engine) establishSessions() {
 	// immutable config, the IP-ownership index, and the already-built FIBs
 	// (for TCP viability walks), and writes only the local VRF's session
 	// list — so devices fan out over the worker pool.
-	e.runParallel(e.net.DeviceNames(), func(node string) {
+	e.runPhase("sessions", e.names, func(node string) {
 		d := e.net.Devices[node]
 		ns := e.nodes[node]
 		for _, vn := range sortedVRFNames(ns) {
@@ -250,9 +250,17 @@ func (e *Engine) recheckSessions() bool {
 }
 
 // seedBGPOriginations installs locally originated routes (network
-// statements and redistribution) into the BGP RIB.
+// statements and redistribution) into the BGP RIB. Nodes seed in
+// parallel: each reads and writes only its own RIBs (the intern pool is
+// concurrency-safe), stamping from its own clock.
 func (e *Engine) seedBGPOriginations() {
-	e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+	e.runPhase("bgp/seed", e.names, func(node string) {
+		e.forEachVRFOf(node, e.seedBGPNode)
+	})
+}
+
+func (e *Engine) seedBGPNode(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+	{
 		if cv.BGP == nil {
 			return
 		}
@@ -313,7 +321,7 @@ func (e *Engine) seedBGPOriginations() {
 				originate(src, routing.OriginIncomplete, rd.RouteMap, rd.Metric)
 			}
 		}
-	})
+	}
 }
 
 // autoRouterID picks the highest interface IP, mirroring IOS behavior.
@@ -457,13 +465,18 @@ func (e *Engine) igpMetricTo(node string, vs *VRFState, nh ip4.Addr) (uint32, bo
 // runBGP resets BGP state and runs the exchange to convergence. Returns
 // false on non-convergence.
 func (e *Engine) runBGP() bool {
-	// Reset from any previous outer round.
-	e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
-		vs.BGPRIB = routing.NewRIB(e.bgpCmp(vs), e.clock)
-		vs.bgpPublished = routing.Delta{}
-		for _, p := range vs.Main.Prefixes() {
-			vs.Main.RemoveWhere(p, func(rt routing.Route) bool { return rt.Protocol.IsBGP() })
-		}
+	// Reset from any previous outer round. Per-node independent: each node
+	// rebuilds its own BGP RIB (on its own clock) and strips BGP routes
+	// from its own main RIB.
+	e.runPhase("bgp/reset", e.names, func(node string) {
+		clock := &e.nodes[node].clock
+		e.forEachVRFOf(node, func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+			vs.BGPRIB = routing.NewRIB(e.bgpCmp(vs), clock)
+			vs.bgpPublished = routing.Delta{}
+			for _, p := range vs.Main.Prefixes() {
+				vs.Main.RemoveWhere(p, func(rt routing.Route) bool { return rt.Protocol.IsBGP() })
+			}
+		})
 	})
 	e.seedBGPOriginations()
 
@@ -548,15 +561,17 @@ func (e *Engine) runBGP() bool {
 	}
 
 	converged := e.exchangeLoop("bgp", nodes, edges, process, publish, func() uint64 {
-		return e.ribStateHash(func(vs *VRFState) *routing.RIB { return vs.BGPRIB })
+		return e.ribStateHash("bgp/hash", func(vs *VRFState) *routing.RIB { return vs.BGPRIB })
 	}, &e.res.BGPIterations)
 	// Flush pending deltas of nodes that never ran (no up sessions).
-	e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
-		if vs.BGPRIB.PendingDelta() {
-			dd := vs.BGPRIB.TakeDelta()
-			vs.bgpPublished = dd
-			e.applyBGPToMain(vs, dd)
-		}
+	e.runPhase("bgp/flush", e.names, func(node string) {
+		e.forEachVRFOf(node, func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+			if vs.BGPRIB.PendingDelta() {
+				dd := vs.BGPRIB.TakeDelta()
+				vs.bgpPublished = dd
+				e.applyBGPToMain(vs, dd)
+			}
+		})
 	})
 	return converged
 }

@@ -7,9 +7,16 @@ import (
 )
 
 // initConnected installs connected subnets and local host routes for every
-// active interface, and seeds each VRF's main RIB.
+// active interface, and seeds each VRF's main RIB. Per-node independent,
+// so nodes fan out over the worker pool.
 func (e *Engine) initConnected() {
-	e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+	e.runPhase("connected", e.names, func(node string) {
+		e.forEachVRFOf(node, e.initConnectedNode)
+	})
+}
+
+func (e *Engine) initConnectedNode(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+	{
 		for _, in := range d.InterfaceNames() {
 			i := d.Interfaces[in]
 			if !i.Active || i.VRFOrDefault() != cv.Name {
@@ -35,38 +42,42 @@ func (e *Engine) initConnected() {
 		for _, rt := range vs.ConnRIB.AllBest() {
 			vs.Main.Merge(rt)
 		}
-	})
+	}
 }
 
 // installStatics installs static routes whose next hops are viable,
 // iterating because statics can resolve through other statics
-// (recursive static routes).
+// (recursive static routes). Each pass fans nodes out over the worker
+// pool: static resolution only reads the node's own RIBs and immutable
+// config, so passes are per-node independent.
 func (e *Engine) installStatics() {
 	for pass := 0; pass < 8; pass++ {
-		changed := false
-		e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
-			for _, sr := range cv.StaticRoutes {
-				rt := routing.Route{
-					Prefix:       sr.Prefix.Canonical(),
-					Protocol:     routing.Static,
-					NextHop:      sr.NextHop,
-					NextHopIface: sr.Iface,
-					Drop:         sr.Drop,
-					Tag:          sr.Tag,
-					AD:           staticAD(sr),
+		var changed chanBool
+		e.runPhase("statics", e.names, func(node string) {
+			e.forEachVRFOf(node, func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+				for _, sr := range cv.StaticRoutes {
+					rt := routing.Route{
+						Prefix:       sr.Prefix.Canonical(),
+						Protocol:     routing.Static,
+						NextHop:      sr.NextHop,
+						NextHopIface: sr.Iface,
+						Drop:         sr.Drop,
+						Tag:          sr.Tag,
+						AD:           staticAD(sr),
+					}
+					if !e.staticViable(node, d, cv.Name, sr, vs) {
+						continue
+					}
+					if vs.StatRIB.Merge(rt) {
+						changed.set()
+					}
+					if vs.Main.Merge(rt) {
+						changed.set()
+					}
 				}
-				if !e.staticViable(node, d, cv.Name, sr, vs) {
-					continue
-				}
-				if vs.StatRIB.Merge(rt) {
-					changed = true
-				}
-				if vs.Main.Merge(rt) {
-					changed = true
-				}
-			}
+			})
 		})
-		if !changed {
+		if !changed.get() {
 			return
 		}
 	}

@@ -69,6 +69,15 @@ type Options struct {
 	// Determinism holds for any value because same-color nodes share no
 	// adjacency.
 	Parallelism int
+	// NowNanos supplies monotonic timestamps for schedule tracing. The
+	// simulator itself never reads the wall clock (determinism, §4.1.2),
+	// so tracing requires the caller to inject a time source — typically
+	// func() int64 { return time.Since(base).Nanoseconds() }.
+	NowNanos func() int64
+	// Trace, when non-nil (and NowNanos is set), collects per-phase task
+	// durations for the scheduling model (see SchedTrace.ModelSpeedup).
+	// Tracing never alters simulation results.
+	Trace *SchedTrace
 }
 
 func (o Options) maxIters() int {
@@ -94,6 +103,19 @@ func (o Options) workers() int {
 type NodeState struct {
 	Device *config.Device
 	VRFs   map[string]*VRFState
+
+	// clock is the node's logical clock (§4.1.2). Clocks are per node, not
+	// engine-global: the BGP comparator only ever compares arrival times of
+	// routes within one node's own RIBs, so node-local counters preserve
+	// tie-breaking exactly while making the drawn values — which are gob-
+	// encoded into persisted artifacts — deterministic for every worker
+	// count and schedule interleaving (and keeping a hot shared cache line
+	// out of every parallel merge).
+	clock routing.Clock
+
+	// vrfNames caches the sorted VRF names (VRF materialization is
+	// complete after New), so per-iteration phases don't re-sort.
+	vrfNames []string
 }
 
 // DefaultVRF returns the default VRF state.
@@ -194,12 +216,23 @@ type Engine struct {
 	net     *config.Network
 	topo    *topo.Topology
 	opts    Options
-	clock   *routing.Clock
 	pool    *routing.Pool
 	nodes   map[string]*NodeState
 	res     *Result
 	workers *workerPool // nil when running serially
 	ctx     context.Context
+
+	// names/nameIdx cache net.DeviceNames() (which sorts on every call)
+	// plus each name's position, for phases that scatter into per-node
+	// slots without locking.
+	names   []string
+	nameIdx map[string]int
+
+	// connIdx precomputes, per node and VRF, the active sub-/32 interface
+	// prefixes in sorted interface order: connIface is on the next-hop
+	// resolution hot path and previously re-sorted interface names per
+	// call.
+	connIdx map[string]map[string][]connEntry
 
 	// curStage labels the phase for diagnostics; set between phases
 	// (never concurrently with a running phase).
@@ -220,37 +253,54 @@ type ifaceRef struct {
 	node, iface, vrf string
 }
 
+// connEntry is one active interface prefix, in sorted interface order.
+type connEntry struct {
+	iface  string
+	prefix ip4.Prefix
+}
+
 // New creates an engine over the parsed network.
 func New(net *config.Network, opts Options) *Engine {
 	e := &Engine{
 		net:    net,
 		topo:   topo.Infer(net),
 		opts:   opts,
-		clock:  &routing.Clock{},
 		pool:   routing.NewPool(),
 		nodes:  make(map[string]*NodeState),
 		ctx:    context.Background(),
 		failed: make(map[string]bool),
 	}
+	e.names = net.DeviceNames()
+	e.nameIdx = make(map[string]int, len(e.names))
+	for i, n := range e.names {
+		e.nameIdx[n] = i
+	}
 	e.ipOwner = make(map[ip4.Addr][]ifaceRef)
-	for _, name := range net.DeviceNames() {
+	e.connIdx = make(map[string]map[string][]connEntry, len(e.names))
+	for _, name := range e.names {
 		d := net.Devices[name]
 		ns := &NodeState{Device: d, VRFs: make(map[string]*VRFState)}
 		e.nodes[name] = ns
+		byVRF := make(map[string][]connEntry)
+		e.connIdx[name] = byVRF
 		for _, in := range d.InterfaceNames() {
 			i := d.Interfaces[in]
 			if !i.Active {
 				continue
 			}
+			vrf := i.VRFOrDefault()
 			for _, p := range i.Addresses {
-				e.ipOwner[p.Addr] = append(e.ipOwner[p.Addr], ifaceRef{node: name, iface: in, vrf: i.VRFOrDefault()})
+				e.ipOwner[p.Addr] = append(e.ipOwner[p.Addr], ifaceRef{node: name, iface: in, vrf: vrf})
+				if p.Len < 32 {
+					byVRF[vrf] = append(byVRF[vrf], connEntry{iface: in, prefix: p})
+				}
 			}
 		}
 	}
 	// Materialize every VRF state up front (configured VRFs plus any VRF an
 	// interface references), so e.vrf is a pure map read during parallel
 	// phases instead of a create-on-miss that would race.
-	for _, name := range net.DeviceNames() {
+	for _, name := range e.names {
 		d := net.Devices[name]
 		for vn := range d.VRFs {
 			e.vrf(name, vn)
@@ -261,30 +311,40 @@ func New(net *config.Network, opts Options) *Engine {
 			}
 		}
 	}
+	for _, name := range e.names {
+		ns := e.nodes[name]
+		names := make([]string, 0, len(ns.VRFs))
+		for vn := range ns.VRFs {
+			names = append(names, vn)
+		}
+		sort.Strings(names)
+		ns.vrfNames = names
+	}
 	return e
 }
 
-func (e *Engine) newVRFState(name string) *VRFState {
+func (e *Engine) newVRFState(name string, clock *routing.Clock) *VRFState {
 	vs := &VRFState{
 		Name:          name,
-		ConnRIB:       routing.NewRIB(routing.ConnectedComparator, e.clock),
-		StatRIB:       routing.NewRIB(routing.MainComparator, e.clock),
-		OSPFRIB:       routing.NewRIB(routing.OSPFComparator, e.clock),
-		Main:          routing.NewRIB(routing.MainComparator, e.clock),
+		ConnRIB:       routing.NewRIB(routing.ConnectedComparator, clock),
+		StatRIB:       routing.NewRIB(routing.MainComparator, clock),
+		OSPFRIB:       routing.NewRIB(routing.OSPFComparator, clock),
+		Main:          routing.NewRIB(routing.MainComparator, clock),
 		bgpOriginated: make(map[routing.Key]bool),
 		ospfExternal:  make(map[routing.Key]bool),
 	}
-	vs.BGPRIB = routing.NewRIB(e.bgpCmp(vs), e.clock)
+	vs.BGPRIB = routing.NewRIB(e.bgpCmp(vs), clock)
 	return vs
 }
 
-// vrf returns (creating) the VRF state for node/vrfName.
+// vrf returns (creating) the VRF state for node/vrfName. All creation
+// happens during New; afterwards this is a pure map read.
 func (e *Engine) vrf(node, vrfName string) *VRFState {
 	ns := e.nodes[node]
 	if v, ok := ns.VRFs[vrfName]; ok {
 		return v
 	}
-	v := e.newVRFState(vrfName)
+	v := e.newVRFState(vrfName, &ns.clock)
 	ns.VRFs[vrfName] = v
 	return v
 }
@@ -395,17 +455,21 @@ func (e *Engine) Run() (result *Result) {
 	return r
 }
 
-// forEachVRF visits every VRF state in deterministic order.
+// forEachVRF visits every configured VRF state in deterministic order.
 func (e *Engine) forEachVRF(fn func(node string, d *config.Device, cv *config.VRF, vs *VRFState)) {
-	for _, name := range e.net.DeviceNames() {
-		d := e.net.Devices[name]
-		vrfNames := make([]string, 0, len(d.VRFs))
-		for vn := range d.VRFs {
-			vrfNames = append(vrfNames, vn)
-		}
-		sort.Strings(vrfNames)
-		for _, vn := range vrfNames {
-			fn(name, d, d.VRFs[vn], e.vrf(name, vn))
+	for _, name := range e.names {
+		e.forEachVRFOf(name, fn)
+	}
+}
+
+// forEachVRFOf visits node's configured VRF states in sorted order. It is
+// the per-node unit of the seed/reset phases, which fan whole nodes out
+// over the worker pool (each node's VRF states are node-local).
+func (e *Engine) forEachVRFOf(name string, fn func(node string, d *config.Device, cv *config.VRF, vs *VRFState)) {
+	d := e.net.Devices[name]
+	for _, vn := range e.nodes[name].vrfNames {
+		if cv, ok := d.VRFs[vn]; ok {
+			fn(name, d, cv, e.vrf(name, vn))
 		}
 	}
 }
@@ -464,20 +528,15 @@ func (e *Engine) warnf(format string, args ...any) {
 func (e *Engine) ownerOf(a ip4.Addr) []ifaceRef { return e.ipOwner[a] }
 
 // connIface returns the active interface on node whose subnet contains a,
-// restricted to the given VRF.
+// restricted to the given VRF. Scans the precomputed per-VRF prefix index
+// (sorted interface order, so longest-match ties keep their historical
+// first-interface winner).
 func (e *Engine) connIface(node, vrfName string, a ip4.Addr) (string, bool) {
-	d := e.net.Devices[node]
 	best := ""
 	bestLen := -1
-	for _, in := range d.InterfaceNames() {
-		i := d.Interfaces[in]
-		if !i.Active || i.VRFOrDefault() != vrfName {
-			continue
-		}
-		for _, p := range i.Addresses {
-			if p.Len < 32 && p.Contains(a) && int(p.Len) > bestLen {
-				best, bestLen = in, int(p.Len)
-			}
+	for _, en := range e.connIdx[node][vrfName] {
+		if en.prefix.Contains(a) && int(en.prefix.Len) > bestLen {
+			best, bestLen = en.iface, int(en.prefix.Len)
 		}
 	}
 	return best, bestLen >= 0

@@ -546,7 +546,7 @@ func TestDeterminism(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		r := Run(figure1b(), Options{Schedule: ScheduleColored, Parallelism: 4})
 		e := &Engine{net: r.Network, nodes: r.Nodes}
-		h := e.ribStateHash(func(vs *VRFState) *routing.RIB { return vs.Main })
+		h := e.ribStateHash("test/hash", func(vs *VRFState) *routing.RIB { return vs.Main })
 		if i == 0 {
 			baseline = h
 		} else if h != baseline {
@@ -640,7 +640,7 @@ func TestParallelismMatchesSerial(t *testing.T) {
 	h := func(par int) uint64 {
 		r := Run(ospfTriangle(), Options{Parallelism: par})
 		e := &Engine{net: r.Network, nodes: r.Nodes}
-		return e.ribStateHash(func(vs *VRFState) *routing.RIB { return vs.Main })
+		return e.ribStateHash("test/hash", func(vs *VRFState) *routing.RIB { return vs.Main })
 	}
 	serial := h(-1)
 	if serial != h(0) {

@@ -17,13 +17,10 @@ import (
 // order so the report is deterministic.
 func (e *Engine) buildFIBs() {
 	e.curStage = diag.StageFIB
-	names := e.net.DeviceNames()
+	names := e.names
 	warnings := make([][]string, len(names))
-	idx := make(map[string]int, len(names))
-	for i, n := range names {
-		idx[n] = i
-	}
-	e.runParallel(names, func(node string) {
+	idx := e.nameIdx
+	e.runPhase("fib", names, func(node string) {
 		faults.Fire("fib", node)
 		ns := e.nodes[node]
 		var warns []string

@@ -100,34 +100,39 @@ func isABR(d *config.Device, vrfName string) bool {
 }
 
 // seedOSPF installs each node's own OSPF networks (stub routes for enabled
-// interfaces) and redistributes externals into the OSPF RIB.
+// interfaces) and redistributes externals into the OSPF RIB. Nodes seed in
+// parallel: each writes only its own RIBs, stamping from its own clock.
 func (e *Engine) seedOSPF() {
-	e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
-		if cv.OSPF == nil {
-			return
-		}
-		for _, in := range d.InterfaceNames() {
-			i := d.Interfaces[in]
-			if !i.Active || i.OSPF == nil || i.VRFOrDefault() != cv.Name {
-				continue
-			}
-			for _, p := range i.Addresses {
-				prefix := p.Canonical()
-				if p.Len == 32 {
-					prefix = ip4.HostPrefix(p.Addr)
-				}
-				vs.OSPFRIB.Merge(routing.Route{
-					Prefix:       prefix,
-					Protocol:     routing.OSPF,
-					Metric:       ospfCost(cv.OSPF, i),
-					AD:           routing.OSPF.DefaultAdminDistance(),
-					Area:         i.OSPF.Area,
-					NextHopIface: in,
-				})
-			}
-		}
-		e.redistributeIntoOSPF(node, d, cv, vs)
+	e.runPhase("ospf/seed", e.names, func(node string) {
+		e.forEachVRFOf(node, e.seedOSPFNode)
 	})
+}
+
+func (e *Engine) seedOSPFNode(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+	if cv.OSPF == nil {
+		return
+	}
+	for _, in := range d.InterfaceNames() {
+		i := d.Interfaces[in]
+		if !i.Active || i.OSPF == nil || i.VRFOrDefault() != cv.Name {
+			continue
+		}
+		for _, p := range i.Addresses {
+			prefix := p.Canonical()
+			if p.Len == 32 {
+				prefix = ip4.HostPrefix(p.Addr)
+			}
+			vs.OSPFRIB.Merge(routing.Route{
+				Prefix:       prefix,
+				Protocol:     routing.OSPF,
+				Metric:       ospfCost(cv.OSPF, i),
+				AD:           routing.OSPF.DefaultAdminDistance(),
+				Area:         i.OSPF.Area,
+				NextHopIface: in,
+			})
+		}
+	}
+	e.redistributeIntoOSPF(node, d, cv, vs)
 }
 
 // redistributeIntoOSPF originates external routes per the VRF's
@@ -308,8 +313,10 @@ func (e *Engine) runOSPF() bool {
 	adjs := e.ospfAdjacencies()
 	if len(adjs) == 0 {
 		// Still flush seed routes into main RIBs.
-		e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
-			e.flushOSPFDelta(vs)
+		e.runPhase("ospf/flush", e.names, func(node string) {
+			e.forEachVRFOf(node, func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+				e.flushOSPFDelta(vs)
+			})
 		})
 		return true
 	}
@@ -382,13 +389,15 @@ func (e *Engine) runOSPF() bool {
 	}
 
 	converged := e.exchangeLoop("ospf", nodes, edges, process, publish, func() uint64 {
-		return e.ribStateHash(func(vs *VRFState) *routing.RIB { return vs.OSPFRIB })
+		return e.ribStateHash("ospf/hash", func(vs *VRFState) *routing.RIB { return vs.OSPFRIB })
 	}, &e.res.IGPIterations)
 	// Nodes without adjacencies never run publish; flush their seeds.
-	e.forEachVRF(func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
-		if vs.OSPFRIB.PendingDelta() {
-			e.flushOSPFDelta(vs)
-		}
+	e.runPhase("ospf/flush", e.names, func(node string) {
+		e.forEachVRFOf(node, func(node string, d *config.Device, cv *config.VRF, vs *VRFState) {
+			if vs.OSPFRIB.PendingDelta() {
+				e.flushOSPFDelta(vs)
+			}
+		})
 	})
 	return converged
 }
@@ -409,25 +418,57 @@ func (e *Engine) applyOSPFToMain(vs *VRFState, d routing.Delta) {
 	}
 }
 
-// ribStateHash hashes the selected RIB across all nodes/VRFs.
-func (e *Engine) ribStateHash(sel func(*VRFState) *routing.RIB) uint64 {
-	var h uint64 = 14695981039346656037
-	for _, name := range e.net.DeviceNames() {
-		for _, vn := range sortedVRFNames(e.nodes[name]) {
-			h ^= sel(e.nodes[name].VRFs[vn]).StateHash()
+// ribStateHash hashes the selected RIB across all nodes/VRFs. Per-node
+// hashes are computed in parallel (each reads only its own RIBs) and
+// scattered into per-node slots; the cross-node combine is a serial fold
+// in device order, so the result is independent of scheduling. Works on
+// shell engines built around an existing node map (names index absent):
+// those derive a sorted name list locally and hash serially.
+func (e *Engine) ribStateHash(phase string, sel func(*VRFState) *routing.RIB) uint64 {
+	names, idx := e.names, e.nameIdx
+	if len(names) != len(e.nodes) {
+		names = make([]string, 0, len(e.nodes))
+		for n := range e.nodes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		idx = make(map[string]int, len(names))
+		for i, n := range names {
+			idx[n] = i
+		}
+	}
+	hs := make([]uint64, len(names))
+	e.runPhase(phase, names, func(node string) {
+		ns := e.nodes[node]
+		var h uint64 = 14695981039346656037
+		for _, vn := range sortedVRFNames(ns) {
+			h ^= sel(ns.VRFs[vn]).StateHash()
 			h *= 1099511628211
 		}
+		hs[idx[node]] = h
+	})
+	var h uint64 = 14695981039346656037
+	for _, x := range hs {
+		h ^= x
+		h *= 1099511628211
 	}
 	return h
 }
 
+// sortedVRFNames returns the node's VRF names in sorted order (cached at
+// engine construction; the VRF set is immutable after New).
 func sortedVRFNames(ns *NodeState) []string {
-	out := make([]string, 0, len(ns.VRFs))
-	for n := range ns.VRFs {
-		out = append(out, n)
+	if len(ns.vrfNames) == len(ns.VRFs) {
+		return ns.vrfNames
 	}
-	sort.Strings(out)
-	return out
+	// Cache absent (NodeStates rebuilt outside New, e.g. artifact
+	// rehydration) or stale: derive from the map.
+	names := make([]string, 0, len(ns.VRFs))
+	for n := range ns.VRFs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // exchangeLoop drives a route-exchange fixed point under the configured
@@ -437,9 +478,21 @@ func sortedVRFNames(ns *NodeState) []string {
 // out with each node's first publish, so every published delta is consumed
 // exactly once by each neighbor. Returns false if the loop hit the
 // iteration bound or an oscillation was detected.
+//
+// Under the colored schedule, process and publish are FUSED into one task
+// per node: same-color nodes share no adjacency, so no node in the class
+// reads another class member's published delta — u may publish before w
+// finishes processing without w ever observing it, and the per-node
+// process-then-publish order is preserved. Fusion halves the number of
+// barriers per iteration (hundreds of phases on a large fabric) and
+// doubles the work per dispatched task. The lockstep schedule keeps the
+// two-phase barrier: with every node in one class, publishing only after
+// the full process phase is exactly the synchronous semantics that
+// exhibits Figure 1's oscillations.
 func (e *Engine) exchangeLoop(proto string, nodes []string, edges [][2]string,
 	process func(string) bool, publish func(string) bool, hash func() uint64, iterOut *int) bool {
 
+	fused := e.opts.Schedule == ScheduleColored
 	var classes [][]string
 	if e.opts.Schedule == ScheduleColored {
 		coloring := topo.ColorGraph(nodes, edges)
@@ -447,6 +500,7 @@ func (e *Engine) exchangeLoop(proto string, nodes []string, edges [][2]string,
 	} else {
 		classes = [][]string{nodes}
 	}
+	phase := proto + "/exchange"
 
 	seen := make(map[uint64]int)
 	maxIters := e.opts.maxIters()
@@ -466,22 +520,27 @@ func (e *Engine) exchangeLoop(proto string, nodes []string, edges [][2]string,
 				return false
 			}
 			var mu chanBool
-			e.runParallel(class, func(u string) {
-				faults.Fire("dataplane", u)
-				if process(u) {
-					mu.set()
-				}
-			})
-			// Publish after processing so same-class nodes never observe
-			// each other's updates mid-phase (they are non-adjacent, but
-			// lockstep mode puts everyone in one class: publishing after
-			// the full phase is exactly the synchronous semantics that
-			// exhibits Figure 1's oscillations).
-			e.runParallel(class, func(u string) {
-				if publish(u) {
-					mu.set()
-				}
-			})
+			if fused {
+				e.runPhase(phase, class, func(u string) {
+					faults.Fire("dataplane", u)
+					changed := process(u)
+					if publish(u) || changed {
+						mu.set()
+					}
+				})
+			} else {
+				e.runPhase(phase, class, func(u string) {
+					faults.Fire("dataplane", u)
+					if process(u) {
+						mu.set()
+					}
+				})
+				e.runPhase(phase, class, func(u string) {
+					if publish(u) {
+						mu.set()
+					}
+				})
+			}
 			if mu.get() {
 				anyChange = true
 			}

@@ -1,6 +1,8 @@
 package dataplane
 
 import (
+	"bytes"
+	"encoding/gob"
 	"runtime"
 	"testing"
 
@@ -25,7 +27,7 @@ func TestParallelDeterminism(t *testing.T) {
 		t.Fatalf("fabric must have >= 200 devices, got %d", n)
 	}
 
-	levels := []int{1, 2, 8, runtime.GOMAXPROCS(0)}
+	levels := []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)}
 	snapshots := []*netgen.Snapshot{netgen.Fabric(fabric), netgen.Random(random)}
 	for _, snap := range snapshots {
 		net, warns := snap.Parse()
@@ -34,7 +36,9 @@ func TestParallelDeterminism(t *testing.T) {
 		}
 		var want uint64
 		for i, par := range levels {
-			r := Run(net, Options{Parallelism: par})
+			// The fused colored schedule is the default; spell it out since
+			// this test is the fusion-safety gate.
+			r := Run(net, Options{Parallelism: par, Schedule: ScheduleColored})
 			if !r.Converged {
 				t.Fatalf("%s: no convergence at parallelism %d", snap.Name, par)
 			}
@@ -47,6 +51,51 @@ func TestParallelDeterminism(t *testing.T) {
 				t.Errorf("%s: fingerprint at parallelism %d = %x, serial = %x",
 					snap.Name, par, fp, want)
 			}
+		}
+	}
+}
+
+// TestArtifactStateBytesIdenticalAcrossWorkers is a stricter determinism
+// check than Fingerprint: the persisted *computed state* — every route
+// including its logical-clock draw, FIB entries, sessions, warnings, and
+// iteration counts — must be byte-identical whatever the worker count.
+// Per-node clocks make clock values a function of each node's own merge
+// sequence, not of cross-node scheduling, which is what lets the fused
+// parallel schedule reproduce the serial state exactly. The input
+// Network is excluded from the comparison: it is identical by
+// construction but gob serializes its maps in random iteration order.
+func TestArtifactStateBytesIdenticalAcrossWorkers(t *testing.T) {
+	snap := netgen.Random(netgen.RandomParams{Name: "artr", Nodes: 24, Degree: 4,
+		LansPerNode: 2, Seed: 11})
+	net, warns := snap.Parse()
+	if len(warns) > 0 {
+		t.Fatalf("parse warnings: %v", warns[:min(3, len(warns))])
+	}
+	stateBytes := func(par int) []byte {
+		r := Run(net, Options{Parallelism: par, Schedule: ScheduleColored})
+		if !r.Converged {
+			t.Fatalf("no convergence at parallelism %d", par)
+		}
+		b, err := MarshalResult(r)
+		if err != nil {
+			t.Fatalf("marshal at parallelism %d: %v", par, err)
+		}
+		var p persistResult
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+			t.Fatalf("decode at parallelism %d: %v", par, err)
+		}
+		p.Network = nil // input, not computed state; gob maps are unordered
+		var out bytes.Buffer
+		if err := gob.NewEncoder(&out).Encode(&p); err != nil {
+			t.Fatalf("re-encode at parallelism %d: %v", par, err)
+		}
+		return out.Bytes()
+	}
+	want := stateBytes(1)
+	for _, par := range []int{2, 4, 8} {
+		if got := stateBytes(par); !bytes.Equal(got, want) {
+			t.Errorf("state bytes at parallelism %d differ from serial (%d vs %d bytes)",
+				par, len(got), len(want))
 		}
 	}
 }

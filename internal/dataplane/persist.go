@@ -175,7 +175,7 @@ func UnmarshalResult(b []byte) (*Result, error) {
 			// persisted default — clean results only exist post-convergence,
 			// where the comparator is only consulted to re-rank the already
 			// winning routes being re-merged here).
-			vs.BGPRIB = routing.NewRIB((&Engine{clock: clock}).bgpCmp(vs), clock)
+			vs.BGPRIB = routing.NewRIB((&Engine{}).bgpCmp(vs), clock)
 			mergeAll := func(rib *routing.RIB, routes []routing.Route) {
 				for _, rt := range routes {
 					rib.Merge(rt)

@@ -1,0 +1,148 @@
+package dataplane
+
+import "sync"
+
+// SchedTrace records the per-task durations of every parallelizable phase
+// of one simulation run, for the scheduling model used by the parallelism
+// study (EXPERIMENTS.md).
+//
+// The simulator's unit of parallelism is the node task: one fused
+// process+publish per node per color class, one FIB build per device, and
+// so on. A trace collected from a serial run therefore carries the exact
+// task-duration profile a p-worker run would schedule, and
+// ModelSpeedup replays that profile through the same greedy list
+// scheduling the worker pool performs (workers pull tasks from a shared
+// cursor) to compute the speedup the schedule itself permits — the
+// schedule's parallel efficiency independent of how many hardware threads
+// the host happens to expose.
+//
+// Tracing is opt-in (Options.Trace + Options.NowNanos) and never alters
+// simulation results; the time source is injected because the simulator
+// itself must not read the wall clock (determinism, §4.1.2).
+type SchedTrace struct {
+	mu     sync.Mutex
+	phases []PhaseTrace
+}
+
+// PhaseTrace is the recorded timing of one parallel phase: the durations
+// of its node tasks (in completion order) and the phase's wall time.
+type PhaseTrace struct {
+	Name   string
+	TaskNs []int64
+	WallNs int64
+}
+
+// add appends one phase record. Safe for concurrent use (phases are
+// sequential today, but the trace makes no such assumption).
+func (t *SchedTrace) add(name string, taskNs []int64, wallNs int64) {
+	t.mu.Lock()
+	t.phases = append(t.phases, PhaseTrace{Name: name, TaskNs: taskNs, WallNs: wallNs})
+	t.mu.Unlock()
+}
+
+// Phases returns the recorded phases.
+func (t *SchedTrace) Phases() []PhaseTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]PhaseTrace(nil), t.phases...)
+}
+
+// TaskTotalNs returns the summed duration of all recorded tasks — the
+// parallelizable portion of the run.
+func (t *SchedTrace) TaskTotalNs() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total int64
+	for _, ph := range t.phases {
+		for _, d := range ph.TaskNs {
+			total += d
+		}
+	}
+	return total
+}
+
+// ModelSpeedup predicts the speedup of running the traced workload on
+// `workers` workers. runNs is the measured wall time of the traced run
+// (it must come from a serial run so task durations are undiluted).
+// Each phase's tasks are replayed through greedy list scheduling — tasks
+// assigned in order to the earliest-available worker, exactly the
+// worker pool's shared-cursor discipline — giving the phase's makespan;
+// time outside traced phases is carried over as the serial fraction
+// (Amdahl's law with the real task-size distribution instead of a
+// uniform split).
+func (t *SchedTrace) ModelSpeedup(runNs int64, workers int) float64 {
+	if workers <= 1 || runNs <= 0 {
+		return 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var taskSum, makespans int64
+	for _, ph := range t.phases {
+		for _, d := range ph.TaskNs {
+			taskSum += d
+		}
+		makespans += listScheduleMakespan(ph.TaskNs, workers)
+	}
+	serial := runNs - taskSum
+	if serial < 0 {
+		serial = 0
+	}
+	modeled := serial + makespans
+	if modeled <= 0 {
+		return 1
+	}
+	return float64(runNs) / float64(modeled)
+}
+
+// listScheduleMakespan replays tasks (in recorded order) onto p workers,
+// each task going to the worker that frees up first, and returns the
+// finish time of the last task.
+func listScheduleMakespan(tasks []int64, p int) int64 {
+	if len(tasks) == 0 {
+		return 0
+	}
+	if p > len(tasks) {
+		p = len(tasks)
+	}
+	free := make([]int64, p)
+	for _, d := range tasks {
+		// Earliest-available worker; p is small (worker counts), so a
+		// linear scan beats a heap.
+		minI := 0
+		for i := 1; i < p; i++ {
+			if free[i] < free[minI] {
+				minI = i
+			}
+		}
+		free[minI] += d
+	}
+	var max int64
+	for _, f := range free {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// runPhase executes fn over nodes like runParallel, recording per-task
+// durations into the run's SchedTrace when tracing is enabled.
+func (e *Engine) runPhase(name string, nodes []string, fn func(node string)) {
+	tr, now := e.opts.Trace, e.opts.NowNanos
+	if tr == nil || now == nil {
+		e.runParallel(nodes, fn)
+		return
+	}
+	start := now()
+	durs := make([]int64, 0, len(nodes))
+	var mu sync.Mutex
+	e.runParallel(nodes, func(u string) {
+		t0 := now()
+		fn(u)
+		d := now() - t0
+		mu.Lock()
+		durs = append(durs, d)
+		mu.Unlock()
+	})
+	tr.add(name, durs, now()-start)
+}

@@ -59,6 +59,17 @@ type RIB struct {
 	delta    Delta
 	nRoutes  int // total candidates, for memory accounting
 	maxCands int
+
+	// scratch is the recompute working set. Most merges during convergence
+	// do not change the best set, so building the candidate ranking in a
+	// reused slice makes the no-change path allocation-free.
+	scratch []Route
+
+	// sorted is a cached snapshot of Prefixes() output. Once built it is
+	// never mutated (invalidation rebuilds a fresh slice), so callers may
+	// keep iterating a returned snapshot across RIB mutations.
+	sorted      []ip4.Prefix
+	sortedValid bool
 }
 
 // NewRIB creates a RIB with the given comparator and logical clock.
@@ -76,10 +87,10 @@ func (r *RIB) Merge(rt Route) bool {
 	if e == nil {
 		e = &entry{}
 		r.entries[rt.Prefix] = e
+		r.sortedValid = false
 	}
-	k := rt.Key()
-	for _, c := range e.candidates {
-		if c.Key() == k {
+	for i := range e.candidates {
+		if sameIdentity(&e.candidates[i], &rt) {
 			return false
 		}
 	}
@@ -100,9 +111,8 @@ func (r *RIB) Withdraw(rt Route) bool {
 	if e == nil {
 		return false
 	}
-	k := rt.Key()
-	for i, c := range e.candidates {
-		if c.Key() == k {
+	for i := range e.candidates {
+		if sameIdentity(&e.candidates[i], &rt) {
 			e.candidates = append(e.candidates[:i], e.candidates[i+1:]...)
 			r.nRoutes--
 			return r.recompute(rt.Prefix, e)
@@ -138,9 +148,13 @@ func (r *RIB) RemoveWhere(prefix ip4.Prefix, pred func(Route) bool) bool {
 }
 
 // recompute rebuilds the best set for prefix and updates the delta.
-// It returns true if the best set changed.
+// It returns true if the best set changed. The ranking is built in the
+// RIB's scratch slice so the no-change path — the overwhelmingly common
+// outcome once convergence is under way — performs no allocation; a fresh
+// exact-size best slice is allocated only when the set actually changes
+// (callers may retain previously returned Best slices).
 func (r *RIB) recompute(prefix ip4.Prefix, e *entry) bool {
-	var best []Route
+	best := r.scratch[:0]
 	for _, c := range e.candidates {
 		if len(best) == 0 {
 			best = append(best, c)
@@ -155,46 +169,72 @@ func (r *RIB) recompute(prefix ip4.Prefix, e *entry) bool {
 	}
 	// Canonical order for deterministic output and cheap comparison.
 	sortRoutes(best)
+	r.scratch = best[:0]
 	if routesEqual(best, e.best) {
 		return false
 	}
 	old := e.best
-	e.best = best
 	// Record best-set changes in the delta (withdrawn first, then added,
 	// matching how a router would announce).
-	for _, o := range old {
-		if !containsKey(best, o.Key()) {
-			r.delta.Removed = append(r.delta.Removed, o)
+	for i := range old {
+		if !containsRoute(best, &old[i]) {
+			r.delta.Removed = append(r.delta.Removed, old[i])
 		}
 	}
-	for _, b := range best {
-		if !containsKey(old, b.Key()) {
-			r.delta.Added = append(r.delta.Added, b)
+	for i := range best {
+		if !containsRoute(old, &best[i]) {
+			r.delta.Added = append(r.delta.Added, best[i])
 		}
 	}
+	e.best = append([]Route(nil), best...)
 	if len(e.candidates) == 0 {
 		delete(r.entries, prefix)
+		r.sortedValid = false
 	}
 	return true
 }
 
+// routeLess is the canonical best-set order. Total enough for determinism:
+// candidates are ranked in per-node merge order, and the insertion sort
+// below is stable.
+func routeLess(a, b *Route) bool {
+	if c := a.Prefix.Compare(b.Prefix); c != 0 {
+		return c < 0
+	}
+	if a.NextHop != b.NextHop {
+		return a.NextHop < b.NextHop
+	}
+	if a.NextHopNode != b.NextHopNode {
+		return a.NextHopNode < b.NextHopNode
+	}
+	if a.NextHopIface != b.NextHopIface {
+		return a.NextHopIface < b.NextHopIface
+	}
+	return a.Protocol < b.Protocol
+}
+
+// sortRoutes sorts a best set with a direct insertion sort. Best sets are
+// tiny (ECMP width), and sort.Slice's reflective swapper both allocates
+// and forces the slice header to escape — measurable on the recompute
+// path, which runs once per merge.
 func sortRoutes(rs []Route) {
-	sort.Slice(rs, func(i, j int) bool {
-		a, b := rs[i], rs[j]
-		if c := a.Prefix.Compare(b.Prefix); c != 0 {
-			return c < 0
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && routeLess(&rs[j], &rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
 		}
-		if a.NextHop != b.NextHop {
-			return a.NextHop < b.NextHop
-		}
-		if a.NextHopNode != b.NextHopNode {
-			return a.NextHopNode < b.NextHopNode
-		}
-		if a.NextHopIface != b.NextHopIface {
-			return a.NextHopIface < b.NextHopIface
-		}
-		return a.Protocol < b.Protocol
-	})
+	}
+}
+
+// sameIdentity reports whether two routes have equal identity (every field
+// except Clock) without materializing Key values: two Key constructions
+// per candidate comparison showed up as pure copy overhead (duffcopy) in
+// merge-heavy profiles.
+func sameIdentity(a, b *Route) bool {
+	return a.Prefix == b.Prefix && a.Protocol == b.Protocol &&
+		a.NextHop == b.NextHop && a.Metric == b.Metric &&
+		a.AD == b.AD && a.Tag == b.Tag && a.Area == b.Area &&
+		a.Drop == b.Drop && a.Attrs == b.Attrs &&
+		a.NextHopIface == b.NextHopIface && a.NextHopNode == b.NextHopNode
 }
 
 func routesEqual(a, b []Route) bool {
@@ -202,16 +242,16 @@ func routesEqual(a, b []Route) bool {
 		return false
 	}
 	for i := range a {
-		if a[i].Key() != b[i].Key() {
+		if !sameIdentity(&a[i], &b[i]) {
 			return false
 		}
 	}
 	return true
 }
 
-func containsKey(rs []Route, k Key) bool {
-	for _, r := range rs {
-		if r.Key() == k {
+func containsRoute(rs []Route, rt *Route) bool {
+	for i := range rs {
+		if sameIdentity(&rs[i], rt) {
 			return true
 		}
 	}
@@ -245,13 +285,21 @@ func (r *RIB) Candidates(prefix ip4.Prefix) []Route {
 	return nil
 }
 
-// Prefixes returns all prefixes with at least one candidate, sorted.
+// Prefixes returns all prefixes with at least one candidate, sorted. The
+// returned slice is a cached snapshot: it must not be modified, but it
+// remains valid (as of the time of the call) across subsequent RIB
+// mutations — invalidation rebuilds a fresh slice rather than mutating
+// the old one.
 func (r *RIB) Prefixes() []ip4.Prefix {
+	if r.sortedValid {
+		return r.sorted
+	}
 	out := make([]ip4.Prefix, 0, len(r.entries))
 	for p := range r.entries {
 		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	r.sorted, r.sortedValid = out, true
 	return out
 }
 

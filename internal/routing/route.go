@@ -272,30 +272,61 @@ func (r Route) String() string {
 // equality is pointer/value equality and attribute memory is shared across
 // routes (paper §4.1.3).
 //
-// A Pool is safe for concurrent use: it is sharded 64 ways by an FNV-1a
-// hash of the interned bytes, with one mutex per shard and atomic hit/miss
-// counters, so same-color nodes interning attributes in parallel rarely
-// contend on the same lock. The simulator owns one Pool per run and all
-// workers share it.
+// A Pool is safe for concurrent use and layered for scalability:
+//
+//   - The hot read path is a lock-free direct-mapped cache of canonical
+//     pointers (one atomic load + one value compare per hit). Because the
+//     sharded table below is the sole producer of canonical pointers,
+//     racing writes to a cache slot are benign — any published pointer is
+//     correct, slots are only ever overwritten with other canonical
+//     pointers.
+//   - Misses fall through to a 64-way sharded hash-consed table (one
+//     mutex per shard, selected by an FNV-1a hash of the interned bytes),
+//     with new attribute objects carved from per-shard arena blocks so a
+//     simulation's misses cost one heap allocation per block, not per
+//     attribute object.
+//   - Hit/miss counters are per-shard and cache-line padded: a single
+//     shared counter pair would put one contended line in front of every
+//     intern call from every worker.
+//
+// The simulator owns one Pool per run and all workers share it.
 type Pool struct {
-	shards   [poolShards]poolShard
-	attrHits atomic.Uint64
-	attrMiss atomic.Uint64
-	pathHits atomic.Uint64
-	pathMiss atomic.Uint64
+	shards [poolShards]poolShard
+
+	// Direct-mapped front caches, indexed by the same hash that selects
+	// the shard. Entries are canonical pointers owned by the shard maps.
+	attrCache [attrCacheSize]atomic.Pointer[BGPAttrs]
+	pathCache [attrCacheSize]atomic.Pointer[ASPath]
+
+	counters [poolShards]poolCounters
 }
 
 // poolShards is the number of independently locked shards. A power of two
 // so shard selection is a mask of the key hash.
 const poolShards = 64
 
+// attrCacheSize is the direct-mapped front-cache size (slots, power of two).
+const attrCacheSize = 1 << 13
+
+// attrArenaBlock is how many BGPAttrs one shard arena block holds.
+const attrArenaBlock = 128
+
 type poolShard struct {
 	mu       sync.Mutex
-	asPaths  map[string]ASPath
+	asPaths  map[string]*ASPath
 	commSets map[string]CommunitySet
 	attrs    map[BGPAttrs]*BGPAttrs
-	// Padding would be overkill here: shards are touched under a mutex and
-	// the maps dominate the cache traffic anyway.
+	arena    []BGPAttrs // arena-style allocation for interned attrs
+}
+
+// poolCounters keeps one shard's hit/miss statistics on its own cache
+// line (64-byte pad) so parallel workers never false-share counter words.
+type poolCounters struct {
+	attrHits atomic.Uint64
+	attrMiss atomic.Uint64
+	pathHits atomic.Uint64
+	pathMiss atomic.Uint64
+	_        [4]uint64
 }
 
 // NewPool returns an empty intern pool.
@@ -303,7 +334,7 @@ func NewPool() *Pool {
 	p := &Pool{}
 	for i := range p.shards {
 		s := &p.shards[i]
-		s.asPaths = make(map[string]ASPath)
+		s.asPaths = make(map[string]*ASPath)
 		s.commSets = make(map[string]CommunitySet)
 		s.attrs = make(map[BGPAttrs]*BGPAttrs)
 	}
@@ -352,29 +383,45 @@ func encodeU32s(buf []byte, vals []uint32) []byte {
 }
 
 // ASPath interns the given ASN sequence. The hit path performs no
-// allocation: the key bytes live in a stack buffer and the map lookup uses
-// the compiler's string(b)-in-index-expression optimization.
+// allocation and takes no lock: the key bytes live in a stack buffer, the
+// direct-mapped cache resolves repeats with one atomic load, and the
+// sharded-map fallback uses the compiler's string(b)-in-index-expression
+// optimization.
 func (p *Pool) ASPath(asns ...uint32) ASPath {
 	var buf [64]byte
 	b := encodeU32s(buf[:0], asns)
-	s := &p.shards[fnv1a(fnvOffset, b)&(poolShards-1)]
+	h := mix64(fnv1a(fnvOffset, b))
+	c := &p.counters[h&(poolShards-1)]
+	slot := &p.pathCache[(h>>6)&(attrCacheSize-1)]
+	if v := slot.Load(); v != nil && v.asns == string(b) {
+		c.pathHits.Add(1)
+		return *v
+	}
+	s := &p.shards[h&(poolShards-1)]
 	s.mu.Lock()
 	if v, ok := s.asPaths[string(b)]; ok {
 		s.mu.Unlock()
-		p.pathHits.Add(1)
-		return v
+		c.pathHits.Add(1)
+		slot.Store(v)
+		return *v
 	}
 	k := string(b)
-	v := ASPath{asns: k}
+	v := &ASPath{asns: k}
 	s.asPaths[k] = v
 	s.mu.Unlock()
-	p.pathMiss.Add(1)
-	return v
+	c.pathMiss.Add(1)
+	slot.Store(v)
+	return *v
 }
 
-// Prepend interns path with asn prepended n times.
+// Prepend interns path with asn prepended n times. The ASN scratch list
+// lives on the stack for paths of up to 30 hops.
 func (p *Pool) Prepend(path ASPath, asn uint32, n int) ASPath {
-	asns := make([]uint32, 0, path.Len()+n)
+	var buf [32]uint32
+	asns := buf[:0]
+	if path.Len()+n > len(buf) {
+		asns = make([]uint32, 0, path.Len()+n)
+	}
 	for i := 0; i < n; i++ {
 		asns = append(asns, asn)
 	}
@@ -452,37 +499,84 @@ func (p *Pool) RemoveCommunities(set CommunitySet, pred func(uint32) bool) Commu
 	return p.CommunitySet(keep...)
 }
 
-// attrsShard selects the shard for a BGPAttrs value by hashing its interned
-// string fields and scalars.
-func (p *Pool) attrsShard(a *BGPAttrs) *poolShard {
-	h := fnv1aString(fnvOffset, a.ASPath.asns)
-	h = fnv1aString(h, a.Communities.comms)
+// fnv1aWords folds s four bytes at a time (one multiply per word instead
+// of per byte) — the intern hot path hashes short interned strings on
+// every Attrs call, so hash arithmetic is a measurable slice of route
+// processing.
+func fnv1aWords(seed uint64, s string) uint64 {
+	h := seed
+	i := 0
+	for ; i+4 <= len(s); i += 4 {
+		h ^= uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24
+		h *= fnvPrime
+	}
+	for ; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// attrsHash hashes a BGPAttrs value (interned string fields and scalars)
+// for shard and front-cache selection. Scalars are packed into five words
+// so the mix costs five multiplies, not one per field.
+func attrsHash(a *BGPAttrs) uint64 {
+	h := fnv1aWords(fnvOffset, a.ASPath.asns)
+	h = fnv1aWords(h, a.Communities.comms)
 	for _, x := range [...]uint64{
-		uint64(a.LocalPref), uint64(a.MED), uint64(a.Weight),
-		uint64(a.OriginatorID), uint64(a.ReceivedFrom), uint64(a.FromAS),
-		uint64(a.IGPMetric), uint64(a.Tag),
+		uint64(a.LocalPref)<<32 | uint64(a.MED),
+		uint64(a.Weight)<<32 | uint64(a.OriginatorID),
+		uint64(a.ReceivedFrom)<<32 | uint64(a.FromAS),
+		uint64(a.IGPMetric)<<32 | uint64(a.Tag),
 		uint64(a.AdminDistance) | uint64(a.Origin)<<8 | uint64(a.SrcProtocol)<<16,
 	} {
 		h ^= x
 		h *= fnvPrime
 	}
-	return &p.shards[h&(poolShards-1)]
+	return mix64(h)
 }
 
-// Attrs interns a BGPAttrs value, returning the canonical pointer.
+// mix64 is an avalanche finalizer: FNV's multiply only carries differences
+// upward, so without this, keys differing in high-order packed fields
+// collide in the low bits that pick the shard and the direct-mapped cache
+// slot.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
+// Attrs interns a BGPAttrs value, returning the canonical pointer. The hit
+// path is lock-free: one atomic load from the direct-mapped cache plus a
+// value compare. The miss path carves the canonical object from the
+// shard's arena block and publishes it to the cache.
 func (p *Pool) Attrs(a BGPAttrs) *BGPAttrs {
-	s := p.attrsShard(&a)
+	h := attrsHash(&a)
+	c := &p.counters[h&(poolShards-1)]
+	slot := &p.attrCache[(h>>6)&(attrCacheSize-1)]
+	if v := slot.Load(); v != nil && *v == a {
+		c.attrHits.Add(1)
+		return v
+	}
+	s := &p.shards[h&(poolShards-1)]
 	s.mu.Lock()
 	if v, ok := s.attrs[a]; ok {
 		s.mu.Unlock()
-		p.attrHits.Add(1)
+		c.attrHits.Add(1)
+		slot.Store(v)
 		return v
 	}
-	v := new(BGPAttrs)
+	if len(s.arena) == 0 {
+		s.arena = make([]BGPAttrs, attrArenaBlock)
+	}
+	v := &s.arena[0]
+	s.arena = s.arena[1:]
 	*v = a
 	s.attrs[a] = v
 	s.mu.Unlock()
-	p.attrMiss.Add(1)
+	c.attrMiss.Add(1)
+	slot.Store(v)
 	return v
 }
 
@@ -497,11 +591,13 @@ type Stats struct {
 // Stats returns current interning statistics, summed across shards.
 // CommunitySet interning is uncounted (it sits on the attr fast path).
 func (p *Pool) Stats() Stats {
-	st := Stats{
-		AttrHits:   p.attrHits.Load(),
-		AttrMisses: p.attrMiss.Load(),
-		PathHits:   p.pathHits.Load(),
-		PathMisses: p.pathMiss.Load(),
+	var st Stats
+	for i := range p.counters {
+		c := &p.counters[i]
+		st.AttrHits += c.attrHits.Load()
+		st.AttrMisses += c.attrMiss.Load()
+		st.PathHits += c.pathHits.Load()
+		st.PathMisses += c.pathMiss.Load()
 	}
 	for i := range p.shards {
 		s := &p.shards[i]

@@ -28,7 +28,7 @@ func (e Edge) Reverse() Edge {
 type Topology struct {
 	Edges  []Edge
 	byNode map[string][]Edge
-	byEnd  map[endpoint]Edge
+	byIfx  map[endpoint][]Edge
 }
 
 type endpoint struct{ node, iface string }
@@ -60,7 +60,7 @@ func Infer(net *config.Network) *Topology {
 			}
 		}
 	}
-	t := &Topology{byNode: make(map[string][]Edge), byEnd: make(map[endpoint]Edge)}
+	t := &Topology{byNode: make(map[string][]Edge), byIfx: make(map[endpoint][]Edge)}
 	for _, members := range bySubnet {
 		for a := range members {
 			for b := range members {
@@ -86,7 +86,8 @@ func Infer(net *config.Network) *Topology {
 	t.Edges = dedup
 	for _, e := range t.Edges {
 		t.byNode[e.Node1] = append(t.byNode[e.Node1], e)
-		t.byEnd[endpoint{e.Node1, e.Iface1}] = e
+		ep := endpoint{e.Node1, e.Iface1}
+		t.byIfx[ep] = append(t.byIfx[ep], e)
 	}
 	return t
 }
@@ -112,32 +113,19 @@ func (t *Topology) Neighbors(node string) []Edge { return t.byNode[node] }
 // neighbors return false; the forwarding graph resolves those by next-hop
 // IP instead.
 func (t *Topology) EdgeFrom(node, iface string) (Edge, bool) {
-	e, ok := t.byEnd[endpoint{node, iface}]
-	if !ok {
+	es := t.byIfx[endpoint{node, iface}]
+	if len(es) != 1 {
 		return Edge{}, false
 	}
-	// Verify uniqueness.
-	n := 0
-	for _, o := range t.byNode[node] {
-		if o.Iface1 == iface {
-			n++
-		}
-	}
-	if n != 1 {
-		return Edge{}, false
-	}
-	return e, true
+	return es[0], true
 }
 
-// EdgesFrom returns all edges out of (node, iface).
+// EdgesFrom returns all edges out of (node, iface), in canonical order.
+// The returned slice is shared with the topology's index and must not be
+// modified: this lookup sits on the simulator's next-hop resolution hot
+// path, where a per-call copy showed up as pure allocation churn.
 func (t *Topology) EdgesFrom(node, iface string) []Edge {
-	var out []Edge
-	for _, e := range t.byNode[node] {
-		if e.Iface1 == iface {
-			out = append(out, e)
-		}
-	}
-	return out
+	return t.byIfx[endpoint{node, iface}]
 }
 
 // Coloring assigns each node a color such that no two adjacent nodes share
