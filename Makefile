@@ -38,6 +38,7 @@ race:
 	$(GO) test -race -run 'TestParallelismMatchesSerial|TestPoolConcurrentInterning' ./internal/dataplane/ ./internal/routing/
 	$(GO) test -race -run 'TestParallelParseDeterminism|TestIncrementalEquivalence' ./internal/pipeline/ ./internal/core/
 	$(GO) test -race -run 'TestChaos|TestCancel' ./internal/faults/
+	$(GO) test -race -run 'TestSweepDeterminismAcrossWorkers|TestSweepWorkerKillRequeue' ./internal/sweep/
 
 # Race-gated server soak: mixed concurrent workload against batfishd's
 # engine with a persistent cache, then a warm restart over the same

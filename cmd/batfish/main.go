@@ -28,6 +28,19 @@
 // 4 degraded (quarantined devices, budget trips, or recovered panics —
 // results are partial but usable). Degraded runs print a diagnostics
 // summary on stderr.
+//
+// Failure sweep (-sweep): enumerate all k-failure scenarios (links, nodes,
+// BGP sessions per -fail), prune provably-equivalent ones via blast-radius
+// equivalence classes, and run the survivors across a worker pool:
+//
+//	batfish -snapshot DIR -sweep [-k 1|2] [-fail links,nodes,sessions]
+//	        [-sweep-dst CIDR[,CIDR]] [-sweep-src DEV[/IFACE],...]
+//	        [-sweep-workers N]
+//
+// In -sweep mode the exit code is the number of scenarios that regress a
+// monitored flow (capped at 100) so scripts can gate on "any violating
+// failure"; flag errors still exit 2 before the sweep starts, 101 is
+// cancelled, 102 degraded without a countable violation.
 package main
 
 import (
@@ -51,6 +64,7 @@ import (
 	"repro/internal/netgen"
 	"repro/internal/pipeline"
 	"repro/internal/reach"
+	"repro/internal/sweep"
 	"repro/internal/testnet"
 )
 
@@ -79,6 +93,12 @@ func main() {
 		cacheSt   = flag.Bool("cachestats", false, "print pipeline cache statistics after the run")
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole run (0 = none); expiry yields partial results and exit code 3")
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. \"parse:leaf1=panic,dataplane:*=sleep:50ms\"")
+		sweepRun  = flag.Bool("sweep", false, "run a failure-scenario sweep over the snapshot")
+		sweepK    = flag.Int("k", 1, "simultaneous failures per sweep scenario (1 or 2)")
+		sweepFail = flag.String("fail", "links,nodes", "failure kinds to sweep: comma list of links,nodes,sessions")
+		sweepWrk  = flag.Int("sweep-workers", 0, "sweep worker count (0 = GOMAXPROCS)")
+		sweepDst  = flag.String("sweep-dst", "", "monitored destination prefixes, comma-separated CIDRs (default: all)")
+		sweepSrc  = flag.String("sweep-src", "", "monitored sources as DEV or DEV/IFACE, comma-separated (default: host-facing)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -143,6 +163,8 @@ func main() {
 		demoFigure1()
 	case *demo == "badgadget":
 		demoBadGadget()
+	case *snapshot != "" && *sweepRun:
+		code = runSweep(ctx, *snapshot, *sweepK, *sweepFail, *sweepWrk, *sweepDst, *sweepSrc)
 	case *snapshot != "":
 		code = runQuestion(ctx, *snapshot, *question, *node, *iface, *srcIP, *dstIP, *dport)
 	default:
@@ -280,6 +302,109 @@ func runQuestion(ctx context.Context, dir, q, node, iface, src, dst string, dpor
 		fatalf("unknown question %q", q)
 	}
 	return containmentExit(snap)
+}
+
+// Sweep-mode exit codes: the count of violating scenarios doubles as the
+// exit code so shell gates can test "any violating failure" directly. The
+// count is capped below the sentinel codes for cancellation/degradation.
+const (
+	sweepExitMaxViolations = 100
+	sweepExitCancelled     = 101
+	sweepExitDegraded      = 102
+)
+
+// parseSweepSpec translates the -sweep flag family into a sweep.Spec.
+func parseSweepSpec(k int, fail string, workers int, dsts, srcs string) (sweep.Spec, error) {
+	spec := sweep.Spec{K: k, Workers: workers}
+	for _, kind := range strings.Split(fail, ",") {
+		switch strings.TrimSpace(kind) {
+		case "links":
+			spec.Links = true
+		case "nodes":
+			spec.Nodes = true
+		case "sessions":
+			spec.Sessions = true
+		case "":
+		default:
+			return spec, fmt.Errorf("unknown -fail kind %q (want links, nodes, or sessions)", kind)
+		}
+	}
+	if dsts != "" {
+		for _, c := range strings.Split(dsts, ",") {
+			p, err := ip4.ParsePrefix(strings.TrimSpace(c))
+			if err != nil {
+				return spec, fmt.Errorf("bad -sweep-dst %q: %v", c, err)
+			}
+			spec.DstIPs = append(spec.DstIPs, p)
+		}
+	}
+	if srcs != "" {
+		for _, s := range strings.Split(srcs, ",") {
+			dev, ifc, _ := strings.Cut(strings.TrimSpace(s), "/")
+			if dev == "" {
+				return spec, fmt.Errorf("bad -sweep-src entry %q", s)
+			}
+			spec.Sources = append(spec.Sources, reach.SourceLoc{Device: dev, Iface: ifc})
+		}
+	}
+	return spec, nil
+}
+
+// runSweep enumerates, prunes, and executes the failure sweep, streaming
+// violating scenarios as their classes complete and printing a summary.
+func runSweep(ctx context.Context, dir string, k int, fail string, workers int, dsts, srcs string) int {
+	spec, err := parseSweepSpec(k, fail, workers, dsts, srcs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batfish: %v\n", err)
+		return exitUsage
+	}
+	snap, err := batfish.LoadDirContext(ctx, dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, w := range snap.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", w)
+	}
+
+	t0 := time.Now()
+	plan, err := sweep.NewPlan(snap, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batfish: sweep: %v\n", err)
+		return exitUsage
+	}
+	fmt.Printf("sweep: %d scenarios in %d equivalence classes\n",
+		plan.Enumerated(), plan.Classes())
+
+	res, execErr := plan.Execute(ctx, func(v sweep.Verdict) {
+		if v.Violations == 0 && !v.Degraded {
+			return
+		}
+		status := fmt.Sprintf("%d violation(s)", v.Violations)
+		if v.Degraded {
+			status += " [degraded]"
+		}
+		mark := "pruned, stamped from class " + v.Class
+		if v.Executed {
+			mark = "executed"
+		}
+		fmt.Printf("  %-40s %s (%s)\n", v.Scenario, status, mark)
+	})
+	if res != nil {
+		fmt.Printf("sweep: enumerated=%d classes=%d executed=%d pruned=%d violations=%d wall=%v\n",
+			res.Enumerated, res.Classes, res.Executed, res.Pruned, res.Violations,
+			time.Since(t0).Round(time.Millisecond))
+	}
+	switch {
+	case execErr != nil:
+		fmt.Fprintf(os.Stderr, "batfish: sweep cancelled: %v\n", execErr)
+		return sweepExitCancelled
+	case res.Violations > 0:
+		return min(res.Violations, sweepExitMaxViolations)
+	case res.Degraded:
+		return sweepExitDegraded
+	default:
+		return exitOK
+	}
 }
 
 func printTable1() {

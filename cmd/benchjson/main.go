@@ -26,7 +26,11 @@
 //   - the dev-204 parallel benchmark's sched-speedup at 8 workers must be
 //     at least -speedup-floor (the ISSUE 6 exit bar, default 4.0);
 //   - interned route churn must not be slower than non-interned
-//     (BenchmarkIntern/interned ns/op ≤ BenchmarkIntern/not-interned).
+//     (BenchmarkIntern/interned ns/op ≤ BenchmarkIntern/not-interned);
+//   - when a sweep snapshot is present, the failure sweep must prune at
+//     least half of the enumerated scenarios (sweep-prune-ratio ≥ 0.5)
+//     and beat naive cold per-scenario re-analysis by at least 5x
+//     (sweep-speedup ≥ 5), the ISSUE 7 exit bars.
 //
 // Violations exit nonzero with one line per failed floor.
 package main
@@ -62,7 +66,10 @@ type Result struct {
 // — so trajectory diffs can track cache effectiveness without digging
 // through per-benchmark metric maps. Server does the same for the
 // analysis service's metrics (server-*): request latency percentiles and
-// the warm-restart speedup the persistent cache buys.
+// the warm-restart speedup the persistent cache buys. Sweep aggregates
+// the failure-sweep engine's metrics (sweep-*): scenarios enumerated,
+// equivalence classes after pruning, scenarios executed, wall time, and
+// violations found.
 type File struct {
 	Date     string             `json:"date"`
 	GOOS     string             `json:"goos,omitempty"`
@@ -72,6 +79,7 @@ type File struct {
 	Results  []Result           `json:"results"`
 	Pipeline map[string]float64 `json:"pipeline,omitempty"`
 	Server   map[string]float64 `json:"server,omitempty"`
+	Sweep    map[string]float64 `json:"sweep,omitempty"`
 }
 
 // summarize collects metrics matching any of the prefixes across all
@@ -140,6 +148,7 @@ func main() {
 	}
 	doc.Pipeline = summarize(doc.Results, "cache-", "stage-", "intern-")
 	doc.Server = summarize(doc.Results, "server-")
+	doc.Sweep = summarize(doc.Results, "sweep-")
 
 	path := filepath.Join(*outDir, "BENCH_"+doc.Date+".json")
 	prev := ""
@@ -323,6 +332,26 @@ func runCheck(dir, file string, speedupFloor float64) int {
 	default:
 		fmt.Printf("benchjson: check: ok: interned %.0f ns/op <= not-interned %.0f ns/op\n",
 			interned.NsPerOp, notInterned.NsPerOp)
+	}
+
+	// Floor 3: the failure sweep's pruning and speedup bars. Gated on the
+	// summary's presence so snapshots predating the sweep engine still
+	// pass; once a sweep snapshot is committed, regressions fail here.
+	if doc.Sweep != nil {
+		if pr, ok := doc.Sweep["sweep-prune-ratio"]; !ok {
+			fail("sweep summary reports no sweep-prune-ratio metric")
+		} else if pr < 0.5 {
+			fail("sweep-prune-ratio %.2f below floor 0.50", pr)
+		} else {
+			fmt.Printf("benchjson: check: ok: sweep-prune-ratio %.2f >= 0.50\n", pr)
+		}
+		if sp, ok := doc.Sweep["sweep-speedup"]; !ok {
+			fail("sweep summary reports no sweep-speedup metric")
+		} else if sp < 5 {
+			fail("sweep-speedup %.1f below floor 5.0", sp)
+		} else {
+			fmt.Printf("benchjson: check: ok: sweep-speedup %.1f >= 5.0\n", sp)
+		}
 	}
 
 	if failures > 0 {

@@ -79,6 +79,29 @@ func changedDevices(before, after *Snapshot) map[string]bool {
 			changed[name] = true
 		}
 	}
+	// Failure-scenario kinds contribute their endpoints explicitly: a pure
+	// link/node/session failure leaves every parse key identical, and a
+	// failed element whose routes were already unused can leave every
+	// fingerprint identical too — yet the element's forwarding-graph edges
+	// still differ, so its endpoints must count as changed.
+	if sc := after.scenario; sc != nil {
+		for _, l := range sc.LinksDown {
+			changed[l.Node1] = true
+			changed[l.Node2] = true
+		}
+		for _, n := range sc.NodesDown {
+			changed[n] = true
+			// The baseline topology still has the node's edges; each
+			// neighbor loses an adjacency (and with it delivery edges).
+			for _, e := range dp1.Topology.Neighbors(n) {
+				changed[e.Node2] = true
+			}
+		}
+		for _, k := range sc.SessionsDown {
+			changed[k.Node1] = true
+			changed[k.Node2] = true
+		}
+	}
 	for _, name := range modelChanged {
 		n1, n2 := dp1.Topology.Neighbors(name), dp2.Topology.Neighbors(name)
 		if sameTopoEdges(n1, n2) {

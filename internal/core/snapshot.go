@@ -53,9 +53,13 @@ type Snapshot struct {
 	pl      *pipeline.Pipeline
 	texts   map[string]string       // source texts (name → config), for Edit
 	devKeys map[string]pipeline.Key // hostname → parse-artifact key
-	// baseline is the snapshot this one was derived from via Edit; the
-	// question layer uses it for incremental re-analysis.
+	// baseline is the snapshot this one was derived from via Edit or
+	// Apply; the question layer uses it for incremental re-analysis.
 	baseline *Snapshot
+	// scenario is the overlay that derived this snapshot from baseline
+	// (nil for freshly loaded snapshots). Failure kinds contribute their
+	// endpoints to the changed-device set.
+	scenario *Scenario
 
 	opts  dataplane.Options
 	dp    *dataplane.Result
@@ -305,32 +309,18 @@ func LoadGeneratedWithContext(ctx context.Context, pl *pipeline.Pipeline, snap *
 }
 
 // Edit derives a new snapshot by overlaying config changes (name → new
-// text; an empty string removes the device file). The result shares this
-// snapshot's pipeline and options and records this snapshot as its
-// baseline, enabling incremental re-analysis: questions on the edited
-// snapshot recompute only flows whose trajectory can touch a changed
-// device and reuse the baseline's answers for the rest.
+// text; an empty string removes the device file). It is the config-edit
+// special case of Apply: the result shares this snapshot's pipeline and
+// options and records this snapshot as its baseline, enabling incremental
+// re-analysis — questions on the edited snapshot recompute only flows
+// whose trajectory can touch a changed device and reuse the baseline's
+// answers for the rest.
 func (s *Snapshot) Edit(changes map[string]string) *Snapshot {
-	texts := make(map[string]string, len(s.texts)+len(changes))
-	for n, t := range s.texts {
-		texts[n] = t
-	}
-	for n, t := range changes {
-		if t == "" {
-			delete(texts, n)
-		} else {
-			texts[n] = t
-		}
-	}
-	ns := LoadTextWithContext(s.context(), s.pl, texts)
-	ns.opts = s.opts
-	ns.baseline = s
-	ns.bddBudget = s.bddBudget
-	return ns
+	return s.Apply(Scenario{ConfigEdits: changes})
 }
 
-// Baseline returns the snapshot this one was derived from via Edit (nil
-// for freshly loaded snapshots).
+// Baseline returns the snapshot this one was derived from via Edit or
+// Apply (nil for freshly loaded snapshots).
 func (s *Snapshot) Baseline() *Snapshot { return s.baseline }
 
 // Pipeline returns the pipeline this snapshot is bound to (nil for

@@ -168,6 +168,14 @@ func (e *Engine) establishSessions() {
 					continue
 				}
 				s.PeerNode, s.PeerVRF = peerNode, peerVRF
+				// Scenario hold-down dominates viability: a session the
+				// failure overlay removes stays down no matter what the
+				// data plane says.
+				if e.sessDown[s.Key()] {
+					s.DownReason = ScenarioDownReason
+					vs.Sessions = append(vs.Sessions, s)
+					continue
+				}
 				// Single-hop eBGP requires the peer on a connected subnet.
 				if s.EBGP && !n.EBGPMultihop {
 					if _, ok := e.connIface(node, cv.Name, n.PeerIP); !ok {
@@ -232,6 +240,12 @@ func (e *Engine) recheckSessions() bool {
 	for _, s := range e.res.Sessions {
 		if s.PeerNode == "" {
 			continue // incompatible sessions never flip from viability
+		}
+		if s.DownReason == ScenarioDownReason {
+			// Scenario-suppressed sessions are viable but deliberately
+			// down; re-checking viability would flip them every round and
+			// burn the outer loop without converging.
+			continue
 		}
 		viable := true
 		if s.EBGP && !s.Neighbor.EBGPMultihop {

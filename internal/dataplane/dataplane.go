@@ -78,6 +78,11 @@ type Options struct {
 	// durations for the scheduling model (see SchedTrace.ModelSpeedup).
 	// Tracing never alters simulation results.
 	Trace *SchedTrace
+	// Suppress is the failure-scenario overlay: links masked from the
+	// inferred topology, nodes excluded from the run entirely, and BGP
+	// sessions held down. Unlike the fields above it changes simulation
+	// output, so it participates in the pipeline's content-addressed keys.
+	Suppress Suppression
 }
 
 func (o Options) maxIters() int {
@@ -196,6 +201,9 @@ type Result struct {
 	OuterRounds   int
 	Sessions      []*Session
 	Warnings      []string
+	// Suppress is the canonical failure overlay this result was computed
+	// under (persisted, so cache hits re-apply the same mask).
+	Suppress Suppression
 	// Diags are the run's structured failure-containment records:
 	// recovered per-device panics (with the device quarantined from
 	// later phases), iteration-budget trips, oscillations, cancellation.
@@ -209,6 +217,32 @@ type Result struct {
 // diagnostics; degraded results are never cached by the pipeline.
 func (r *Result) Degraded() bool {
 	return r.Cancelled || len(r.Diags) > 0
+}
+
+// DownNodes returns the sorted device names excluded from this run by the
+// scenario overlay (suppressed nodes actually present in the network).
+func (r *Result) DownNodes() []string {
+	var out []string
+	for _, n := range r.Suppress.Nodes {
+		if _, ok := r.Network.Devices[n]; ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DownSet returns DownNodes as a lookup set (nil when nothing is down).
+func (r *Result) DownSet() map[string]bool {
+	down := r.DownNodes()
+	if len(down) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(down))
+	for _, n := range down {
+		m[n] = true
+	}
+	return m
 }
 
 // Engine runs the simulation.
@@ -247,6 +281,14 @@ type Engine struct {
 	// ipOwner maps an interface IP to its owner, for session matching and
 	// next-hop resolution.
 	ipOwner map[ip4.Addr][]ifaceRef
+
+	// sup is the canonical failure overlay for this run. Downed nodes are
+	// excluded from e.names (and so from every phase, the IP-ownership
+	// index, and the connected-prefix index); masked links and downed
+	// nodes are removed from e.topo; sessDown holds the session keys
+	// establishSessions forces down.
+	sup      Suppression
+	sessDown map[SessionKey]bool
 }
 
 type ifaceRef struct {
@@ -261,16 +303,33 @@ type connEntry struct {
 
 // New creates an engine over the parsed network.
 func New(net *config.Network, opts Options) *Engine {
+	sup := opts.Suppress.Canonical()
 	e := &Engine{
 		net:    net,
-		topo:   topo.Infer(net),
+		topo:   topo.Infer(net).Mask(sup.Links, sup.Nodes),
 		opts:   opts,
 		pool:   routing.NewPool(),
 		nodes:  make(map[string]*NodeState),
 		ctx:    context.Background(),
 		failed: make(map[string]bool),
+		sup:    sup,
+	}
+	if len(sup.Sessions) > 0 {
+		e.sessDown = make(map[SessionKey]bool, len(sup.Sessions))
+		for _, k := range sup.Sessions {
+			e.sessDown[k] = true
+		}
 	}
 	e.names = net.DeviceNames()
+	if down := sup.DownSet(); down != nil {
+		kept := e.names[:0]
+		for _, n := range e.names {
+			if !down[n] {
+				kept = append(kept, n)
+			}
+		}
+		e.names = kept
+	}
 	e.nameIdx = make(map[string]int, len(e.names))
 	for i, n := range e.names {
 		e.nameIdx[n] = i
@@ -392,6 +451,7 @@ func (e *Engine) Run() (result *Result) {
 		Topology: e.topo,
 		Nodes:    e.nodes,
 		Pool:     e.pool,
+		Suppress: e.sup,
 	}
 	e.res = r
 

@@ -29,8 +29,9 @@ import (
 
 // persistVersion guards the gob schema; bump on any layout change so
 // stale disk entries decode-fail (and get recomputed) instead of
-// misloading.
-const persistVersion = 1
+// misloading. v2 added the failure-scenario Suppression (the unmarshal
+// path must re-apply the topology mask, not re-infer the full topology).
+const persistVersion = 2
 
 type persistVRF struct {
 	Name          string
@@ -66,6 +67,7 @@ type persistResult struct {
 	BGPIterations int
 	OuterRounds   int
 	Warnings      []string
+	Suppress      Suppression
 }
 
 // MarshalResult encodes a clean result for the persistent cache tier.
@@ -88,6 +90,7 @@ func MarshalResult(r *Result) ([]byte, error) {
 		BGPIterations: r.BGPIterations,
 		OuterRounds:   r.OuterRounds,
 		Warnings:      r.Warnings,
+		Suppress:      r.Suppress,
 	}
 	names := make([]string, 0, len(r.Nodes))
 	for n := range r.Nodes {
@@ -145,7 +148,8 @@ func UnmarshalResult(b []byte) (*Result, error) {
 	clock := &routing.Clock{}
 	r := &Result{
 		Network:       p.Network,
-		Topology:      topo.Infer(p.Network),
+		Topology:      topo.Infer(p.Network).Mask(p.Suppress.Links, p.Suppress.Nodes),
+		Suppress:      p.Suppress,
 		Nodes:         make(map[string]*NodeState, len(p.Nodes)),
 		Pool:          routing.NewPool(),
 		Converged:     p.Converged,

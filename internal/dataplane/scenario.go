@@ -1,0 +1,183 @@
+package dataplane
+
+// Failure-scenario suppression: the simulation-level half of the typed
+// scenario overlay. A Suppression removes elements from the simulated
+// network without touching configuration text — masked links disappear
+// from the inferred topology (killing IGP adjacencies, BGP session
+// viability walks, and forwarding-graph delivery edges in one place),
+// downed nodes are excluded from every phase as if powered off, and held
+// sessions are forced down during establishment. Because the parsed model
+// is untouched, derived snapshots share parse artifacts with their
+// baseline and only the simulation (and everything downstream) reruns.
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ip4"
+	"repro/internal/topo"
+)
+
+// ScenarioDownReason marks a BGP session forced down by a failure
+// scenario rather than by compatibility or viability. recheckSessions
+// skips such sessions: their viability against the data plane is
+// irrelevant while the scenario holds them down.
+const ScenarioDownReason = "held down by scenario"
+
+// SessionKey canonically identifies one BGP session by its two
+// (node, session IP) endpoints, lower endpoint first. Both directions of
+// a session map to the same key.
+type SessionKey struct {
+	Node1 string
+	IP1   ip4.Addr
+	Node2 string
+	IP2   ip4.Addr
+}
+
+// MakeSessionKey canonicalizes the endpoint order.
+func MakeSessionKey(node1 string, ip1 ip4.Addr, node2 string, ip2 ip4.Addr) SessionKey {
+	if node2 < node1 || (node2 == node1 && ip2 < ip1) {
+		node1, ip1, node2, ip2 = node2, ip2, node1, ip1
+	}
+	return SessionKey{Node1: node1, IP1: ip1, Node2: node2, IP2: ip2}
+}
+
+// String renders the canonical "node1:ip1<->node2:ip2" form.
+func (k SessionKey) String() string {
+	return k.Node1 + ":" + k.IP1.String() + "<->" + k.Node2 + ":" + k.IP2.String()
+}
+
+// LessSessionKey is the canonical ordering over session keys.
+func LessSessionKey(a, b SessionKey) bool {
+	if a.Node1 != b.Node1 {
+		return a.Node1 < b.Node1
+	}
+	if a.IP1 != b.IP1 {
+		return a.IP1 < b.IP1
+	}
+	if a.Node2 != b.Node2 {
+		return a.Node2 < b.Node2
+	}
+	return a.IP2 < b.IP2
+}
+
+// Key returns the session's canonical identity. Sessions whose peer was
+// never resolved key with an empty peer node; scenario suppression only
+// matches fully resolved sessions.
+func (s *Session) Key() SessionKey {
+	return MakeSessionKey(s.LocalNode, s.LocalIP, s.PeerNode, s.PeerIP)
+}
+
+// Suppression is the failure overlay applied to one simulation run:
+// links masked from the topology, nodes excluded entirely, and BGP
+// sessions held down. It participates in content-addressed cache keys
+// (see CacheKey), so suppressed runs cache and persist like any other.
+type Suppression struct {
+	Links    []topo.Link
+	Nodes    []string
+	Sessions []SessionKey
+}
+
+// Empty reports whether the suppression removes nothing.
+func (s Suppression) Empty() bool {
+	return len(s.Links) == 0 && len(s.Nodes) == 0 && len(s.Sessions) == 0
+}
+
+// Canonical returns a sorted, deduplicated copy. Scenario identity and
+// cache keys are defined over the canonical form.
+func (s Suppression) Canonical() Suppression {
+	var out Suppression
+	if len(s.Links) > 0 {
+		out.Links = make([]topo.Link, len(s.Links))
+		for i, l := range s.Links {
+			out.Links[i] = l.Canonical()
+		}
+		sort.Slice(out.Links, func(i, j int) bool { return topo.LessLink(out.Links[i], out.Links[j]) })
+		out.Links = dedupSlice(out.Links)
+	}
+	if len(s.Nodes) > 0 {
+		out.Nodes = append([]string(nil), s.Nodes...)
+		sort.Strings(out.Nodes)
+		out.Nodes = dedupSlice(out.Nodes)
+	}
+	if len(s.Sessions) > 0 {
+		out.Sessions = make([]SessionKey, len(s.Sessions))
+		for i, k := range s.Sessions {
+			out.Sessions[i] = MakeSessionKey(k.Node1, k.IP1, k.Node2, k.IP2)
+		}
+		sort.Slice(out.Sessions, func(i, j int) bool { return LessSessionKey(out.Sessions[i], out.Sessions[j]) })
+		out.Sessions = dedupSlice(out.Sessions)
+	}
+	return out
+}
+
+func dedupSlice[T comparable](in []T) []T {
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Merge unions two suppressions into a canonical result.
+func (s Suppression) Merge(o Suppression) Suppression {
+	return Suppression{
+		Links:    append(append([]topo.Link(nil), s.Links...), o.Links...),
+		Nodes:    append(append([]string(nil), s.Nodes...), o.Nodes...),
+		Sessions: append(append([]SessionKey(nil), s.Sessions...), o.Sessions...),
+	}.Canonical()
+}
+
+// CacheKey serializes the canonical suppression for content-addressed
+// artifact keys; the empty suppression yields "" so pre-scenario cache
+// keys are unchanged byte for byte.
+func (s Suppression) CacheKey() string {
+	if s.Empty() {
+		return ""
+	}
+	c := s.Canonical()
+	var b strings.Builder
+	if len(c.Links) > 0 {
+		b.WriteString("links=")
+		for i, l := range c.Links {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.String())
+		}
+	}
+	if len(c.Nodes) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString("nodes=")
+		b.WriteString(strings.Join(c.Nodes, ","))
+	}
+	if len(c.Sessions) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString("sessions=")
+		for i, k := range c.Sessions {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k.String())
+		}
+	}
+	return b.String()
+}
+
+// DownSet returns the suppression's downed nodes as a lookup set.
+func (s Suppression) DownSet() map[string]bool {
+	if len(s.Nodes) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(s.Nodes))
+	for _, n := range s.Nodes {
+		m[n] = true
+	}
+	return m
+}

@@ -318,10 +318,16 @@ func zoneIDs(d *config.Device) map[string]uint32 {
 func (g *Graph) build(ctx context.Context) {
 	aclCache := make(map[string]bdd.Ref)
 	net := g.dp.Network
+	down := g.dp.DownSet()
 	for _, name := range net.DeviceNames() {
 		if ctx.Err() != nil {
 			g.Cancelled = true
 			return
+		}
+		if down[name] {
+			// Scenario-downed devices have no simulated state: no nodes,
+			// no sources, no sinks — packets cannot enter or traverse them.
+			continue
 		}
 		d := net.Devices[name]
 		g.buildDevice(d, aclCache)

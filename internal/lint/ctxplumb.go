@@ -19,6 +19,7 @@ var ctxScope = []string{
 	"repro/internal/core",
 	"repro/internal/dataplane",
 	"repro/internal/server",
+	"repro/internal/sweep",
 }
 
 func (CtxPlumb) Name() string { return "ctx-plumb" }

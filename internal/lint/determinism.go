@@ -24,6 +24,7 @@ var deterministicScope = []string{
 	"repro/internal/fib",
 	"repro/internal/topo",
 	"repro/internal/diag",
+	"repro/internal/sweep",
 }
 
 func (Determinism) Name() string { return "determinism" }

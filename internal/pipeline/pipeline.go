@@ -167,10 +167,16 @@ func (p *Pipeline) sharedEnc() *hdr.Enc {
 // dpOptionsKey serializes the options that affect simulation output.
 // Parallelism is deliberately excluded: results are deterministic across
 // worker counts (PR-1's schedule guarantee), so runs differing only in
-// worker count share artifacts.
+// worker count share artifacts. A failure-scenario suppression is
+// appended in canonical form only when non-empty, keeping every
+// pre-scenario key byte-identical (warm disk caches stay valid).
 func dpOptionsKey(o dataplane.Options) []byte {
-	return []byte(fmt.Sprintf("sched=%d;maxiter=%d;noclocks=%t;fullconv=%t",
-		o.Schedule, o.MaxIterations, o.DisableClocks, o.FullStateConvergence))
+	base := fmt.Sprintf("sched=%d;maxiter=%d;noclocks=%t;fullconv=%t",
+		o.Schedule, o.MaxIterations, o.DisableClocks, o.FullStateConvergence)
+	if sk := o.Suppress.CacheKey(); sk != "" {
+		base += ";suppress=" + sk
+	}
+	return []byte(base)
 }
 
 // DataPlaneKey is the content address of a data-plane run: the simulation

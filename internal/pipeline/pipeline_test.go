@@ -201,3 +201,25 @@ func TestDisabledPipelineNeverCaches(t *testing.T) {
 		t.Error("disabled pipeline must give each graph a fresh encoder")
 	}
 }
+
+func TestDataPlaneKeySuppression(t *testing.T) {
+	p := New(Config{})
+	net, _, keys := p.Parse(testTexts())
+	base := DataPlaneKey(net, keys, dataplane.Options{})
+	// An empty suppression must leave the key byte-identical: pre-scenario
+	// caches (memory and disk) stay valid across this change.
+	empty := DataPlaneKey(net, keys, dataplane.Options{Suppress: dataplane.Suppression{}})
+	if empty != base {
+		t.Error("empty suppression changed the dp key")
+	}
+	sup := dataplane.Suppression{Nodes: []string{"a"}}
+	k1 := DataPlaneKey(net, keys, dataplane.Options{Suppress: sup})
+	if k1 == base {
+		t.Error("suppression must affect the dp key")
+	}
+	// Equivalent non-canonical forms key identically.
+	k2 := DataPlaneKey(net, keys, dataplane.Options{Suppress: dataplane.Suppression{Nodes: []string{"a", "a"}}})
+	if k2 != k1 {
+		t.Error("canonically equal suppressions keyed differently")
+	}
+}

@@ -62,6 +62,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /snapshots/{name}/reachability", s.wrap(s.handleReachability))
 	s.mux.HandleFunc("GET /snapshots/{name}/service-reachable", s.wrap(s.handleServiceReachable))
 	s.mux.HandleFunc("GET /snapshots/{name}/compare", s.wrap(s.handleCompare))
+	s.mux.HandleFunc("POST /snapshots/{name}/sweep", s.wrap(s.handleSweep))
 	s.mux.HandleFunc("GET /snapshots/{name}/diagnostics", s.wrap(s.handleDiagnostics))
 }
 

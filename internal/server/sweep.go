@@ -1,0 +1,236 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/diag"
+	"repro/internal/faults"
+	"repro/internal/ip4"
+	"repro/internal/sweep"
+)
+
+// sweepBody is the POST /snapshots/{name}/sweep request body. All fields
+// are optional; the zero body sweeps k=1 link and node failures from the
+// snapshot's host-facing interfaces.
+type sweepBody struct {
+	K            int      `json:"k"`
+	Fail         []string `json:"fail"`
+	Src          []string `json:"src"`
+	Dst          []string `json:"dst"`
+	Workers      int      `json:"workers"`
+	MaxScenarios int      `json:"max_scenarios"`
+}
+
+// sweepLine is one NDJSON line of the streaming sweep response. The first
+// line has Type "plan" (enumeration and pruning counts, before any
+// execution), each completed scenario produces a "verdict" line as its
+// equivalence class finishes, and the final "summary" line carries the
+// CLI-equivalent exit code — the stream's trailer replaces the
+// X-Batfish-Exit-Code header, which cannot be set once streaming begins.
+type sweepLine struct {
+	Type     string `json:"type"`
+	Snapshot string `json:"snapshot,omitempty"`
+
+	// plan + summary fields
+	Enumerated int `json:"enumerated,omitempty"`
+	Classes    int `json:"classes,omitempty"`
+	Executed   int `json:"executed,omitempty"`
+	Pruned     int `json:"pruned,omitempty"`
+
+	// verdict payload
+	Verdict *sweep.Verdict `json:"verdict,omitempty"`
+
+	// summary fields
+	Violations int    `json:"violations,omitempty"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	ExitCode   int    `json:"exit_code,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// handleSweep runs a failure-scenario sweep over a named snapshot,
+// streaming one NDJSON verdict line per scenario as equivalence classes
+// complete. Planning (enumeration, blast-radius classification, the
+// baseline run) touches the shared BDD factory and therefore holds anMu;
+// execution runs on private per-worker pipelines, so the lock is released
+// before the first verdict is computed and concurrent questions proceed
+// while the sweep executes. The request holds one admission slot for its
+// whole duration.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.entry(name)
+	if !ok {
+		s.m.ClientErrors.Add(1)
+		writeJSON(w, http.StatusNotFound, apiResponse{ExitCode: ExitUsage, Error: "no snapshot " + name})
+		return
+	}
+	spec, err := s.parseSweepBody(r)
+	if err != nil {
+		s.m.ClientErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, apiResponse{ExitCode: ExitUsage, Error: err.Error()})
+		return
+	}
+	if ok, retryAfter := e.br.allow(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown); !ok {
+		s.m.BreakerRejects.Add(1)
+		s.m.Shed503.Add(1)
+		writeShed(w, http.StatusServiceUnavailable, retryAfter,
+			fmt.Sprintf("circuit breaker open for snapshot %s", name))
+		return
+	}
+	ctx, cancel, err := s.reqContext(r)
+	if err != nil {
+		e.br.abort(s.cfg.BreakerThreshold)
+		s.m.ClientErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, apiResponse{ExitCode: ExitUsage, Error: err.Error()})
+		return
+	}
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		e.br.abort(s.cfg.BreakerThreshold)
+		s.rejectAdmission(w, err)
+		return
+	}
+	defer release()
+
+	faults.Fire("server", "sweep")
+
+	// Plan under anMu with the same context hygiene as runQuestion: bind
+	// the request context for the duration, unbind on the clean path, and
+	// discard the snapshot when the run poisoned it.
+	var plan *sweep.Plan
+	var planErr error
+	s.anMu.Lock()
+	snap, err := s.snapshotFor(e)
+	if err != nil {
+		s.anMu.Unlock()
+		e.br.record(s.cfg.BreakerThreshold, false)
+		s.m.ServerErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, apiResponse{ExitCode: ExitError, Error: err.Error()})
+		return
+	}
+	before := len(snap.Diags())
+	snap.WithContext(ctx)
+	panicDiag := diag.Capture(diag.StageQuestion, "sweep", func() {
+		snap.Analysis().WithContext(ctx)
+		plan, planErr = sweep.NewPlan(snap, spec)
+	})
+	snap.WithContext(nil)
+	cancelled := snap.Cancelled()
+	if !cancelled && panicDiag == nil {
+		snap.Analysis().WithContext(nil)
+	}
+	newDiags := snap.Diags()[before:]
+	s.anMu.Unlock()
+
+	switch {
+	case cancelled:
+		e.dropSnap(snap)
+		e.br.abort(s.cfg.BreakerThreshold)
+		s.m.Cancelled.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, apiResponse{Snapshot: name,
+			ExitCode: ExitCancelled, Error: "sweep planning cancelled by deadline"})
+		return
+	case panicDiag != nil || len(newDiags) > 0:
+		if panicDiag != nil {
+			s.m.PanicsRecovered.Add(1)
+			newDiags = append(newDiags, *panicDiag)
+		}
+		e.dropSnap(snap)
+		e.br.record(s.cfg.BreakerThreshold, false)
+		s.m.Degraded.Add(1)
+		writeJSON(w, http.StatusOK, apiResponse{Snapshot: name, ExitCode: ExitDegraded,
+			Diags: diagStrings(newDiags), Error: "sweep planning degraded the snapshot"})
+		return
+	case planErr != nil:
+		e.br.abort(s.cfg.BreakerThreshold)
+		s.m.ClientErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, apiResponse{Snapshot: name,
+			ExitCode: ExitUsage, Error: "sweep: " + planErr.Error()})
+		return
+	}
+
+	// Stream. From here on, status and headers are committed: outcomes
+	// (including cancellation) travel in the trailing summary line.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emitLine := func(l sweepLine) {
+		enc.Encode(l) //nolint:errcheck // client went away; sweep still completes
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emitLine(sweepLine{Type: "plan", Snapshot: name,
+		Enumerated: plan.Enumerated(), Classes: plan.Classes()})
+
+	res, execErr := plan.Execute(ctx, func(v sweep.Verdict) {
+		emitLine(sweepLine{Type: "verdict", Verdict: &v})
+	})
+
+	summary := sweepLine{Type: "summary", Snapshot: name}
+	if res != nil {
+		summary.Enumerated = res.Enumerated
+		summary.Classes = res.Classes
+		summary.Executed = res.Executed
+		summary.Pruned = res.Pruned
+		summary.Violations = res.Violations
+		summary.Degraded = res.Degraded
+	}
+	switch {
+	case execErr != nil:
+		e.br.abort(s.cfg.BreakerThreshold)
+		s.m.Cancelled.Add(1)
+		summary.ExitCode = ExitCancelled
+		summary.Error = "sweep cancelled: " + execErr.Error()
+	case res.Degraded:
+		e.br.record(s.cfg.BreakerThreshold, false)
+		s.m.Degraded.Add(1)
+		summary.ExitCode = ExitDegraded
+	default:
+		e.br.record(s.cfg.BreakerThreshold, true)
+		s.m.OK.Add(1)
+		summary.ExitCode = ExitOK
+	}
+	emitLine(summary)
+}
+
+// parseSweepBody builds the sweep.Spec from the request body. An empty
+// body is valid and yields the default spec.
+func (s *Server) parseSweepBody(r *http.Request) (sweep.Spec, error) {
+	var body sweepBody
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err := dec.Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		return sweep.Spec{}, fmt.Errorf("bad body: %v", err)
+	}
+	spec := sweep.Spec{K: body.K, Workers: body.Workers, MaxScenarios: body.MaxScenarios}
+	for _, kind := range body.Fail {
+		switch kind {
+		case "links":
+			spec.Links = true
+		case "nodes":
+			spec.Nodes = true
+		case "sessions":
+			spec.Sessions = true
+		default:
+			return spec, fmt.Errorf("unknown fail kind %q (want links, nodes, or sessions)", kind)
+		}
+	}
+	srcs, err := parseSourceLocs(body.Src)
+	if err != nil {
+		return spec, err
+	}
+	spec.Sources = srcs
+	for _, c := range body.Dst {
+		p, err := ip4.ParsePrefix(c)
+		if err != nil {
+			return spec, fmt.Errorf("bad dst %q: %v", c, err)
+		}
+		spec.DstIPs = append(spec.DstIPs, p)
+	}
+	return spec, nil
+}

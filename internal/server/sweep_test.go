@@ -1,0 +1,174 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ip4"
+	"repro/internal/pipeline"
+	"repro/internal/reach"
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+// sweepStreamLine mirrors the NDJSON lines of POST /snapshots/{name}/sweep.
+type sweepStreamLine struct {
+	Type       string         `json:"type"`
+	Snapshot   string         `json:"snapshot"`
+	Enumerated int            `json:"enumerated"`
+	Classes    int            `json:"classes"`
+	Executed   int            `json:"executed"`
+	Pruned     int            `json:"pruned"`
+	Verdict    *sweep.Verdict `json:"verdict"`
+	Violations int            `json:"violations"`
+	Degraded   bool           `json:"degraded"`
+	ExitCode   int            `json:"exit_code"`
+	Error      string         `json:"error"`
+}
+
+// TestSweepEndpointStreamsVerdicts runs a default k=1 link+node sweep over
+// the small fabric and requires: a plan line, one verdict line per
+// enumerated scenario (streamed, in class-completion order), a summary
+// trailer with exit code 0, and verdicts byte-identical to an in-process
+// sweep on an independent pipeline.
+func TestSweepEndpointStreamsVerdicts(t *testing.T) {
+	texts := smallFabric()
+	_, ts := newServer(t, server.Config{RequestTimeout: 2 * time.Minute})
+	tc := newTestClient(t, ts)
+	tc.load("sm", texts)
+
+	// Monitor one intra-pod flow (sm-p01-tor01's hosts → sm-p01-tor02's
+	// host subnet) so blast-radius pruning has teeth: the spines and the
+	// other pod fall outside the monitored cone. The dst prefix is
+	// discovered from an in-process parse of the same texts.
+	base := core.LoadTextWith(pipeline.New(pipeline.Config{}), texts)
+	var dst string
+	for _, in := range base.Net.Devices["sm-p01-tor02"].InterfaceNames() {
+		if strings.HasPrefix(in, "host") {
+			p := base.Net.Devices["sm-p01-tor02"].Interfaces[in].Addresses[0]
+			dst = ip4.Prefix{Addr: p.Addr, Len: p.Len}.Canonical().String()
+			break
+		}
+	}
+	if dst == "" {
+		t.Fatal("no host subnet on sm-p01-tor02")
+	}
+	body, _ := json.Marshal(map[string]any{
+		"workers": 4, "src": []string{"sm-p01-tor01/host1"}, "dst": []string{dst}})
+	resp, err := tc.c.Post(ts.URL+"/snapshots/sm/sweep", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	var plan, summary *sweepStreamLine
+	var verdicts []sweep.Verdict
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line sweepStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch line.Type {
+		case "plan":
+			if plan != nil || summary != nil || len(verdicts) > 0 {
+				t.Fatal("plan line must come first, once")
+			}
+			plan = &line
+		case "verdict":
+			if line.Verdict == nil {
+				t.Fatal("verdict line without payload")
+			}
+			verdicts = append(verdicts, *line.Verdict)
+		case "summary":
+			summary = &line
+		default:
+			t.Fatalf("unknown line type %q", line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || summary == nil {
+		t.Fatal("stream missing plan or summary line")
+	}
+	if summary.ExitCode != server.ExitOK || summary.Degraded {
+		t.Fatalf("summary exit %d degraded=%v error=%q", summary.ExitCode, summary.Degraded, summary.Error)
+	}
+	if plan.Enumerated == 0 || plan.Enumerated != summary.Enumerated {
+		t.Fatalf("plan enumerated %d vs summary %d", plan.Enumerated, summary.Enumerated)
+	}
+	if len(verdicts) != summary.Enumerated {
+		t.Fatalf("streamed %d verdicts for %d scenarios", len(verdicts), summary.Enumerated)
+	}
+	if summary.Executed+summary.Pruned != summary.Enumerated || summary.Pruned == 0 {
+		t.Fatalf("executed %d + pruned %d != enumerated %d (or nothing pruned)",
+			summary.Executed, summary.Pruned, summary.Enumerated)
+	}
+	if summary.Violations == 0 {
+		t.Error("a full node sweep must violate some flow (downing a ToR strands its hosts)")
+	}
+
+	// The streamed verdicts, canonically ordered, must be byte-identical
+	// to an in-process sweep of the same spec on an independent pipeline.
+	dstPrefix, err := ip4.ParsePrefix(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sweep.Run(context.Background(), base, sweep.Spec{Workers: 2,
+		Sources: []reach.SourceLoc{{Device: "sm-p01-tor01", Iface: "host1"}},
+		DstIPs:  []ip4.Prefix{dstPrefix}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep.SortVerdicts(verdicts)
+	sweep.SortVerdicts(ref.Verdicts)
+	got, _ := json.Marshal(verdicts)
+	want, _ := json.Marshal(ref.Verdicts)
+	if !bytes.Equal(got, want) {
+		t.Errorf("server verdicts differ from in-process sweep:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestSweepEndpointErrors covers the non-streaming failure paths: unknown
+// snapshot (404), malformed spec (400), and bad timeout (400) — all before
+// headers commit, so they use the JSON envelope with CLI exit codes.
+func TestSweepEndpointErrors(t *testing.T) {
+	_, ts := newServer(t, server.Config{})
+	tc := newTestClient(t, ts)
+	tc.load("sm", smallFabric())
+
+	resp, ar := tc.do(http.MethodPost, "/snapshots/nope/sweep", nil)
+	if resp.StatusCode != http.StatusNotFound || ar.ExitCode != server.ExitUsage {
+		t.Errorf("unknown snapshot: status %d exit %d", resp.StatusCode, ar.ExitCode)
+	}
+	resp, ar = tc.do(http.MethodPost, "/snapshots/sm/sweep",
+		map[string]any{"fail": []string{"gremlins"}})
+	if resp.StatusCode != http.StatusBadRequest || ar.ExitCode != server.ExitUsage {
+		t.Errorf("bad fail kind: status %d exit %d (%s)", resp.StatusCode, ar.ExitCode, ar.Error)
+	}
+	resp, ar = tc.do(http.MethodPost, "/snapshots/sm/sweep",
+		map[string]any{"k": 3})
+	if resp.StatusCode != http.StatusBadRequest || ar.ExitCode != server.ExitUsage {
+		t.Errorf("k=3: status %d exit %d (%s)", resp.StatusCode, ar.ExitCode, ar.Error)
+	}
+	resp, ar = tc.do(http.MethodPost, "/snapshots/sm/sweep?timeout=bogus", nil)
+	if resp.StatusCode != http.StatusBadRequest || ar.ExitCode != server.ExitUsage {
+		t.Errorf("bad timeout: status %d exit %d", resp.StatusCode, ar.ExitCode)
+	}
+}

@@ -1,0 +1,250 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/pipeline"
+)
+
+// classesPerRuntime bounds how many scenario classes one worker runtime
+// answers before it is rebuilt. Each Apply grows the worker's BDD factory
+// (scenario-specific node tables are never freed), so recycling the
+// pipeline periodically keeps a long sweep's memory flat at the cost of
+// re-warming the baseline.
+const classesPerRuntime = 16
+
+// classJob is one equivalence-class representative awaiting execution.
+type classJob struct {
+	id      string
+	retried bool
+}
+
+// jobQueue is a mutex-guarded work queue. A channel would be simpler but
+// cannot express requeue-after-crash without risking deadlock when every
+// worker blocks on a full channel; a slice queue can always accept the
+// retried job back.
+type jobQueue struct {
+	mu   sync.Mutex
+	jobs []classJob
+}
+
+func (q *jobQueue) pop() (classJob, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.jobs) == 0 {
+		return classJob{}, false
+	}
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j, true
+}
+
+func (q *jobQueue) push(j classJob) {
+	q.mu.Lock()
+	q.jobs = append(q.jobs, j)
+	q.mu.Unlock()
+}
+
+// outcome is one class's computed verdicts.
+type outcome struct {
+	sources  []SourceVerdict
+	degraded bool
+}
+
+// workerRT is one worker's private execution runtime: its own pipeline
+// (BDD factories are unsynchronized), its own base snapshot rebuilt from
+// the plan's texts, and a warmed baseline reachability memo so every
+// scenario answers incrementally.
+type workerRT struct {
+	base *core.Snapshot
+}
+
+func (p *Plan) newRT(ctx context.Context) (rt *workerRT, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt, err = nil, fmt.Errorf("sweep: worker runtime build panicked: %v", r)
+		}
+	}()
+	pl := pipeline.New(pipeline.Config{})
+	base := core.LoadTextWithContext(ctx, pl, p.texts)
+	opts := p.opts
+	if p.spec.MaxIterations > 0 {
+		opts.MaxIterations = p.spec.MaxIterations
+	}
+	// Workers saturate the machine collectively; inner simulation stages
+	// run serial so the sweep's parallelism lives at the scenario level.
+	opts.Parallelism = -1
+	opts.Trace, opts.NowNanos = nil, nil
+	base.SetDataPlaneOptions(opts)
+	if p.spec.BDDBudget > 0 {
+		base.SetBDDNodeBudget(p.spec.BDDBudget)
+	}
+	if base.Reachability(p.params); base.Degraded() {
+		return nil, fmt.Errorf("sweep: worker baseline degraded")
+	}
+	return &workerRT{base: base}, nil
+}
+
+// runClass executes one class representative. Panics — injected worker
+// kills included — surface as errors so the caller can requeue the class
+// on a fresh runtime.
+func (w *workerRT) runClass(p *Plan, rep Scenario, id string) (out outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = outcome{}, fmt.Errorf("sweep: class %s: panic: %v", id, r)
+		}
+	}()
+	faults.Fire("sweep", id)
+	snap := w.base.Apply(rep.overlay())
+	flows := snap.Reachability(p.params)
+	return outcome{sources: renderSources(p.sources, flows), degraded: snap.Degraded()}, nil
+}
+
+// Execute runs the plan's class representatives across the worker pool
+// and assembles the full verdict set. emit, when non-nil, receives every
+// scenario's verdict as soon as its class completes (members in canonical
+// enumeration order; calls are serialized). Verdict contents are
+// deterministic for any worker count — only the streaming order varies —
+// and Result.Verdicts is always in canonical enumeration order.
+//
+// On cancellation the partial result is returned alongside ctx.Err();
+// classes that never completed yield Degraded verdicts with no sources.
+func (p *Plan) Execute(ctx context.Context, emit func(Verdict)) (*Result, error) {
+	res := &Result{
+		Enumerated: len(p.scenarios),
+		Classes:    p.Classes(),
+		Executed:   len(p.classIDs),
+		Baseline:   p.baseline,
+	}
+	res.Pruned = res.Enumerated - res.Executed
+
+	// Class → member scenario indices, in enumeration order.
+	members := make(map[string][]int, len(p.classIDs)+1)
+	for i, id := range p.classOf {
+		members[id] = append(members[id], i)
+	}
+
+	var mu sync.Mutex // guards outcomes and serializes emit
+	outcomes := make(map[string]outcome, len(p.classIDs)+1)
+
+	verdictFor := func(idx int, out outcome, have bool) Verdict {
+		sc := p.scenarios[idx]
+		id := sc.ID()
+		v := Verdict{
+			Scenario: id,
+			Class:    p.classOf[idx],
+			Executed: have && id == p.classOf[idx],
+			Sources:  out.sources,
+			Degraded: out.degraded || !have,
+		}
+		if have {
+			v.Violations = p.violationsIn(out.sources)
+		}
+		return v
+	}
+	deliver := func(id string, out outcome) {
+		mu.Lock()
+		defer mu.Unlock()
+		outcomes[id] = out
+		if emit != nil {
+			for _, idx := range members[id] {
+				emit(verdictFor(idx, out, true))
+			}
+		}
+	}
+
+	// The baseline class needs no execution: no failed element touches any
+	// monitored flow, so the baseline verdicts are provably the scenario
+	// verdicts.
+	deliver("", outcome{sources: p.baseline})
+
+	q := &jobQueue{}
+	for _, id := range p.classIDs {
+		q.push(classJob{id: id})
+	}
+	workers := p.spec.Workers
+	if workers > len(p.classIDs) && len(p.classIDs) > 0 {
+		workers = len(p.classIDs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rt *workerRT
+			served := 0
+			for ctx.Err() == nil {
+				job, ok := q.pop()
+				if !ok {
+					return
+				}
+				if rt == nil || served >= classesPerRuntime {
+					nrt, err := p.newRT(ctx)
+					if err != nil {
+						if !job.retried {
+							q.push(classJob{id: job.id, retried: true})
+							continue
+						}
+						deliver(job.id, outcome{degraded: true})
+						continue
+					}
+					rt, served = nrt, 0
+				}
+				out, err := rt.runClass(p, p.classRep[job.id], job.id)
+				served++
+				if err != nil {
+					// The runtime may hold a half-mutated factory; discard it
+					// and retry the class once on a fresh one.
+					rt = nil
+					if !job.retried {
+						q.push(classJob{id: job.id, retried: true})
+						continue
+					}
+					out = outcome{degraded: true}
+				}
+				deliver(job.id, out)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res.Verdicts = make([]Verdict, len(p.scenarios))
+	for i := range p.scenarios {
+		out, have := outcomes[p.classOf[i]]
+		v := verdictFor(i, out, have)
+		if v.Violations > 0 {
+			res.Violations++
+		}
+		if v.Degraded {
+			res.Degraded = true
+		}
+		res.Verdicts[i] = v
+	}
+	return res, ctx.Err()
+}
+
+// Run is the convenience wrapper: plan and execute in one call. The
+// planning stage touches base's pipeline (callers holding a lock for that
+// pipeline should use NewPlan/Execute separately so execution runs
+// unlocked).
+func Run(ctx context.Context, base *core.Snapshot, spec Spec) (*Result, error) {
+	p, err := NewPlan(base, spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(ctx, nil)
+}
+
+// VerdictLess orders verdicts by scenario ID — the canonical order used
+// when comparing verdict sets across runs.
+func VerdictLess(a, b Verdict) bool { return a.Scenario < b.Scenario }
+
+// SortVerdicts sorts a verdict slice into canonical order in place.
+func SortVerdicts(vs []Verdict) {
+	sort.Slice(vs, func(i, j int) bool { return VerdictLess(vs[i], vs[j]) })
+}

@@ -1,0 +1,76 @@
+package topo
+
+import "testing"
+
+func TestLinkCanonicalAndString(t *testing.T) {
+	e := Edge{Node1: "b", Iface1: "e1", Node2: "a", Iface2: "e0"}
+	l := e.Link()
+	if l.Node1 != "a" || l.Iface1 != "e0" || l.Node2 != "b" || l.Iface2 != "e1" {
+		t.Errorf("Edge.Link not canonical: %v", l)
+	}
+	if l != e.Reverse().Link() {
+		t.Error("both edge directions must map to one link")
+	}
+	raw := Link{Node1: "b", Iface1: "e1", Node2: "a", Iface2: "e0"}
+	if raw.Canonical() != l {
+		t.Errorf("Canonical() = %v, want %v", raw.Canonical(), l)
+	}
+	if got := l.String(); got != "a:e0<->b:e1" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestLinksEnumeration(t *testing.T) {
+	net := netWith(t, [][4]string{{"a", "e0", "b", "e0"}, {"b", "e1", "c", "e0"}})
+	links := Infer(net).Links()
+	if len(links) != 2 {
+		t.Fatalf("links = %v, want 2", links)
+	}
+	// Sorted canonical order, one entry per adjacency (not per edge).
+	if links[0].String() != "a:e0<->b:e0" || links[1].String() != "b:e1<->c:e0" {
+		t.Errorf("links = %v", links)
+	}
+}
+
+func TestMask(t *testing.T) {
+	net := netWith(t, [][4]string{{"a", "e0", "b", "e0"}, {"b", "e1", "c", "e0"}, {"c", "e1", "d", "e0"}})
+	full := Infer(net)
+
+	if got := full.Mask(nil, nil); got != full {
+		t.Error("empty mask should return the receiver")
+	}
+
+	// Masking a link removes both directions and nothing else; the
+	// non-canonical orientation must match too.
+	m := full.Mask([]Link{{Node1: "b", Iface1: "e0", Node2: "a", Iface2: "e0"}}, nil)
+	if len(m.Edges) != len(full.Edges)-2 {
+		t.Fatalf("masked edges = %d, want %d", len(m.Edges), len(full.Edges)-2)
+	}
+	if _, ok := m.EdgeFrom("a", "e0"); ok {
+		t.Error("a:e0 edge survived the mask")
+	}
+	if _, ok := m.EdgeFrom("b", "e0"); ok {
+		t.Error("reverse edge survived the mask")
+	}
+	if _, ok := m.EdgeFrom("b", "e1"); !ok {
+		t.Error("unrelated edge was dropped")
+	}
+	if len(full.Edges) != 6 {
+		t.Errorf("receiver was modified: %d edges", len(full.Edges))
+	}
+
+	// Masking a node removes every incident edge and its index entries.
+	n := full.Mask(nil, []string{"b"})
+	if len(n.Edges) != 2 {
+		t.Fatalf("node mask left %d edges, want 2 (c<->d)", len(n.Edges))
+	}
+	if got := n.Neighbors("b"); len(got) != 0 {
+		t.Errorf("downed node still has neighbors: %v", got)
+	}
+	if got := n.Neighbors("a"); len(got) != 0 {
+		t.Errorf("neighbor of downed node kept the dead edge: %v", got)
+	}
+	if _, ok := n.EdgeFrom("c", "e1"); !ok {
+		t.Error("c<->d must survive a b-down mask")
+	}
+}

@@ -24,6 +24,53 @@ func (e Edge) Reverse() Edge {
 	return Edge{Node1: e.Node2, Iface1: e.Iface2, Node2: e.Node1, Iface2: e.Iface1}
 }
 
+// Link is one undirected L3 adjacency in canonical orientation: the
+// lexicographically smaller (node, iface) endpoint is always first, so the
+// two directed edges of a pair map to the same Link value. Links are the
+// unit of failure-scenario overlays ("this link is down").
+type Link struct {
+	Node1, Iface1 string
+	Node2, Iface2 string
+}
+
+// Link returns the edge's canonical undirected link.
+func (e Edge) Link() Link {
+	if e.Node2 < e.Node1 || (e.Node2 == e.Node1 && e.Iface2 < e.Iface1) {
+		return Link{Node1: e.Node2, Iface1: e.Iface2, Node2: e.Node1, Iface2: e.Iface1}
+	}
+	return Link{Node1: e.Node1, Iface1: e.Iface1, Node2: e.Node2, Iface2: e.Iface2}
+}
+
+// String renders the canonical "node1:iface1<->node2:iface2" form used in
+// scenario identifiers and cache keys.
+func (l Link) String() string {
+	return l.Node1 + ":" + l.Iface1 + "<->" + l.Node2 + ":" + l.Iface2
+}
+
+// Canonical reorders the endpoints into the canonical orientation (the
+// lexicographically smaller endpoint first), so links built by hand in
+// either orientation compare equal.
+func (l Link) Canonical() Link {
+	if l.Node2 < l.Node1 || (l.Node2 == l.Node1 && l.Iface2 < l.Iface1) {
+		return Link{Node1: l.Node2, Iface1: l.Iface2, Node2: l.Node1, Iface2: l.Iface1}
+	}
+	return l
+}
+
+// LessLink is the canonical ordering over links.
+func LessLink(a, b Link) bool {
+	if a.Node1 != b.Node1 {
+		return a.Node1 < b.Node1
+	}
+	if a.Iface1 != b.Iface1 {
+		return a.Iface1 < b.Iface1
+	}
+	if a.Node2 != b.Node2 {
+		return a.Node2 < b.Node2
+	}
+	return a.Iface2 < b.Iface2
+}
+
 // Topology is the set of inferred L3 adjacencies.
 type Topology struct {
 	Edges  []Edge
@@ -103,6 +150,53 @@ func lessEdge(a, b Edge) bool {
 		return a.Node2 < b.Node2
 	}
 	return a.Iface2 < b.Iface2
+}
+
+// Links returns the topology's undirected links, sorted and deduplicated.
+func (t *Topology) Links() []Link {
+	out := make([]Link, 0, len(t.Edges)/2)
+	for _, e := range t.Edges {
+		out = append(out, e.Link())
+	}
+	sort.Slice(out, func(i, j int) bool { return LessLink(out[i], out[j]) })
+	dedup := out[:0]
+	for i, l := range out {
+		if i == 0 || l != out[i-1] {
+			dedup = append(dedup, l)
+		}
+	}
+	return dedup
+}
+
+// Mask returns a topology without the given links and without any edge
+// touching one of the given nodes — the edge-level projection of a failure
+// scenario. Indexes are rebuilt; the receiver is never modified. With
+// nothing to mask the receiver is returned unchanged.
+func (t *Topology) Mask(links []Link, nodes []string) *Topology {
+	if len(links) == 0 && len(nodes) == 0 {
+		return t
+	}
+	dropLink := make(map[Link]bool, len(links))
+	for _, l := range links {
+		dropLink[l.Canonical()] = true
+	}
+	dropNode := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		dropNode[n] = true
+	}
+	nt := &Topology{byNode: make(map[string][]Edge), byIfx: make(map[endpoint][]Edge)}
+	for _, e := range t.Edges {
+		if dropNode[e.Node1] || dropNode[e.Node2] || dropLink[e.Link()] {
+			continue
+		}
+		nt.Edges = append(nt.Edges, e)
+	}
+	for _, e := range nt.Edges {
+		nt.byNode[e.Node1] = append(nt.byNode[e.Node1], e)
+		ep := endpoint{e.Node1, e.Iface1}
+		nt.byIfx[ep] = append(nt.byIfx[ep], e)
+	}
+	return nt
 }
 
 // Neighbors returns the edges out of node, in canonical order.
