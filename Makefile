@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet vet-extra lint test race soak check bench benchjson bench-smoke bench-check cover fuzz-smoke
+.PHONY: build vet vet-extra lint test race soak cluster-chaos check bench benchjson bench-smoke bench-check cover fuzz-smoke
 
 # Coverage floor for the caching/incremental layer. The pipeline and core
 # packages carry the correctness-critical cache keying and blast-radius
@@ -46,6 +46,14 @@ race:
 soak:
 	$(GO) test -race -run TestSoak -count=1 ./internal/server/
 
+# Race-gated cluster chaos suite: a 3-member cluster on the 204-device
+# fabric, the snapshot owner killed mid-question; asserts failover within
+# the suspicion window, a byte-identical answer from the new owner, and a
+# warm start from the shared cache. The test carries a `race` build tag,
+# so it exists only under the race detector.
+cluster-chaos:
+	$(GO) test -race -run TestClusterChaos -count=1 ./internal/cluster/
+
 # Short native-fuzzing pass over the vendor parsers: any input must yield
 # a device model, never a panic. Crashers land in testdata/fuzz/ and
 # reproduce with plain `go test`.
@@ -62,7 +70,7 @@ cover:
 		if (t+0 < min+0) { printf "coverage %.1f%% below floor %.1f%%\n", t, min; exit 1 } \
 		else { printf "coverage %.1f%% meets floor %.1f%%\n", t, min } }'
 
-check: vet vet-extra lint test race soak fuzz-smoke bench-smoke bench-check
+check: vet vet-extra lint test race soak cluster-chaos fuzz-smoke bench-smoke bench-check
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

@@ -12,12 +12,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/apt"
 	"repro/internal/bdd"
+	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/datalog"
@@ -867,5 +869,143 @@ func BenchmarkSweep(b *testing.B) {
 		b.ReportMetric(naiveMs, "sweep-naive-est-ms")
 		b.ReportMetric(speedup, "sweep-speedup")
 		b.ReportMetric(float64(coldRuns+prunedChecked), "sweep-spotcheck-ok")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E14: the clustered service. Two costs define the mode: what a
+// forwarding hop adds to a question answered by another member, and how
+// long the cluster takes to evict a dead member (the window during which
+// its snapshots are unreachable before failover re-homes them). Reported
+// as cluster-* metrics; `benchjson -check` enforces that failover p99
+// stays inside the detector's budget and the forwarding overhead stays
+// bounded.
+func BenchmarkCluster(b *testing.B) {
+	gen := netgen.Fabric(netgen.FabricParams{Name: "cl", Spines: 2, Pods: 2,
+		AggPerPod: 2, TorPerPod: 2, HostNetsPerTor: 1, Multipath: true})
+	texts := make(map[string]string, len(gen.Devices))
+	for _, dt := range gen.Devices {
+		texts[dt.Hostname] = dt.Text
+	}
+	body, err := json.Marshal(map[string]any{"configs": texts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hb := 50 * time.Millisecond
+	startNode := func(b *testing.B, id, join string) (*cluster.Node, *httptest.Server) {
+		b.Helper()
+		srv, err := server.New(server.Config{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := cluster.NewNode(cluster.Config{ID: id, Server: srv, Heartbeat: hb})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(n.Handler())
+		b.Cleanup(ts.Close)
+		b.Cleanup(n.Kill)
+		if err := n.Start(context.Background(), ts.URL, join); err != nil {
+			b.Fatal(err)
+		}
+		return n, ts
+	}
+	get := func(b *testing.B, url string) {
+		b.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+	}
+
+	b.Run("forward-overhead", func(b *testing.B) {
+		n1, ts1 := startNode(b, "m1", "")
+		_, ts2 := startNode(b, "m2", ts1.URL)
+		// Find a snapshot m2 owns so asking through m1 costs one hop.
+		name := ""
+		for i := 0; i < 4096 && name == ""; i++ {
+			cand := fmt.Sprintf("snap%04d", i)
+			if cluster.OwnerOf(n1.View().Members, cand).ID == "m2" {
+				name = cand
+			}
+		}
+		if name == "" {
+			b.Fatal("no m2-owned snapshot name found")
+		}
+		resp, err := http.Post(ts2.URL+"/snapshots/"+name, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("load: %d", resp.StatusCode)
+		}
+		q := "/snapshots/" + name + "/reachability"
+		get(b, ts2.URL+q) // warm the snapshot before timing anything
+
+		t0 := time.Now()
+		for i := 0; i < b.N; i++ {
+			get(b, ts2.URL+q) // owner answers directly
+		}
+		localNs := float64(time.Since(t0).Nanoseconds()) / float64(b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			get(b, ts1.URL+q) // one forwarding hop through m1
+		}
+		b.StopTimer()
+		fwdNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(localNs/1e6, "cluster-local-question-ms")
+		b.ReportMetric(fwdNs/1e6, "cluster-forwarded-question-ms")
+		b.ReportMetric((fwdNs-localNs)/1e6, "cluster-forward-hop-ms")
+		if localNs > 0 {
+			b.ReportMetric(fwdNs/localNs, "cluster-forward-overhead")
+		}
+	})
+
+	b.Run("failover", func(b *testing.B) {
+		coord, cts := startNode(b, "m1", "")
+		// SuspectAfter defaults to two heartbeats; the acceptance budget is
+		// that window plus detector-tick and heartbeat slack.
+		budget := 4 * hb
+		episodes := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := fmt.Sprintf("victim-%d", i)
+			n, ts := startNode(b, id, cts.URL)
+			// Joined synchronously; kill it and time the eviction.
+			ts.Listener.Close()
+			ts.CloseClientConnections()
+			n.Kill()
+			t0 := time.Now()
+			for {
+				in := false
+				for _, m := range coord.View().Members {
+					if m.ID == id {
+						in = true
+						break
+					}
+				}
+				if !in {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			episodes = append(episodes, time.Since(t0))
+		}
+		b.StopTimer()
+		sort.Slice(episodes, func(i, j int) bool { return episodes[i] < episodes[j] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(episodes)-1))
+			return float64(episodes[idx].Nanoseconds()) / 1e6
+		}
+		b.ReportMetric(pct(0.50), "cluster-failover-p50-ms")
+		b.ReportMetric(pct(0.99), "cluster-failover-p99-ms")
+		b.ReportMetric(float64(budget.Nanoseconds())/1e6, "cluster-failover-budget-ms")
 	})
 }

@@ -25,6 +25,13 @@
 // SIGINT/SIGTERM drains gracefully: readiness flips, new requests are
 // shed with 503 + Retry-After, and in-flight requests finish (bounded by
 // -drain-timeout). Exit code 0 on a clean drain, 1 otherwise.
+//
+// Cluster mode (-cluster-listen, optionally -cluster-join) runs several
+// batfishd processes as one service: snapshots are owned by rendezvous
+// hash, requests for another member's snapshot are forwarded
+// transparently, a heartbeat failure detector evicts dead members, and
+// with a shared -cache directory the inheriting member warm-starts from
+// the dead member's artifacts. See the cluster quick start in README.md.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/server"
 )
@@ -60,6 +68,11 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		faultSpec    = flag.String("faults", "", "fault-injection spec, e.g. \"server:*=sleep:100ms,diskcache:write=panic:1\"")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+
+		clusterJoin   = flag.String("cluster-join", "", "coordinator URL to join (empty with -cluster-listen = run as coordinator)")
+		clusterListen = flag.String("cluster-listen", "", "advertised base URL for cluster mode, e.g. http://10.0.0.5:8866 (enables clustering)")
+		memberID      = flag.String("member-id", "", "stable cluster member identity (default hostname-pid)")
+		heartbeat     = flag.Duration("heartbeat", 0, "cluster heartbeat interval (0 = default 1s); failure suspected after 2 intervals")
 	)
 	flag.Parse()
 
@@ -95,8 +108,50 @@ func main() {
 	// runtime's; registration lives here (not in the package) so tests
 	// can build many Servers without tripping expvar's duplicate check.
 	expvar.Publish("batfishd", expvar.Func(func() any { return srv.Metrics() }))
+
+	// Cluster mode: wrap the server in a node that routes per-snapshot
+	// requests by ownership. The advertised URL is what other members
+	// dial, so it must be reachable from them (not ":8866").
+	var node *cluster.Node
+	if *clusterListen != "" {
+		id := *memberID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "member"
+			}
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		node, err = cluster.NewNode(cluster.Config{
+			ID:        id,
+			Server:    srv,
+			Heartbeat: *heartbeat,
+			Logf:      func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "batfishd: %v\n", err)
+			os.Exit(1)
+		}
+		if err := node.Start(context.Background(), *clusterListen, *clusterJoin); err != nil {
+			fmt.Fprintf(os.Stderr, "batfishd: cluster join: %v\n", err)
+			os.Exit(1)
+		}
+		role := "member of " + *clusterJoin
+		if *clusterJoin == "" {
+			role = "coordinator"
+		}
+		fmt.Fprintf(os.Stderr, "batfishd: cluster %s at %s (%s)\n", id, *clusterListen, role)
+	} else if *clusterJoin != "" {
+		fmt.Fprintln(os.Stderr, "batfishd: -cluster-join requires -cluster-listen")
+		os.Exit(2)
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
+	if node != nil {
+		mux.Handle("/", node.Handler())
+	} else {
+		mux.Handle("/", srv.Handler())
+	}
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	if *pprofOn {
 		// Off by default: the profiling endpoints disclose internals and
@@ -128,7 +183,14 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	code := 0
-	if err := srv.Drain(ctx); err != nil {
+	// In cluster mode the node drains: it leaves the view (handing its
+	// snapshots to the survivors), stops heartbeating, then drains the
+	// wrapped server. Standalone, the server drains directly.
+	drain := srv.Drain
+	if node != nil {
+		drain = node.Drain
+	}
+	if err := drain(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "batfishd: %v\n", err)
 		code = 1
 	}

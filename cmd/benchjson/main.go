@@ -30,7 +30,12 @@
 //   - when a sweep snapshot is present, the failure sweep must prune at
 //     least half of the enumerated scenarios (sweep-prune-ratio ≥ 0.5)
 //     and beat naive cold per-scenario re-analysis by at least 5x
-//     (sweep-speedup ≥ 5), the ISSUE 7 exit bars.
+//     (sweep-speedup ≥ 5), the ISSUE 7 exit bars;
+//   - when a cluster snapshot is present, member-failure eviction p99
+//     must land inside the detector's budget (cluster-failover-p99-ms ≤
+//     cluster-failover-budget-ms) and a forwarded question must cost at
+//     most 2x a local one (cluster-forward-overhead ≤ 2.0), the ISSUE 8
+//     exit bars.
 //
 // Violations exit nonzero with one line per failed floor.
 package main
@@ -69,7 +74,9 @@ type Result struct {
 // the warm-restart speedup the persistent cache buys. Sweep aggregates
 // the failure-sweep engine's metrics (sweep-*): scenarios enumerated,
 // equivalence classes after pruning, scenarios executed, wall time, and
-// violations found.
+// violations found. Cluster aggregates the clustered service's metrics
+// (cluster-*): member-failure eviction latency percentiles against the
+// detector's budget, and the cost a forwarding hop adds to a question.
 type File struct {
 	Date     string             `json:"date"`
 	GOOS     string             `json:"goos,omitempty"`
@@ -80,6 +87,7 @@ type File struct {
 	Pipeline map[string]float64 `json:"pipeline,omitempty"`
 	Server   map[string]float64 `json:"server,omitempty"`
 	Sweep    map[string]float64 `json:"sweep,omitempty"`
+	Cluster  map[string]float64 `json:"cluster,omitempty"`
 }
 
 // summarize collects metrics matching any of the prefixes across all
@@ -149,6 +157,7 @@ func main() {
 	doc.Pipeline = summarize(doc.Results, "cache-", "stage-", "intern-")
 	doc.Server = summarize(doc.Results, "server-")
 	doc.Sweep = summarize(doc.Results, "sweep-")
+	doc.Cluster = summarize(doc.Results, "cluster-")
 
 	path := filepath.Join(*outDir, "BENCH_"+doc.Date+".json")
 	prev := ""
@@ -351,6 +360,31 @@ func runCheck(dir, file string, speedupFloor float64) int {
 			fail("sweep-speedup %.1f below floor 5.0", sp)
 		} else {
 			fmt.Printf("benchjson: check: ok: sweep-speedup %.1f >= 5.0\n", sp)
+		}
+	}
+
+	// Floor 4: the clustered service's bars, gated like the sweep's on the
+	// summary's presence. Failover p99 must land inside the detector's own
+	// budget (emitted by the benchmark as cluster-failover-budget-ms:
+	// suspicion window + heartbeat slack), and a forwarding hop must not
+	// dominate question cost.
+	if doc.Cluster != nil {
+		p99, okP99 := doc.Cluster["cluster-failover-p99-ms"]
+		budget, okBudget := doc.Cluster["cluster-failover-budget-ms"]
+		switch {
+		case !okP99 || !okBudget:
+			fail("cluster summary missing failover metrics (p99=%v, budget=%v)", okP99, okBudget)
+		case p99 > budget:
+			fail("cluster-failover-p99-ms %.0f over budget %.0f", p99, budget)
+		default:
+			fmt.Printf("benchjson: check: ok: cluster-failover-p99-ms %.0f <= budget %.0f\n", p99, budget)
+		}
+		if ov, ok := doc.Cluster["cluster-forward-overhead"]; !ok {
+			fail("cluster summary reports no cluster-forward-overhead metric")
+		} else if ov > 2.0 {
+			fail("cluster-forward-overhead %.2fx above ceiling 2.0x", ov)
+		} else {
+			fmt.Printf("benchjson: check: ok: cluster-forward-overhead %.2fx <= 2.0x\n", ov)
 		}
 	}
 

@@ -1,0 +1,174 @@
+//go:build race
+
+// The chaos suite runs only under the race detector (`make
+// cluster-chaos`): it exercises the cluster's concurrent failover
+// machinery — detector, forwarder retry, rehydration lease — under real
+// goroutine interleavings, and the race build tag keeps its two full
+// 204-device fabric builds out of the plain tier-1 test run.
+
+package cluster_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/netgen"
+	"repro/internal/server"
+)
+
+func bigFabric() map[string]string {
+	gen := netgen.Fabric(netgen.FabricParams{Name: "cx", Spines: 4, Pods: 10,
+		AggPerPod: 2, TorPerPod: 18, HostNetsPerTor: 1, Multipath: true})
+	texts := make(map[string]string, len(gen.Devices))
+	for _, d := range gen.Devices {
+		texts[d.Hostname] = d.Text
+	}
+	return texts
+}
+
+// TestClusterChaosKillOwnerFailover is the acceptance scenario: a
+// 3-member cluster over one shared cache serves the 204-device fabric;
+// the snapshot's owner is killed while a question is in flight on it; the
+// forwarder must retry the question against the new owner once the
+// failure detector declares the death, and the answer must be
+// byte-identical to a single-process run — with the new owner
+// warm-starting from the dead member's cached artifacts rather than
+// recomputing.
+func TestClusterChaosKillOwnerFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short")
+	}
+	texts := bigFabric()
+	scfg := func(seed int64, dir string) server.Config {
+		return server.Config{Seed: seed, CacheDir: dir, MaxConcurrent: 4,
+			QueueWait: 2 * time.Minute, RequestTimeout: 5 * time.Minute}
+	}
+
+	// Single-process reference answer.
+	ref, err := server.New(scfg(1, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(ref.Handler())
+	t.Cleanup(rts.Close)
+	resp, body := doJSON(t, rts.Client(), http.MethodPut, rts.URL+"/snapshots/ref",
+		map[string]any{"configs": texts}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference load: %d %v", resp.StatusCode, body)
+	}
+	q := "/reachability?" + srcQuery(texts)
+	_, refAns := doJSON(t, rts.Client(), http.MethodGet, rts.URL+"/snapshots/ref"+q, nil, nil)
+	want, _ := refAns["text"].(string)
+	if want == "" {
+		t.Fatalf("reference answer empty: %v", refAns)
+	}
+
+	// 3-member cluster over one shared cache. Heartbeat timings are the
+	// real control loop under test, so they are not test-fast.
+	hb := 500 * time.Millisecond
+	ccfg := cluster.Config{Heartbeat: hb, SuspectAfter: 2 * hb, FailoverWait: 4 * hb}
+	dir := t.TempDir()
+	n1 := startNode(t, "m1", "", scfg(1, dir), ccfg)
+	n2 := startNode(t, "m2", n1.ts.URL, scfg(2, dir), ccfg)
+	n3 := startNode(t, "m3", n1.ts.URL, scfg(3, dir), ccfg)
+	v := waitMembers(t, n1, 3, 5*time.Second)
+
+	// The snapshot must start on m2 and fail over to m3, so the heir's
+	// warm start is observable on a node that never built the snapshot.
+	name := ownedBy(t, v.Members, "m2", "m3")
+	c := n1.ts.Client()
+	resp, body = doJSON(t, c, http.MethodPut, n1.ts.URL+"/snapshots/"+name,
+		map[string]any{"configs": texts}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster load: %d %v", resp.StatusCode, body)
+	}
+
+	// Warm question: commits m2's parse + dataplane artifacts to the
+	// shared cache and proves the forwarded path agrees with the
+	// reference before any chaos.
+	_, warm := doJSON(t, c, http.MethodGet, n1.ts.URL+"/snapshots/"+name+q, nil, nil)
+	if warm["text"] != want {
+		t.Fatalf("pre-chaos forwarded answer differs from single-process run")
+	}
+
+	// Slow the owner's next request so the kill lands mid-question, then
+	// fire the question through the forwarder.
+	restore := faults.Activate(faults.New().Enable("cluster-serve", "m2",
+		faults.Rule{Kind: faults.Sleep, Sleep: 1500 * time.Millisecond, Count: 1}))
+	defer restore()
+	type answer struct {
+		status int
+		hop    string
+		body   map[string]any
+	}
+	done := make(chan answer, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodGet, n1.ts.URL+"/snapshots/"+name+q, nil)
+		resp, err := c.Do(req)
+		if err != nil {
+			done <- answer{status: -1}
+			return
+		}
+		var m map[string]any
+		json.NewDecoder(resp.Body).Decode(&m) //nolint:errcheck // status drives the assertions
+		resp.Body.Close()
+		done <- answer{status: resp.StatusCode, hop: resp.Header.Get(cluster.HopHeader), body: m}
+	}()
+
+	// Let the question reach m2 and park in the injected sleep, then kill
+	// the owner: sever its in-flight connections and stop its loops.
+	time.Sleep(300 * time.Millisecond)
+	t0 := time.Now()
+	// A real kill: stop accepting (or the transport would transparently
+	// re-dial the idempotent GET and the "dead" owner would answer),
+	// sever in-flight connections, stop the cluster loops.
+	n2.ts.Listener.Close()
+	n2.ts.CloseClientConnections()
+	n2.n.Kill()
+
+	// The detector must evict the dead owner within its suspicion window
+	// (2 heartbeats) plus detector-tick slack.
+	v = waitMembers(t, n1, 2, ccfg.SuspectAfter+2*hb)
+	failover := time.Since(t0)
+	for _, m := range v.Members {
+		if m.ID == "m2" {
+			t.Fatal("dead member still in view")
+		}
+	}
+	t.Logf("failover: view healed in %v (suspect window %v)", failover, ccfg.SuspectAfter)
+
+	// The in-flight question must complete on the new owner with the
+	// byte-identical answer.
+	var ans answer
+	select {
+	case ans = <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("question never completed after owner death")
+	}
+	if ans.status != http.StatusOK {
+		t.Fatalf("post-kill question: status %d body %v", ans.status, ans.body)
+	}
+	if ans.hop != "m1" {
+		t.Fatalf("post-kill answer missing forwarder hop header: %q", ans.hop)
+	}
+	if got, _ := ans.body["text"].(string); got != want {
+		t.Fatalf("failover answer differs from single-process run:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Warm start: the heir rehydrated from the manifest and served from
+	// the shared cache the dead member populated — not a cold recompute.
+	if m := n3.n.Metrics(); m.Rehydrations != 1 {
+		t.Fatalf("heir rehydrations = %d, want 1 (%+v)", m.Rehydrations, m)
+	}
+	if d := n3.srv.Metrics().Disk; d.Hits == 0 {
+		t.Fatalf("heir rebuilt cold — no shared-cache hits: %+v", d)
+	}
+	if m := n1.n.Metrics(); m.ForwardRetries == 0 {
+		t.Fatalf("forwarder never retried: %+v", m)
+	}
+}

@@ -1,0 +1,11 @@
+package cluster
+
+import "time"
+
+// now is the package's single wall-clock read site. Membership liveness
+// (heartbeat timestamps, failure-detector cutoffs, failover deadlines)
+// is wall-clock by nature; analysis results never observe it, so the
+// determinism rule is suppressed here and only here.
+func now() time.Time {
+	return time.Now() //gblint:ignore determinism membership liveness is wall-clock control-plane state; simulation outputs never read it
+}

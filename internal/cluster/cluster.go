@@ -1,0 +1,307 @@
+// Package cluster turns independent batfishd servers into one service:
+// a coordinator tracks membership through periodic heartbeats and a
+// timeout failure detector, snapshots are owned by rendezvous hashing
+// over the live member set, and every node transparently forwards
+// requests for snapshots it does not own to the owning member. When the
+// detector declares a member dead the view epoch advances, ownership of
+// its snapshots moves deterministically to the surviving members, and
+// the heir rehydrates them from manifests in the shared content-addressed
+// disk cache — warm-starting from the dead member's parse and dataplane
+// artifacts instead of recomputing them.
+//
+// The design follows the coordinator/member pattern: exactly one node is
+// the coordinator (the one started without a join address) and holds the
+// authoritative view; members learn the view from heartbeat responses.
+// The coordinator is a regular snapshot-serving member too. Coordinator
+// failover is out of scope: if the coordinator dies, members keep
+// serving and forwarding on their cached view but membership freezes.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Roles a member registers with.
+const (
+	RoleCoordinator = "coordinator"
+	RoleMember      = "member"
+)
+
+// HopHeader marks a request as already forwarded once (request side) and
+// names the relaying member (response side). The hop limit is 1: a node
+// receiving a forwarded request for a snapshot it does not own answers
+// 502 instead of forwarding again, so divergent views can never loop a
+// request around the cluster.
+const HopHeader = "X-Batfish-Forwarded-By"
+
+// maxBody bounds buffered request bodies, mirroring the server's limit.
+const maxBody = 64 << 20
+
+// Member is one node's identity in the cluster view.
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"` // base URL, e.g. http://10.0.0.7:7071
+	Role string `json:"role"`
+}
+
+// View is the membership at one epoch. Members are sorted by ID; the
+// epoch advances on every join, leave, and failure-detector removal, so
+// forwarders can wait for "a view newer than the one that failed me".
+type View struct {
+	Epoch   int64    `json:"epoch"`
+	Members []Member `json:"members"`
+}
+
+// clone returns a deep copy safe to hand out without holding locks.
+func (v View) clone() View {
+	out := View{Epoch: v.Epoch, Members: make([]Member, len(v.Members))}
+	copy(out.Members, v.Members)
+	return out
+}
+
+// Config configures one cluster node.
+type Config struct {
+	// ID is the member's stable identity (hash input for ownership).
+	ID string
+	// Server is the wrapped analysis server.
+	Server *server.Server
+	// Heartbeat is the member→coordinator heartbeat period (default 1s).
+	Heartbeat time.Duration
+	// SuspectAfter is how long a member may stay silent before the
+	// detector declares it dead (default 2×Heartbeat — "failover within
+	// two heartbeat intervals").
+	SuspectAfter time.Duration
+	// FailoverWait bounds how long a forwarder waits for a view change
+	// after the owner stops answering (default SuspectAfter+2×Heartbeat:
+	// the detector needs SuspectAfter to notice, plus heartbeat slack for
+	// the new view to propagate).
+	FailoverWait time.Duration
+	// ForwardRetries is how many times a forwarder re-resolves the owner
+	// after a transport failure before giving up with 502 (default 2).
+	ForwardRetries int
+	// Client performs forwarded and cluster-control requests (default: a
+	// dedicated client; the shared http.DefaultClient is never mutated).
+	Client *http.Client
+	// Logf, when set, receives membership and failover events.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) defaults() error {
+	if c.ID == "" {
+		return fmt.Errorf("cluster: config needs a member ID")
+	}
+	if c.Server == nil {
+		return fmt.Errorf("cluster: config needs a server")
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2 * c.Heartbeat
+	}
+	if c.FailoverWait <= 0 {
+		c.FailoverWait = c.SuspectAfter + 2*c.Heartbeat
+	}
+	if c.ForwardRetries == 0 {
+		c.ForwardRetries = 2
+	}
+	if c.ForwardRetries < 0 {
+		c.ForwardRetries = 0
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Node is one cluster member wrapping a server.Server. Construct with
+// NewNode, wire Handler into a listener, then Start.
+type Node struct {
+	cfg   Config
+	inner *server.Server
+	mux   *http.ServeMux
+
+	mu          sync.Mutex
+	self        Member
+	coordinator bool
+	coordAddr   string // coordinator base URL (members only)
+	view        View
+	lastSeen    map[string]time.Time // coordinator: member ID → last heartbeat
+	draining    bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	loops    sync.WaitGroup
+
+	m nodeCounters
+}
+
+// NewNode builds a node around the given server and registers the
+// cluster metrics hook. The node is inert until Start.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:      cfg,
+		inner:    cfg.Server,
+		mux:      http.NewServeMux(),
+		lastSeen: make(map[string]time.Time),
+		stop:     make(chan struct{}),
+	}
+	n.routes()
+	n.inner.SetClusterMetrics(func() any { return n.Metrics() })
+	return n, nil
+}
+
+// Handler serves the node's full surface: the wrapped server's API with
+// ownership routing, plus the /cluster/* control endpoints.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Start brings the node online. An empty joinAddr makes this node the
+// coordinator; otherwise it registers with the coordinator at joinAddr
+// and starts heartbeating. advertiseAddr is the base URL other members
+// reach this node at. The background loops stop when ctx is cancelled,
+// Kill is called, or Drain completes.
+func (n *Node) Start(ctx context.Context, advertiseAddr, joinAddr string) error {
+	self := Member{ID: n.cfg.ID, Addr: advertiseAddr, Role: RoleMember}
+	if joinAddr == "" {
+		self.Role = RoleCoordinator
+		n.mu.Lock()
+		n.self = self
+		n.coordinator = true
+		n.view = View{Epoch: 1, Members: []Member{self}}
+		n.lastSeen[self.ID] = now()
+		n.mu.Unlock()
+		n.loops.Add(1)
+		go n.detectLoop(ctx)
+		n.cfg.Logf("cluster: %s coordinating at %s", self.ID, advertiseAddr)
+		return nil
+	}
+	n.mu.Lock()
+	n.self = self
+	n.coordAddr = joinAddr
+	n.mu.Unlock()
+	v, err := n.postMember(ctx, joinAddr+"/cluster/join", self)
+	if err != nil {
+		return fmt.Errorf("cluster: join %s: %w", joinAddr, err)
+	}
+	n.setView(v)
+	n.loops.Add(1)
+	go n.heartbeatLoop(ctx)
+	n.cfg.Logf("cluster: %s joined %s (epoch %d)", self.ID, joinAddr, v.Epoch)
+	return nil
+}
+
+// Kill stops the node's background loops without leaving the cluster or
+// draining — the crash path (tests pair it with closing the listener).
+// The coordinator's failure detector must notice the silence.
+func (n *Node) Kill() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.loops.Wait()
+}
+
+// Drain takes the node out of service gracefully: hand off snapshot
+// ownership by leaving the view (so new requests route to the heirs,
+// which rehydrate from the shared cache), stop heartbeating, then drain
+// the wrapped server — new work is rejected with 503, in-flight work
+// finishes (bounded by ctx).
+func (n *Node) Drain(ctx context.Context) error {
+	n.mu.Lock()
+	already := n.draining
+	n.draining = true
+	coordinator, coordAddr, self := n.coordinator, n.coordAddr, n.self
+	n.mu.Unlock()
+	if !already {
+		if coordinator {
+			n.mu.Lock()
+			if n.removeMemberLocked(self.ID) {
+				n.view.Epoch++
+			}
+			n.mu.Unlock()
+		} else if _, err := n.postMember(ctx, coordAddr+"/cluster/leave", self); err != nil {
+			n.cfg.Logf("cluster: %s leave failed: %v", self.ID, err)
+		}
+		n.stopOnce.Do(func() { close(n.stop) })
+		n.loops.Wait()
+		n.cfg.Logf("cluster: %s drained out of the view", self.ID)
+	}
+	return n.inner.Drain(ctx)
+}
+
+// View returns the node's current membership view.
+func (n *Node) View() View {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.clone()
+}
+
+// setView adopts a newer view learned from the coordinator.
+func (n *Node) setView(v View) {
+	n.mu.Lock()
+	if v.Epoch > n.view.Epoch {
+		n.view = v.clone()
+	}
+	n.mu.Unlock()
+}
+
+// setMemberLocked upserts a member into the sorted view, reporting
+// whether the view changed. Callers hold n.mu and bump the epoch on
+// change.
+func (n *Node) setMemberLocked(m Member) bool {
+	for i, cur := range n.view.Members {
+		if cur.ID == m.ID {
+			if cur == m {
+				return false
+			}
+			n.view.Members[i] = m
+			return true
+		}
+	}
+	n.view.Members = append(n.view.Members, m)
+	sort.Slice(n.view.Members, func(i, j int) bool {
+		return n.view.Members[i].ID < n.view.Members[j].ID
+	})
+	return true
+}
+
+// removeMemberLocked drops a member from the view, reporting whether it
+// was present. Callers hold n.mu and bump the epoch on change.
+func (n *Node) removeMemberLocked(id string) bool {
+	for i, cur := range n.view.Members {
+		if cur.ID == id {
+			n.view.Members = append(n.view.Members[:i], n.view.Members[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// nodeCounters is the node's hot-path instrumentation.
+type nodeCounters struct {
+	forwarded         atomic.Int64
+	forwardRetries    atomic.Int64
+	forwardLoops      atomic.Int64
+	forwardFailed     atomic.Int64
+	relayed429        atomic.Int64
+	relayed503        atomic.Int64
+	heartbeatsSent    atomic.Int64
+	heartbeatsMissed  atomic.Int64
+	heartbeatsDropped atomic.Int64
+	membersFailed     atomic.Int64
+	rehydrations      atomic.Int64
+	manifestPuts      atomic.Int64
+	sweepClassesIn    atomic.Int64
+	sweepFallback     atomic.Int64
+}

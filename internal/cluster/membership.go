@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// heartbeatLoop is the member side of the failure detector: one POST to
+// the coordinator per period. The response carries the current view, so
+// membership changes propagate to every member within one heartbeat.
+// The "cluster-heartbeat" fault stage drops heartbeats for partition
+// experiments — the coordinator then declares this member dead even
+// though it is still serving.
+func (n *Node) heartbeatLoop(ctx context.Context) {
+	defer n.loops.Done()
+	t := time.NewTicker(n.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.mu.Lock()
+		self, coordAddr := n.self, n.coordAddr
+		n.mu.Unlock()
+		if err := faults.FireErr("cluster-heartbeat", self.ID); err != nil {
+			n.m.heartbeatsDropped.Add(1)
+			continue
+		}
+		v, err := n.postMember(ctx, coordAddr+"/cluster/heartbeat", self)
+		if err != nil {
+			n.m.heartbeatsMissed.Add(1)
+			continue
+		}
+		n.m.heartbeatsSent.Add(1)
+		n.setView(v)
+	}
+}
+
+// detectLoop is the coordinator side: every half heartbeat it reaps
+// members whose last heartbeat is older than SuspectAfter. Removal bumps
+// the epoch, which reassigns the dead member's snapshots by rendezvous
+// hash and unblocks forwarders waiting in awaitViewChange.
+func (n *Node) detectLoop(ctx context.Context) {
+	defer n.loops.Done()
+	t := time.NewTicker(n.cfg.Heartbeat / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.reapDead()
+	}
+}
+
+// reapDead removes members silent past the suspicion window.
+func (n *Node) reapDead() {
+	cutoff := now().Add(-n.cfg.SuspectAfter)
+	n.mu.Lock()
+	var dead []string
+	for id, seen := range n.lastSeen {
+		if id != n.self.ID && seen.Before(cutoff) {
+			dead = append(dead, id)
+		}
+	}
+	sort.Strings(dead)
+	for _, id := range dead {
+		delete(n.lastSeen, id)
+		n.removeMemberLocked(id)
+	}
+	if len(dead) > 0 {
+		n.view.Epoch++
+		n.m.membersFailed.Add(int64(len(dead)))
+	}
+	epoch := n.view.Epoch
+	n.mu.Unlock()
+	for _, id := range dead {
+		n.cfg.Logf("cluster: member %s declared dead (epoch %d)", id, epoch)
+	}
+}
+
+// handleJoin registers a member and returns the new view (coordinator
+// only).
+func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
+	n.handleRegistration(w, r, true)
+}
+
+// handleHeartbeat refreshes a member's liveness and returns the current
+// view (coordinator only). An unknown member — reaped during a
+// partition, now healed — is re-admitted.
+func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	n.handleRegistration(w, r, false)
+}
+
+func (n *Node) handleRegistration(w http.ResponseWriter, r *http.Request, join bool) {
+	var m Member
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&m); err != nil || m.ID == "" || m.Addr == "" {
+		writeClusterError(w, http.StatusBadRequest, "bad member body")
+		return
+	}
+	n.mu.Lock()
+	if !n.coordinator {
+		n.mu.Unlock()
+		writeClusterError(w, http.StatusMisdirectedRequest, "not the coordinator")
+		return
+	}
+	m.Role = RoleMember
+	n.lastSeen[m.ID] = now()
+	if n.setMemberLocked(m) {
+		n.view.Epoch++
+		if join {
+			n.cfg.Logf("cluster: member %s joined (epoch %d)", m.ID, n.view.Epoch)
+		} else {
+			n.cfg.Logf("cluster: member %s re-admitted by heartbeat (epoch %d)", m.ID, n.view.Epoch)
+		}
+	}
+	v := n.view.clone()
+	n.mu.Unlock()
+	writeViewJSON(w, v)
+}
+
+// handleLeave removes a member from the view (coordinator only) — the
+// graceful-drain handoff: ownership moves before the leaver stops
+// serving, so forwarders never see a gap.
+func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var m Member
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&m); err != nil || m.ID == "" {
+		writeClusterError(w, http.StatusBadRequest, "bad member body")
+		return
+	}
+	n.mu.Lock()
+	if !n.coordinator {
+		n.mu.Unlock()
+		writeClusterError(w, http.StatusMisdirectedRequest, "not the coordinator")
+		return
+	}
+	delete(n.lastSeen, m.ID)
+	if n.removeMemberLocked(m.ID) {
+		n.view.Epoch++
+		n.cfg.Logf("cluster: member %s left (epoch %d)", m.ID, n.view.Epoch)
+	}
+	v := n.view.clone()
+	n.mu.Unlock()
+	writeViewJSON(w, v)
+}
+
+// handleMembers returns the view: authoritative on the coordinator, the
+// cached copy on members. Forwarders poll it while waiting for failover.
+func (n *Node) handleMembers(w http.ResponseWriter, r *http.Request) {
+	writeViewJSON(w, n.View())
+}
+
+// handleClusterDrain drains this node (the HTTP twin of the SIGTERM
+// path): ownership handoff, then finish-in-flight, bounded by the
+// request context.
+func (n *Node) handleClusterDrain(w http.ResponseWriter, r *http.Request) {
+	if err := n.Drain(r.Context()); err != nil {
+		writeClusterError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeViewJSON(w, n.View())
+}
+
+// postMember POSTs a member body and decodes the view response.
+func (n *Node) postMember(ctx context.Context, url string, m Member) (View, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return View{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return View{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return View{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return View{}, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	var v View
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v); err != nil {
+		return View{}, err
+	}
+	return v, nil
+}
+
+// fetchView returns the freshest view reachable: the local authoritative
+// one on the coordinator, the coordinator's via HTTP on members (falling
+// back to the cached view when the coordinator is unreachable).
+func (n *Node) fetchView(ctx context.Context) View {
+	n.mu.Lock()
+	coordinator, coordAddr, cached := n.coordinator, n.coordAddr, n.view.clone()
+	n.mu.Unlock()
+	if coordinator {
+		return cached
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, coordAddr+"/cluster/members", nil)
+	if err != nil {
+		return cached
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return cached
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode != http.StatusOK ||
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v) != nil {
+		return cached
+	}
+	n.setView(v)
+	return v
+}
+
+func writeViewJSON(w http.ResponseWriter, v View) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away
+}
+
+func writeClusterError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+}

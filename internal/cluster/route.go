@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/server"
+)
+
+// routes wires the node's mux: cluster control endpoints first, then the
+// catch-all ownership router in front of the wrapped server.
+func (n *Node) routes() {
+	n.mux.HandleFunc("POST /cluster/join", n.handleJoin)
+	n.mux.HandleFunc("POST /cluster/heartbeat", n.handleHeartbeat)
+	n.mux.HandleFunc("POST /cluster/leave", n.handleLeave)
+	n.mux.HandleFunc("GET /cluster/members", n.handleMembers)
+	n.mux.HandleFunc("POST /cluster/drain", n.handleClusterDrain)
+	n.mux.HandleFunc("POST /cluster/sweep-exec/{name}", n.handleSweepExec)
+	n.mux.HandleFunc("/", n.route)
+}
+
+// OwnerOf resolves a snapshot's owning member by rendezvous hashing:
+// the member whose sha256(id NUL name) scores highest. Deterministic for
+// a member set, independent of member order, and minimally disturbed by
+// membership changes — a dead member's snapshots redistribute across the
+// survivors without moving anything else (the same construction
+// sweep.PartitionClasses uses for class distribution). The zero Member
+// is returned for an empty view.
+func OwnerOf(members []Member, name string) Member {
+	var best Member
+	var bestScore [sha256.Size]byte
+	for _, m := range members {
+		h := sha256.New()
+		h.Write([]byte(m.ID))
+		h.Write([]byte{0})
+		h.Write([]byte(name))
+		var score [sha256.Size]byte
+		h.Sum(score[:0])
+		if best.ID == "" || bytes.Compare(score[:], bestScore[:]) > 0 {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}
+
+// snapshotPath splits a per-snapshot API path into the snapshot name and
+// the trailing subresource ("" for /snapshots/{name} itself). Non-
+// snapshot paths yield "".
+func snapshotPath(path string) (name, rest string) {
+	p, ok := strings.CutPrefix(path, "/snapshots/")
+	if !ok || p == "" {
+		return "", ""
+	}
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i], p[i:]
+	}
+	return p, ""
+}
+
+// route is the ownership router in front of every per-snapshot endpoint:
+// own the snapshot → serve locally (rehydrating from the shared cache if
+// this node just inherited it); someone else owns it → forward, unless
+// the request was already forwarded once (hop limit 1 → 502).
+// Non-snapshot paths (/healthz, /metrics, /snapshots listing) always
+// serve locally.
+func (n *Node) route(w http.ResponseWriter, r *http.Request) {
+	name, rest := snapshotPath(r.URL.Path)
+	if name == "" {
+		n.inner.Handler().ServeHTTP(w, r)
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeClusterError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return
+	}
+	view := n.View()
+	owner := OwnerOf(view.Members, name)
+	if owner.ID == "" || owner.ID == n.cfg.ID {
+		n.serveLocal(w, r, name, rest, body)
+		return
+	}
+	if via := r.Header.Get(HopHeader); via != "" {
+		// Forwarded here by a member whose view disagrees with ours. The
+		// benign cause is our own view being stale — a failover forwarder
+		// learns a new epoch from the coordinator before we hear it in a
+		// heartbeat response — so refresh from the coordinator before
+		// judging. If the fresh view says we own it, serve; otherwise one
+		// hop is the limit: answer 502 so the sender retries against a
+		// fresher view instead of the request orbiting the cluster.
+		fresh := n.fetchView(r.Context())
+		owner = OwnerOf(fresh.Members, name)
+		if owner.ID == "" || owner.ID == n.cfg.ID {
+			n.serveLocal(w, r, name, rest, body)
+			return
+		}
+		n.m.forwardLoops.Add(1)
+		w.Header().Set(HopHeader, n.cfg.ID)
+		writeClusterError(w, http.StatusBadGateway,
+			"forwarding loop: "+via+" forwarded "+name+" here but "+owner.ID+" owns it")
+		return
+	}
+	n.forward(w, r, name, body, view)
+}
+
+// serveLocal answers an owned snapshot request through the wrapped
+// server, first rehydrating the snapshot from its shared-cache manifest
+// when this node inherited ownership without ever loading it. Successful
+// loads and edits persist manifests so the next heir can do the same;
+// deletes retire them.
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, name, rest string, body []byte) {
+	if err := faults.FireErr("cluster-serve", n.cfg.ID); err != nil {
+		writeClusterError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	isLoad := rest == "" && (r.Method == http.MethodPut || r.Method == http.MethodPost)
+	if !isLoad && !n.inner.HasSnapshot(name) {
+		n.rehydrate(r.Context(), name)
+	}
+	if rest == "/sweep" && r.Method == http.MethodPost {
+		if view := n.View(); len(view.Members) > 1 && n.inner.HasSnapshot(name) {
+			n.serveClusterSweep(w, r, name, body, view)
+			return
+		}
+	}
+	rec := &statusRecorder{ResponseWriter: w}
+	n.inner.Handler().ServeHTTP(rec, r)
+	if rec.status != http.StatusOK {
+		return
+	}
+	switch {
+	case isLoad:
+		n.persistManifest(name)
+	case rest == "/edit" && r.Method == http.MethodPost:
+		if as := editTarget(body); as != "" {
+			n.persistManifest(as)
+		}
+	case rest == "" && r.Method == http.MethodDelete:
+		n.retireManifest(name)
+	}
+}
+
+// editTarget extracts the "as" name from an edit body.
+func editTarget(body []byte) string {
+	var b struct {
+		As string `json:"as"`
+	}
+	if json.Unmarshal(body, &b) != nil {
+		return ""
+	}
+	return b.As
+}
+
+// readBody buffers the request body (bounded) so it can be replayed:
+// forwarding retries re-send it, and the edit path re-reads it for the
+// manifest name. The request's Body is replaced with the buffer.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	if r.Body == nil {
+		return nil, nil
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		return nil, err
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	return body, nil
+}
+
+// statusRecorder captures the response status while passing streaming
+// writes (and flushes — sweeps are NDJSON) straight through.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// writeShedErr relays an admission rejection (429/503 + Retry-After)
+// from the wrapped server onto the cluster-internal wire.
+func writeShedErr(w http.ResponseWriter, err error) bool {
+	se, ok := err.(*server.ShedError)
+	if !ok {
+		return false
+	}
+	secs := int(se.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeClusterError(w, se.Status, se.Reason)
+	return true
+}

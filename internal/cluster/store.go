@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"time"
+
+	"repro/internal/diskcache"
+)
+
+// The shared disk cache doubles as the cluster's snapshot manifest
+// store. A manifest records a snapshot's full source set under a
+// name-derived key; when ownership fails over, the heir loads the
+// manifest and reinstalls the snapshot — and because the dead member
+// committed its parse and dataplane artifacts to the same cache under
+// content-addressed keys, the reinstall is a warm start, not a
+// recompute. Manifests are JSON (map keys marshal sorted, so equal
+// snapshots produce equal bytes).
+
+// manifest is the persisted form of one snapshot's sources. Edited
+// snapshots persist their flattened source set: the edit chain is lost
+// across failover, but analysis over the flattened texts is identical.
+type manifest struct {
+	Name    string            `json:"name"`
+	Configs map[string]string `json:"configs"`
+}
+
+// manifestKey derives the cache key for a snapshot's manifest. Unlike
+// artifact keys it is name-addressed, not content-addressed; commits are
+// atomic temp+rename writes, so concurrent re-loads of the same snapshot
+// leave one complete manifest, never a torn one.
+func manifestKey(name string) [sha256.Size]byte {
+	return sha256.Sum256([]byte("cluster/manifest/" + name))
+}
+
+// persistManifest writes the snapshot's manifest to the shared cache.
+// Best-effort: a node without a disk tier simply has no failover
+// durability (and says so once per load via Logf).
+func (n *Node) persistManifest(name string) {
+	disk := n.inner.Disk()
+	if disk == nil {
+		n.cfg.Logf("cluster: no shared cache; snapshot %s will not survive this member", name)
+		return
+	}
+	configs, ok := n.inner.SnapshotSources(name)
+	if !ok {
+		return
+	}
+	buf, err := json.Marshal(manifest{Name: name, Configs: configs})
+	if err != nil {
+		return
+	}
+	disk.Put(manifestKey(name), buf)
+	n.m.manifestPuts.Add(1)
+}
+
+// retireManifest removes a deleted snapshot's manifest so failover does
+// not resurrect it.
+func (n *Node) retireManifest(name string) {
+	if disk := n.inner.Disk(); disk != nil {
+		disk.Remove(manifestKey(name))
+	}
+}
+
+// rehydrate installs a snapshot this node owns but never loaded — the
+// failover path. A short lease keyed on the snapshot serializes
+// concurrent heirs (two nodes can transiently both believe they own a
+// name while a view change propagates); losing the lease race just means
+// waiting briefly and retrying the manifest read, since the winner's
+// work lands in the same shared cache. Returns whether the snapshot is
+// now present.
+func (n *Node) rehydrate(ctx context.Context, name string) bool {
+	disk := n.inner.Disk()
+	if disk == nil {
+		return false
+	}
+	lease, err := disk.AcquireLease("cluster/rehydrate/"+name, n.cfg.ID, n.cfg.FailoverWait)
+	if errors.Is(err, diskcache.ErrLeaseHeld) {
+		// Another heir is rebuilding right now. Wait one beat; whether or
+		// not it finished, fall through and rebuild from the (warm) cache.
+		t := time.NewTimer(n.cfg.Heartbeat)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return false
+		case <-t.C:
+		}
+	}
+	buf, ok := disk.Get(manifestKey(name))
+	if !ok {
+		if err == nil {
+			lease.Release()
+		}
+		return false
+	}
+	var m manifest
+	if json.Unmarshal(buf, &m) != nil || len(m.Configs) == 0 {
+		if err == nil {
+			lease.Release()
+		}
+		return false
+	}
+	installErr := n.inner.InstallSnapshot(ctx, name, m.Configs)
+	if err == nil {
+		lease.Release()
+	}
+	if installErr != nil {
+		n.cfg.Logf("cluster: rehydrate %s failed: %v", name, installErr)
+		return false
+	}
+	n.m.rehydrations.Add(1)
+	n.cfg.Logf("cluster: %s rehydrated inherited snapshot %s from shared cache", n.cfg.ID, name)
+	return true
+}

@@ -12,6 +12,13 @@
 // or a dropped write (Put) plus a counter, so analysis correctness is
 // independent of disk health. Capacity is bounded by bytes with LRU
 // eviction (recency seeded from file mtimes across restarts).
+//
+// A directory may be shared by several processes (the cluster's shared
+// artifact store): commits, eviction removals, and the recovery scan
+// coordinate through a directory flock (lock.go), a Get that misses the
+// in-memory index falls through to the directory and adopts entries
+// committed by other processes, and named leases (lease.go) give callers
+// advisory cross-process mutual exclusion with crash-orphan recovery.
 package diskcache
 
 import (
@@ -63,9 +70,17 @@ type Stats struct {
 	Evictions   uint64 // entries removed by the byte bound
 	Quarantined uint64 // corrupt/truncated entries moved aside (Get + scan)
 	ScanRemoved uint64 // orphan temp files removed by the recovery scan
-	Entries     int    // committed entries currently indexed
-	Bytes       int64  // committed bytes currently indexed
-	MaxBytes    int64
+
+	// Multi-process sharing (cluster artifact store).
+	Adopted         uint64 // entries another process committed, indexed on Get
+	Removed         uint64 // entries deleted via Remove
+	LeasesAcquired  uint64 // AcquireLease grants (including refreshes)
+	LeasesContended uint64 // AcquireLease refusals: live lease held elsewhere
+	LeaseOrphans    uint64 // expired/torn leases reclaimed (acquire + scan)
+
+	Entries  int   // committed entries currently indexed
+	Bytes    int64 // committed bytes currently indexed
+	MaxBytes int64
 }
 
 // Cache is a directory-backed artifact store. All methods are safe for
@@ -100,14 +115,22 @@ func Open(dir string, opts Options) (*Cache, error) {
 	}
 	c := &Cache{dir: dir, max: max, index: make(map[string]*entryState)}
 	c.stats.MaxBytes = max
-	if err := c.recoverScan(); err != nil {
+	// The scan holds the directory lock exclusively: a concurrent writer in
+	// another process (shared lock) finishes its commit first, so its live
+	// temp file can never be mistaken for a crash orphan.
+	unlock := c.flockExclusive()
+	err := c.recoverScan()
+	c.recoverLeases()
+	unlock()
+	if err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
 // recoverScan validates every file in the cache directory. It runs before
-// the cache is visible to any caller, so it needs no locking.
+// the cache is visible to any caller (under the exclusive directory
+// flock), so it needs no in-process locking.
 func (c *Cache) recoverScan() error {
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
@@ -159,7 +182,10 @@ func (c *Cache) recoverScan() error {
 		c.order = append(c.order, f.hexKey)
 		c.bytes += f.size
 	}
-	c.evictLocked()
+	// The exclusive flock is already held; remove over-bound files inline.
+	for _, hexKey := range c.evictPlanLocked() {
+		os.Remove(c.path(hexKey))
+	}
 	return nil
 }
 
@@ -217,42 +243,49 @@ func (c *Cache) touch(hexKey string) {
 
 // Get returns the verified payload for key. A corrupt entry is
 // quarantined and reported as a miss; the caller recomputes, and the
-// recompute's Put replaces the entry.
+// recompute's Put replaces the entry. A key absent from the in-memory
+// index falls through to a directory probe: in a shared directory another
+// process may have committed the entry after this cache's recovery scan,
+// and a verified probe adopts it (index + LRU) so the cluster's shared
+// artifact tier behaves as one store.
 func (c *Cache) Get(key [sha256.Size]byte) ([]byte, bool) {
 	if c == nil {
 		return nil, false
 	}
 	faults.Fire("diskcache", "get")
 	hexKey := hex.EncodeToString(key[:])
-	c.mu.Lock()
-	if _, ok := c.index[hexKey]; !ok {
-		c.stats.Misses++
-		c.mu.Unlock()
-		return nil, false
-	}
-	c.mu.Unlock()
 	// Read and verify outside the lock so disk latency never serializes
 	// the cache's callers. The entry may be evicted or replaced while we
 	// read: rename-based commits mean we always see a complete old or new
 	// file, and an eviction surfaces as file-not-found, a plain miss.
 	payload, err := c.readVerified(c.path(hexKey))
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	_, indexed := c.index[hexKey]
 	if err != nil {
 		if indexed {
 			c.dropLocked(hexKey)
-			if !os.IsNotExist(err) {
-				c.quarantine(c.path(hexKey), hexKey)
-			}
+		}
+		if !os.IsNotExist(err) {
+			// Corrupt on disk, whether ours or another process's: never
+			// leave it servable.
+			c.quarantine(c.path(hexKey), hexKey)
 		}
 		c.stats.Misses++
+		c.mu.Unlock()
 		return nil, false
 	}
-	if indexed {
-		c.touch(hexKey)
+	var victims []string
+	c.touch(hexKey)
+	if !indexed {
+		size := int64(headerSize + len(payload))
+		c.index[hexKey] = &entryState{size: size}
+		c.bytes += size
+		c.stats.Adopted++
+		victims = c.evictPlanLocked()
 	}
 	c.stats.Hits++
+	c.mu.Unlock()
+	c.removeFiles(victims)
 	return payload, true
 }
 
@@ -271,12 +304,12 @@ func (c *Cache) Put(key [sha256.Size]byte, payload []byte) {
 		c.mu.Unlock()
 		return
 	}
-	// Write, fsync, and rename outside the lock: each Put uses its own
+	// Write, fsync, and rename outside the mutex: each Put uses its own
 	// temp file and the rename is atomic, so concurrent Puts of the same
 	// key just race benignly (last committed file wins; the index update
-	// below is serialized). A concurrent eviction can remove the freshly
-	// renamed file before this Put indexes it — the stale index entry then
-	// surfaces as a not-found miss on the next Get and is dropped there.
+	// below is serialized). The write holds the directory flock shared, so
+	// another process's recovery scan or eviction (exclusive) can never
+	// interleave with the commit.
 	if err := c.writeEntry(key, payload); err != nil {
 		c.mu.Lock()
 		c.stats.PutErrors++
@@ -285,7 +318,6 @@ func (c *Cache) Put(key [sha256.Size]byte, payload []byte) {
 	}
 	hexKey := hex.EncodeToString(key[:])
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if old, ok := c.index[hexKey]; ok {
 		c.bytes -= old.size
 	}
@@ -293,13 +325,17 @@ func (c *Cache) Put(key [sha256.Size]byte, payload []byte) {
 	c.bytes += size
 	c.touch(hexKey)
 	c.stats.Puts++
-	c.evictLocked()
+	victims := c.evictPlanLocked()
+	c.mu.Unlock()
+	c.removeFiles(victims)
 }
 
 // writeEntry performs the crash-safe write. A panic between the partial
 // write and the rename (the injected kill-mid-write) leaves only a temp
 // file behind, exactly like a real crash, and is converted to an error.
 func (c *Cache) writeEntry(key [sha256.Size]byte, payload []byte) (err error) {
+	unlock := c.flockShared()
+	defer unlock()
 	f, err := os.CreateTemp(c.dir, tmpPattern)
 	if err != nil {
 		return err
@@ -372,18 +408,38 @@ func (c *Cache) dropLocked(hexKey string) {
 	}
 }
 
-// evictLocked removes least-recently-used entries until under the byte
-// bound.
-func (c *Cache) evictLocked() {
+// evictPlanLocked drops least-recently-used entries from the index until
+// under the byte bound and returns their keys. The caller removes the
+// files after releasing c.mu (removeFiles), so cross-process lock waits
+// never happen under the in-process mutex.
+func (c *Cache) evictPlanLocked() []string {
 	if c.max <= 0 {
-		return
+		return nil
 	}
+	var victims []string
 	for c.bytes > c.max && len(c.order) > 0 {
 		hexKey := c.order[0]
-		os.Remove(c.path(hexKey))
 		c.dropLocked(hexKey)
 		c.stats.Evictions++
+		victims = append(victims, hexKey)
 	}
+	return victims
+}
+
+// Remove deletes a committed entry (index and file). Unknown keys are a
+// no-op. The cluster uses this to drop snapshot manifests on DELETE.
+func (c *Cache) Remove(key [sha256.Size]byte) {
+	if c == nil {
+		return
+	}
+	hexKey := hex.EncodeToString(key[:])
+	c.mu.Lock()
+	if _, ok := c.index[hexKey]; ok {
+		c.dropLocked(hexKey)
+	}
+	c.stats.Removed++
+	c.mu.Unlock()
+	c.removeFiles([]string{hexKey})
 }
 
 // Stats returns the current counters.

@@ -1,0 +1,64 @@
+// Multi-process safety for a shared cache directory. The cluster uses one
+// diskcache directory as its shared content-addressed artifact store, so
+// several batfishd processes Open the same dir concurrently. Coordination
+// is a single flock(2) file at the directory root:
+//
+//   - entry writers hold it SHARED for the temp-write + rename commit, so
+//     any number of processes can commit concurrently (renames to distinct
+//     keys are independent; same-key renames are atomic last-wins over
+//     byte-identical content — keys are content hashes);
+//   - the recovery scan and eviction removals hold it EXCLUSIVE, so a scan
+//     can never reap another process's live temp file (the writer's SHARED
+//     lock makes the scan wait; a crashed writer's lock died with it, and
+//     its orphan temp is fair game), and an eviction's os.Remove can never
+//     interleave with a commit of the same key.
+//
+// Every acquisition opens a fresh file descriptor: flock locks belong to
+// the open file description, so reusing one fd across goroutines would
+// silently convert lock modes instead of excluding. c.mu is never held
+// while a flock is being acquired, so lock ordering stays acyclic.
+package diskcache
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName lives at the cache root; it has neither the entry nor the
+// temp suffix, so the recovery scan leaves it alone.
+const lockFileName = "lock"
+
+// flockShared and flockExclusive acquire the directory lock, blocking
+// until compatible. They return a release func; on any error the lock is
+// skipped and release is a no-op — the cache degrades to single-process
+// semantics rather than failing the operation.
+func (c *Cache) flockShared() func()    { return c.flock(syscall.LOCK_SH) }
+func (c *Cache) flockExclusive() func() { return c.flock(syscall.LOCK_EX) }
+
+func (c *Cache) flock(how int) func() {
+	f, err := os.OpenFile(filepath.Join(c.dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return func() {}
+	}
+	if err := syscall.Flock(int(f.Fd()), how); err != nil {
+		f.Close()
+		return func() {}
+	}
+	// Close releases the flock along with the descriptor.
+	return func() { f.Close() }
+}
+
+// removeFiles unlinks evicted entries under the exclusive directory lock,
+// serializing against concurrent commits of the same keys from other
+// processes. Callers must not hold c.mu.
+func (c *Cache) removeFiles(hexKeys []string) {
+	if len(hexKeys) == 0 {
+		return
+	}
+	unlock := c.flockExclusive()
+	defer unlock()
+	for _, k := range hexKeys {
+		os.Remove(c.path(k))
+	}
+}

@@ -30,6 +30,11 @@ const (
 	// Sleep blocks the injection point for the rule's duration,
 	// exercising deadlines and cancellation promptness.
 	Sleep
+	// Error makes FireErr points return an injected error — the shape of
+	// a dropped heartbeat, a partitioned peer, or a refused connection.
+	// Fire points (which have no error return) treat an Error rule as a
+	// no-op, so one spec can cover both hook styles safely.
+	Error
 )
 
 func (k Kind) String() string {
@@ -38,6 +43,8 @@ func (k Kind) String() string {
 		return "panic"
 	case Sleep:
 		return "sleep"
+	case Error:
+		return "error"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -59,6 +66,17 @@ type PanicValue struct {
 
 func (p PanicValue) String() string {
 	return fmt.Sprintf("injected fault at %s/%s", p.Stage, p.Device)
+}
+
+// InjectedError is what FireErr points return for Error rules, so callers
+// (and tests) can tell an injected partition from a real network failure.
+type InjectedError struct {
+	Stage  string
+	Device string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("injected error at %s/%s", e.Stage, e.Device)
 }
 
 // Injector holds a set of rules. The zero value has no rules; use New.
@@ -119,7 +137,8 @@ func (i *Injector) lookup(stage, device string) (Rule, bool) {
 	return st.rule, true
 }
 
-// fire executes the applicable rule, if any.
+// fire executes the applicable rule, if any. Error rules are inert here:
+// a point with no error return has no channel to surface one.
 func (i *Injector) fire(stage, device string) {
 	r, ok := i.lookup(stage, device)
 	if !ok {
@@ -131,6 +150,23 @@ func (i *Injector) fire(stage, device string) {
 	case Sleep:
 		time.Sleep(r.Sleep)
 	}
+}
+
+// fireErr executes the applicable rule at an error-returning point.
+func (i *Injector) fireErr(stage, device string) error {
+	r, ok := i.lookup(stage, device)
+	if !ok {
+		return nil
+	}
+	switch r.Kind {
+	case Panic:
+		panic(PanicValue{Stage: stage, Device: device})
+	case Sleep:
+		time.Sleep(r.Sleep)
+	case Error:
+		return &InjectedError{Stage: stage, Device: device}
+	}
+	return nil
 }
 
 // active is the process-wide injector consulted by Fire; nil (the normal
@@ -153,13 +189,25 @@ func Fire(stage, device string) {
 	}
 }
 
+// FireErr is the injection point hook for code paths that can fail with
+// an error — dropped heartbeats, partitioned forwards. Error rules return
+// an *InjectedError; panic and sleep rules behave as at Fire points.
+func FireErr(stage, device string) error {
+	if i := active.Load(); i != nil {
+		return i.fireErr(stage, device)
+	}
+	return nil
+}
+
 // ParseSpec builds an Injector from a -faults flag value. The grammar is
 // a comma-separated list of point=behavior entries:
 //
 //	parse:leaf1=panic,dataplane:*=sleep:100ms,fib:spine2=panic:1
 //
-// point is stage:device (device may be "*"); behavior is "panic" or
-// "sleep:<duration>", optionally suffixed ":<count>" to bound firings.
+// point is stage:device (device may be "*"); behavior is "panic",
+// "error", or "sleep:<duration>", optionally suffixed ":<count>" to bound
+// firings. "error" only bites at FireErr points (cluster heartbeats and
+// forwards); plain Fire points ignore it.
 func ParseSpec(spec string) (*Injector, error) {
 	inj := New()
 	for _, entry := range strings.Split(spec, ",") {
@@ -178,8 +226,11 @@ func ParseSpec(spec string) (*Injector, error) {
 		parts := strings.Split(behavior, ":")
 		var r Rule
 		switch parts[0] {
-		case "panic":
+		case "panic", "error":
 			r.Kind = Panic
+			if parts[0] == "error" {
+				r.Kind = Error
+			}
 			if len(parts) > 2 {
 				return nil, fmt.Errorf("faults: bad behavior %q", behavior)
 			}

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -60,12 +61,60 @@ func TestSleepRule(t *testing.T) {
 	}
 }
 
+func TestErrorRule(t *testing.T) {
+	if err := FireErr("cluster-heartbeat", "m1"); err != nil {
+		t.Fatalf("inactive FireErr returned %v", err)
+	}
+	inj := New().Enable("cluster-heartbeat", "m1", Rule{Kind: Error, Count: 2})
+	defer Activate(inj)()
+
+	if err := FireErr("cluster-heartbeat", "m2"); err != nil {
+		t.Fatalf("other device got error %v", err)
+	}
+	err := FireErr("cluster-heartbeat", "m1")
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Stage != "cluster-heartbeat" || ie.Device != "m1" {
+		t.Fatalf("FireErr = %v, want InjectedError at cluster-heartbeat/m1", err)
+	}
+	// An Error rule at a plain Fire point is inert but still consumes a
+	// firing, so count-bounded drops behave identically at both hook styles.
+	Fire("cluster-heartbeat", "m1")
+	if err := FireErr("cluster-heartbeat", "m1"); err != nil {
+		t.Fatalf("count-exhausted rule still fired: %v", err)
+	}
+	if h := inj.Hits(); h["cluster-heartbeat/m1"] != 2 {
+		t.Fatalf("hits = %v", h)
+	}
+}
+
+func TestFireErrPanicAndSleepKinds(t *testing.T) {
+	inj := New().
+		Enable("cluster-forward", "m1", Rule{Kind: Panic}).
+		Enable("cluster-forward", "m2", Rule{Kind: Sleep, Sleep: 30 * time.Millisecond})
+	defer Activate(inj)()
+	func() {
+		defer func() {
+			if _, ok := recover().(PanicValue); !ok {
+				t.Fatal("panic rule did not panic at FireErr point")
+			}
+		}()
+		FireErr("cluster-forward", "m1")
+	}()
+	start := time.Now()
+	if err := FireErr("cluster-forward", "m2"); err != nil {
+		t.Fatalf("sleep rule returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sleep rule returned after %v", d)
+	}
+}
+
 func TestParseSpec(t *testing.T) {
-	inj, err := ParseSpec("parse:leaf1=panic, dataplane:*=sleep:50ms:2 ,fib:s2=panic:3")
+	inj, err := ParseSpec("parse:leaf1=panic, dataplane:*=sleep:50ms:2 ,fib:s2=panic:3,cluster-heartbeat:m2=error:1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := inj.Describe(); got != "dataplane/*=sleep,fib/s2=panic,parse/leaf1=panic" {
+	if got := inj.Describe(); got != "cluster-heartbeat/m2=error,dataplane/*=sleep,fib/s2=panic,parse/leaf1=panic" {
 		t.Fatalf("Describe = %q", got)
 	}
 	for _, bad := range []string{

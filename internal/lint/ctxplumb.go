@@ -20,6 +20,7 @@ var ctxScope = []string{
 	"repro/internal/dataplane",
 	"repro/internal/server",
 	"repro/internal/sweep",
+	"repro/internal/cluster",
 }
 
 func (CtxPlumb) Name() string { return "ctx-plumb" }

@@ -25,6 +25,7 @@ var deterministicScope = []string{
 	"repro/internal/topo",
 	"repro/internal/diag",
 	"repro/internal/sweep",
+	"repro/internal/cluster",
 }
 
 func (Determinism) Name() string { return "determinism" }

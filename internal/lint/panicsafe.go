@@ -19,6 +19,7 @@ type PanicSafe struct{}
 var panicScope = []string{
 	"repro/internal/server",
 	"repro/internal/pipeline",
+	"repro/internal/cluster",
 }
 
 // isolationHelpers maps package path → function names that are known

@@ -93,6 +93,20 @@ type Metrics struct {
 
 	Pipeline pipeline.Stats  `json:"pipeline"`
 	Disk     diskcache.Stats `json:"disk"`
+
+	// Cluster is populated by the cluster layer (SetClusterMetrics) when
+	// this server is a cluster node; nil (omitted) otherwise.
+	Cluster any `json:"cluster,omitempty"`
+}
+
+// SetClusterMetrics registers a callback whose result is embedded in the
+// Cluster field of every Metrics snapshot. The cluster layer uses this to
+// surface membership, failover, and forwarding counters through the same
+// /metrics endpoint without the server importing the cluster package.
+func (s *Server) SetClusterMetrics(fn func() any) {
+	s.mu.Lock()
+	s.clusterMetrics = fn
+	s.mu.Unlock()
 }
 
 // Metrics snapshots the server's counters, pipeline stats, and the
@@ -106,7 +120,12 @@ func (s *Server) Metrics() Metrics {
 		_, t := e.br.snapshotState()
 		trips += t
 	}
+	clusterFn := s.clusterMetrics
 	s.mu.Unlock()
+	var cluster any
+	if clusterFn != nil {
+		cluster = clusterFn()
+	}
 	return Metrics{
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 		Snapshots:       n,
@@ -131,5 +150,6 @@ func (s *Server) Metrics() Metrics {
 		P99Ms:           float64(p99) / float64(time.Millisecond),
 		Pipeline:        s.pl.Stats(),
 		Disk:            s.pl.DiskStats(),
+		Cluster:         cluster,
 	}
 }

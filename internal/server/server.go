@@ -179,6 +179,10 @@ type Server struct {
 	rndMu sync.Mutex
 	rnd   *rand.Rand
 
+	// clusterMetrics, when set (SetClusterMetrics), feeds the Cluster
+	// field of Metrics snapshots. Guarded by mu.
+	clusterMetrics func() any
+
 	m counters
 }
 
@@ -255,23 +259,25 @@ func (s *Server) track() bool {
 	return true
 }
 
-// shedError is an admission-control rejection.
-type shedError struct {
-	status     int           // 429 or 503
-	retryAfter time.Duration // suggested client backoff
-	reason     string
+// ShedError is an admission-control rejection. It is exported so the
+// cluster layer can map cluster-internal admission failures onto the same
+// 429/503 + Retry-After wire semantics the HTTP handlers use.
+type ShedError struct {
+	Status     int           // 429 or 503
+	RetryAfter time.Duration // suggested client backoff
+	Reason     string
 }
 
-func (e *shedError) Error() string { return e.reason }
+func (e *ShedError) Error() string { return e.Reason }
 
 // acquire takes an execution slot, waiting in the bounded queue. On
-// rejection it returns a shedError carrying the HTTP status and
+// rejection it returns a ShedError carrying the HTTP status and
 // Retry-After. The release func must be called exactly once when non-nil.
 func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	if s.draining.Load() {
 		s.m.Shed503.Add(1)
-		return nil, &shedError{status: http.StatusServiceUnavailable,
-			retryAfter: time.Second, reason: "server is draining"}
+		return nil, &ShedError{Status: http.StatusServiceUnavailable,
+			RetryAfter: time.Second, Reason: "server is draining"}
 	}
 	release = func() {
 		s.cur.Add(-1)
@@ -292,8 +298,8 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	if q > int64(s.cfg.MaxQueue) {
 		s.queued.Add(-1)
 		s.m.Shed429.Add(1)
-		return nil, &shedError{status: http.StatusTooManyRequests,
-			retryAfter: s.cfg.QueueWait, reason: "admission queue is full"}
+		return nil, &ShedError{Status: http.StatusTooManyRequests,
+			RetryAfter: s.cfg.QueueWait, Reason: "admission queue is full"}
 	}
 	timer := time.NewTimer(s.cfg.QueueWait)
 	defer timer.Stop()
@@ -305,13 +311,13 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	case <-timer.C:
 		s.queued.Add(-1)
 		s.m.Shed429.Add(1)
-		return nil, &shedError{status: http.StatusTooManyRequests,
-			retryAfter: s.cfg.QueueWait, reason: "timed out waiting for an execution slot"}
+		return nil, &ShedError{Status: http.StatusTooManyRequests,
+			RetryAfter: s.cfg.QueueWait, Reason: "timed out waiting for an execution slot"}
 	case <-s.drainCh:
 		s.queued.Add(-1)
 		s.m.Shed503.Add(1)
-		return nil, &shedError{status: http.StatusServiceUnavailable,
-			retryAfter: time.Second, reason: "server is draining"}
+		return nil, &ShedError{Status: http.StatusServiceUnavailable,
+			RetryAfter: time.Second, Reason: "server is draining"}
 	case <-ctx.Done():
 		s.queued.Add(-1)
 		return nil, ctx.Err()

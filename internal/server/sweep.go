@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"repro/internal/diag"
 	"repro/internal/faults"
@@ -67,7 +69,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, apiResponse{ExitCode: ExitUsage, Error: "no snapshot " + name})
 		return
 	}
-	spec, err := s.parseSweepBody(r)
+	spec, err := ParseSweepBody(r)
 	if err != nil {
 		s.m.ClientErrors.Add(1)
 		writeJSON(w, http.StatusBadRequest, apiResponse{ExitCode: ExitUsage, Error: err.Error()})
@@ -98,60 +100,36 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	faults.Fire("server", "sweep")
 
-	// Plan under anMu with the same context hygiene as runQuestion: bind
-	// the request context for the duration, unbind on the clean path, and
-	// discard the snapshot when the run poisoned it.
-	var plan *sweep.Plan
-	var planErr error
-	s.anMu.Lock()
-	snap, err := s.snapshotFor(e)
-	if err != nil {
-		s.anMu.Unlock()
+	po := s.planSweep(ctx, e, spec)
+	switch {
+	case po.snapErr != nil:
 		e.br.record(s.cfg.BreakerThreshold, false)
 		s.m.ServerErrors.Add(1)
-		writeJSON(w, http.StatusInternalServerError, apiResponse{ExitCode: ExitError, Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError, apiResponse{ExitCode: ExitError, Error: po.snapErr.Error()})
 		return
-	}
-	before := len(snap.Diags())
-	snap.WithContext(ctx)
-	panicDiag := diag.Capture(diag.StageQuestion, "sweep", func() {
-		snap.Analysis().WithContext(ctx)
-		plan, planErr = sweep.NewPlan(snap, spec)
-	})
-	snap.WithContext(nil)
-	cancelled := snap.Cancelled()
-	if !cancelled && panicDiag == nil {
-		snap.Analysis().WithContext(nil)
-	}
-	newDiags := snap.Diags()[before:]
-	s.anMu.Unlock()
-
-	switch {
-	case cancelled:
-		e.dropSnap(snap)
+	case po.cancelled:
 		e.br.abort(s.cfg.BreakerThreshold)
 		s.m.Cancelled.Add(1)
 		writeJSON(w, http.StatusGatewayTimeout, apiResponse{Snapshot: name,
 			ExitCode: ExitCancelled, Error: "sweep planning cancelled by deadline"})
 		return
-	case panicDiag != nil || len(newDiags) > 0:
-		if panicDiag != nil {
+	case po.panicked || len(po.diags) > 0:
+		if po.panicked {
 			s.m.PanicsRecovered.Add(1)
-			newDiags = append(newDiags, *panicDiag)
 		}
-		e.dropSnap(snap)
 		e.br.record(s.cfg.BreakerThreshold, false)
 		s.m.Degraded.Add(1)
 		writeJSON(w, http.StatusOK, apiResponse{Snapshot: name, ExitCode: ExitDegraded,
-			Diags: diagStrings(newDiags), Error: "sweep planning degraded the snapshot"})
+			Diags: diagStrings(po.diags), Error: "sweep planning degraded the snapshot"})
 		return
-	case planErr != nil:
+	case po.planErr != nil:
 		e.br.abort(s.cfg.BreakerThreshold)
 		s.m.ClientErrors.Add(1)
 		writeJSON(w, http.StatusBadRequest, apiResponse{Snapshot: name,
-			ExitCode: ExitUsage, Error: "sweep: " + planErr.Error()})
+			ExitCode: ExitUsage, Error: "sweep: " + po.planErr.Error()})
 		return
 	}
+	plan := po.plan
 
 	// Stream. From here on, status and headers are committed: outcomes
 	// (including cancellation) travel in the trailing summary line.
@@ -199,9 +177,108 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	emitLine(summary)
 }
 
-// parseSweepBody builds the sweep.Spec from the request body. An empty
-// body is valid and yields the default spec.
-func (s *Server) parseSweepBody(r *http.Request) (sweep.Spec, error) {
+// sweepPlanOutcome is what planning a sweep under anMu produced. Exactly
+// one of the failure fields is meaningful; plan is non-nil only when all
+// are zero.
+type sweepPlanOutcome struct {
+	plan      *sweep.Plan
+	snapErr   error             // snapshot rebuild failed
+	cancelled bool              // context expired during planning
+	panicked  bool              // planning panicked (recovered; diag appended)
+	diags     []diag.Diagnostic // diagnostics planning added (degradation)
+	planErr   error             // spec rejected by the planner (client error)
+}
+
+// planSweep plans a failure sweep under anMu with the same context
+// hygiene as runQuestion: bind the request context for the duration,
+// unbind on the clean path, and discard the snapshot when the run
+// poisoned it. It is the shared core of handleSweep and PlanSweep; it
+// touches no breaker and writes no response.
+func (s *Server) planSweep(ctx context.Context, e *snapEntry, spec sweep.Spec) sweepPlanOutcome {
+	s.anMu.Lock()
+	snap, err := s.snapshotFor(e)
+	if err != nil {
+		s.anMu.Unlock()
+		return sweepPlanOutcome{snapErr: err}
+	}
+	var plan *sweep.Plan
+	var planErr error
+	before := len(snap.Diags())
+	snap.WithContext(ctx)
+	panicDiag := diag.Capture(diag.StageQuestion, "sweep", func() {
+		snap.Analysis().WithContext(ctx)
+		plan, planErr = sweep.NewPlan(snap, spec)
+	})
+	snap.WithContext(nil)
+	cancelled := snap.Cancelled()
+	if !cancelled && panicDiag == nil {
+		snap.Analysis().WithContext(nil)
+	}
+	newDiags := snap.Diags()[before:]
+	s.anMu.Unlock()
+
+	out := sweepPlanOutcome{cancelled: cancelled, diags: newDiags, planErr: planErr}
+	if panicDiag != nil {
+		out.panicked = true
+		out.diags = append(out.diags, *panicDiag)
+	}
+	if cancelled || out.panicked || len(out.diags) > 0 {
+		e.dropSnap(snap)
+		return out
+	}
+	if planErr != nil {
+		return out
+	}
+	out.plan = plan
+	return out
+}
+
+// Sentinel errors PlanSweep wraps its outcomes in, so the cluster layer
+// can map them onto wire statuses without parsing strings.
+var (
+	// ErrUnknownSnapshot reports a snapshot name this server doesn't hold.
+	ErrUnknownSnapshot = errors.New("unknown snapshot")
+	// ErrSweepDegraded reports that planning degraded the snapshot.
+	ErrSweepDegraded = errors.New("sweep planning degraded the snapshot")
+)
+
+// PlanSweep plans a failure sweep over a named snapshot on behalf of the
+// cluster layer (the owner planning a distributed sweep, or a member
+// replanning a forwarded class subset — NewPlan is deterministic, so both
+// sides derive identical class IDs). Unlike handleSweep it leaves the
+// snapshot's circuit breaker alone: the breaker guards the public HTTP
+// surface, and cluster-internal execution must not trip it.
+func (s *Server) PlanSweep(ctx context.Context, name string, spec sweep.Spec) (*sweep.Plan, error) {
+	e, ok := s.entry(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSnapshot, name)
+	}
+	po := s.planSweep(ctx, e, spec)
+	switch {
+	case po.snapErr != nil:
+		return nil, po.snapErr
+	case po.cancelled:
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sweep planning cancelled: %w", err)
+		}
+		return nil, fmt.Errorf("sweep planning cancelled: %w", context.Canceled)
+	case po.panicked || len(po.diags) > 0:
+		if po.panicked {
+			s.m.PanicsRecovered.Add(1)
+		}
+		s.m.Degraded.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrSweepDegraded, strings.Join(diagStrings(po.diags), "; "))
+	case po.planErr != nil:
+		return nil, po.planErr
+	}
+	return po.plan, nil
+}
+
+// ParseSweepBody builds the sweep.Spec from the request body. An empty
+// body is valid and yields the default spec. Exported so the cluster
+// layer's sweep routing decodes forwarded bodies with the exact grammar
+// the local handler uses.
+func ParseSweepBody(r *http.Request) (sweep.Spec, error) {
 	var body sweepBody
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	if err := dec.Decode(&body); err != nil && !errors.Is(err, io.EOF) {

@@ -1,0 +1,46 @@
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+)
+
+// PartitionClasses deals equivalence classes across cluster members by
+// rendezvous (highest-random-weight) hashing: each class goes to the
+// member whose sha256(member NUL class) scores highest. The assignment is
+// deterministic for a given member set, independent of member order, and
+// minimally disturbed by membership changes — removing a member moves
+// only that member's classes, which is exactly the failover property the
+// cluster's snapshot ownership uses (cluster.OwnerOf, same construction).
+// Each member's list preserves the input class order. Empty inputs yield
+// an empty map.
+func PartitionClasses(classIDs, members []string) map[string][]string {
+	if len(members) == 0 {
+		return map[string][]string{}
+	}
+	out := make(map[string][]string, len(members))
+	for _, id := range classIDs {
+		best := ""
+		var bestScore [sha256.Size]byte
+		for _, m := range members {
+			score := rendezvousScore(m, id)
+			if best == "" || bytes.Compare(score[:], bestScore[:]) > 0 {
+				best, bestScore = m, score
+			}
+		}
+		out[best] = append(out[best], id)
+	}
+	return out
+}
+
+// rendezvousScore is the HRW weight of (member, subject). The NUL
+// separator keeps ("ab","c") and ("a","bc") from colliding.
+func rendezvousScore(member, subject string) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(member))
+	h.Write([]byte{0})
+	h.Write([]byte(subject))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ip4"
+	"repro/internal/pipeline"
+)
+
+func TestPartitionClassesProperties(t *testing.T) {
+	classes := make([]string, 40)
+	for i := range classes {
+		classes[i] = fmt.Sprintf("link(c-x%d,c-y%d)", i, i)
+	}
+	members := []string{"m1", "m2", "m3"}
+
+	parts := PartitionClasses(classes, members)
+	// Coverage and disjointness: every class lands on exactly one member.
+	seen := make(map[string]string)
+	for m, ids := range parts {
+		for _, id := range ids {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("class %s assigned to both %s and %s", id, prev, m)
+			}
+			seen[id] = m
+		}
+	}
+	if len(seen) != len(classes) {
+		t.Fatalf("assigned %d classes, want %d", len(seen), len(classes))
+	}
+
+	// Member-order independence.
+	again := PartitionClasses(classes, []string{"m3", "m1", "m2"})
+	for m := range parts {
+		a, _ := json.Marshal(parts[m])
+		b, _ := json.Marshal(again[m])
+		if string(a) != string(b) {
+			t.Fatalf("member order changed %s's partition:\n%s\n%s", m, a, b)
+		}
+	}
+
+	// Minimal disturbance: dropping m2 moves only m2's classes.
+	survivor := PartitionClasses(classes, []string{"m1", "m3"})
+	reassigned := make(map[string]string)
+	for m, ids := range survivor {
+		for _, id := range ids {
+			reassigned[id] = m
+		}
+	}
+	for id, m := range seen {
+		if m != "m2" && reassigned[id] != m {
+			t.Errorf("class %s moved from surviving member %s to %s", id, m, reassigned[id])
+		}
+	}
+
+	if got := PartitionClasses(classes, nil); len(got) != 0 {
+		t.Errorf("no members: %v", got)
+	}
+}
+
+// TestExecuteClassesPartitionedMatchesExecute is the distributed sweep's
+// correctness core in-process: splitting a plan's classes across two
+// executors and assembling the shipped ClassResults must yield exactly
+// Execute's result.
+func TestExecuteClassesPartitionedMatchesExecute(t *testing.T) {
+	texts := fabricTexts(t, "dc")
+	base := core.LoadTextWith(pipeline.New(pipeline.Config{}), texts)
+	srcs, dst := monitored(t, base, "dc-p01-tor01", "dc-p02-tor01")
+	spec := Spec{K: 1, Links: true, Sources: srcs, DstIPs: []ip4.Prefix{dst}, Workers: 2}
+
+	plan, err := NewPlan(base, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parts := PartitionClasses(plan.ClassIDs(), []string{"owner", "remote"})
+	var merged []ClassResult
+	emitted := 0
+	for _, m := range []string{"owner", "remote"} {
+		merged = append(merged, plan.ExecuteClasses(context.Background(), parts[m], func(ClassResult) { emitted++ })...)
+	}
+	if emitted != len(plan.ClassIDs()) {
+		t.Fatalf("emit saw %d classes, want %d", emitted, len(plan.ClassIDs()))
+	}
+	got := plan.Assemble(merged)
+
+	wb, _ := json.Marshal(want)
+	gb, _ := json.Marshal(got)
+	if string(wb) != string(gb) {
+		t.Fatalf("partitioned result differs from Execute:\nwant %s\ngot  %s", wb, gb)
+	}
+
+	// ClassResults survive the wire: a JSON round trip assembles the same.
+	enc, _ := json.Marshal(merged)
+	var wired []ClassResult
+	if err := json.Unmarshal(enc, &wired); err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := json.Marshal(plan.Assemble(wired))
+	if string(rb) != string(wb) {
+		t.Fatal("JSON round-tripped ClassResults assemble differently")
+	}
+
+	// Unknown and baseline class IDs are skipped, not executed or degraded.
+	if extra := plan.ExecuteClasses(context.Background(), []string{"", "no-such-class"}, nil); len(extra) != 0 {
+		t.Fatalf("foreign classes produced outcomes: %v", extra)
+	}
+
+	// Assembling with a hole degrades exactly the missing class's members.
+	holed := plan.Assemble(merged[1:])
+	if !holed.Degraded {
+		t.Fatal("missing class did not degrade the result")
+	}
+	missing := merged[0].Class
+	for i, v := range holed.Verdicts {
+		if v.Class == missing && (!v.Degraded || v.Executed) {
+			t.Errorf("verdict %d of lost class %s: %+v", i, missing, v)
+		}
+	}
+}

@@ -56,6 +56,24 @@ type outcome struct {
 	degraded bool
 }
 
+// ClassResult is one executed equivalence class's outcome. It is the unit
+// of work distribution: a cluster member executes a subset of a plan's
+// classes and ships the ClassResults back to the owner, which assembles
+// them with its own into the full Result.
+type ClassResult struct {
+	Class    string          `json:"class"`
+	Sources  []SourceVerdict `json:"sources"`
+	Degraded bool            `json:"degraded,omitempty"`
+}
+
+// ClassIDs returns the sorted non-baseline class IDs (a copy; the
+// baseline class "" needs no execution anywhere).
+func (p *Plan) ClassIDs() []string {
+	out := make([]string, len(p.classIDs))
+	copy(out, p.classIDs)
+	return out
+}
+
 // workerRT is one worker's private execution runtime: its own pipeline
 // (BDD factories are unsynchronized), its own base snapshot rebuilt from
 // the plan's texts, and a warmed baseline reachability memo so every
@@ -105,71 +123,55 @@ func (w *workerRT) runClass(p *Plan, rep Scenario, id string) (out outcome, err 
 	return outcome{sources: renderSources(p.sources, flows), degraded: snap.Degraded()}, nil
 }
 
-// Execute runs the plan's class representatives across the worker pool
-// and assembles the full verdict set. emit, when non-nil, receives every
-// scenario's verdict as soon as its class completes (members in canonical
-// enumeration order; calls are serialized). Verdict contents are
-// deterministic for any worker count — only the streaming order varies —
-// and Result.Verdicts is always in canonical enumeration order.
-//
-// On cancellation the partial result is returned alongside ctx.Err();
-// classes that never completed yield Degraded verdicts with no sources.
-func (p *Plan) Execute(ctx context.Context, emit func(Verdict)) (*Result, error) {
-	res := &Result{
-		Enumerated: len(p.scenarios),
-		Classes:    p.Classes(),
-		Executed:   len(p.classIDs),
-		Baseline:   p.baseline,
+// verdictFor renders scenario idx's verdict from its class outcome; have
+// is false when the class never completed (cancellation, lost member).
+func (p *Plan) verdictFor(idx int, out outcome, have bool) Verdict {
+	sc := p.scenarios[idx]
+	id := sc.ID()
+	v := Verdict{
+		Scenario: id,
+		Class:    p.classOf[idx],
+		Executed: have && id == p.classOf[idx],
+		Sources:  out.sources,
+		Degraded: out.degraded || !have,
 	}
-	res.Pruned = res.Enumerated - res.Executed
-
-	// Class → member scenario indices, in enumeration order.
-	members := make(map[string][]int, len(p.classIDs)+1)
-	for i, id := range p.classOf {
-		members[id] = append(members[id], i)
+	if have {
+		v.Violations = p.violationsIn(out.sources)
 	}
+	return v
+}
 
-	var mu sync.Mutex // guards outcomes and serializes emit
-	outcomes := make(map[string]outcome, len(p.classIDs)+1)
-
-	verdictFor := func(idx int, out outcome, have bool) Verdict {
-		sc := p.scenarios[idx]
-		id := sc.ID()
-		v := Verdict{
-			Scenario: id,
-			Class:    p.classOf[idx],
-			Executed: have && id == p.classOf[idx],
-			Sources:  out.sources,
-			Degraded: out.degraded || !have,
-		}
-		if have {
-			v.Violations = p.violationsIn(out.sources)
-		}
-		return v
-	}
+// ExecuteClasses runs the named classes (a subset of ClassIDs) on the
+// worker pool and returns their outcomes sorted by class ID. emit, when
+// non-nil, receives each outcome as it completes (calls are serialized).
+// IDs without a representative in this plan are skipped. On cancellation
+// the completed outcomes are returned; missing classes are the caller's
+// to degrade (Assemble does).
+func (p *Plan) ExecuteClasses(ctx context.Context, ids []string, emit func(ClassResult)) []ClassResult {
+	var mu sync.Mutex // guards results and serializes emit
+	var results []ClassResult
 	deliver := func(id string, out outcome) {
+		cr := ClassResult{Class: id, Sources: out.sources, Degraded: out.degraded}
 		mu.Lock()
-		defer mu.Unlock()
-		outcomes[id] = out
+		results = append(results, cr)
 		if emit != nil {
-			for _, idx := range members[id] {
-				emit(verdictFor(idx, out, true))
-			}
+			emit(cr)
 		}
+		mu.Unlock()
 	}
-
-	// The baseline class needs no execution: no failed element touches any
-	// monitored flow, so the baseline verdicts are provably the scenario
-	// verdicts.
-	deliver("", outcome{sources: p.baseline})
 
 	q := &jobQueue{}
-	for _, id := range p.classIDs {
+	jobs := 0
+	for _, id := range ids {
+		if _, ok := p.classRep[id]; !ok {
+			continue // baseline or foreign class: nothing to execute
+		}
 		q.push(classJob{id: id})
+		jobs++
 	}
 	workers := p.spec.Workers
-	if workers > len(p.classIDs) && len(p.classIDs) > 0 {
-		workers = len(p.classIDs)
+	if workers > jobs {
+		workers = jobs
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -212,11 +214,36 @@ func (p *Plan) Execute(ctx context.Context, emit func(Verdict)) (*Result, error)
 		}()
 	}
 	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].Class < results[j].Class })
+	return results
+}
+
+// Assemble builds the full Result from executed class outcomes (local,
+// remote, or mixed). The baseline class is synthesized from the plan;
+// classes with no outcome yield Degraded verdicts with no sources —
+// exactly the cancellation semantics of Execute.
+func (p *Plan) Assemble(results []ClassResult) *Result {
+	res := &Result{
+		Enumerated: len(p.scenarios),
+		Classes:    p.Classes(),
+		Executed:   len(p.classIDs),
+		Baseline:   p.baseline,
+	}
+	res.Pruned = res.Enumerated - res.Executed
+
+	outcomes := make(map[string]outcome, len(results)+1)
+	// The baseline class needs no execution: no failed element touches any
+	// monitored flow, so the baseline verdicts are provably the scenario
+	// verdicts.
+	outcomes[""] = outcome{sources: p.baseline}
+	for _, cr := range results {
+		outcomes[cr.Class] = outcome{sources: cr.Sources, degraded: cr.Degraded}
+	}
 
 	res.Verdicts = make([]Verdict, len(p.scenarios))
 	for i := range p.scenarios {
 		out, have := outcomes[p.classOf[i]]
-		v := verdictFor(i, out, have)
+		v := p.verdictFor(i, out, have)
 		if v.Violations > 0 {
 			res.Violations++
 		}
@@ -225,7 +252,40 @@ func (p *Plan) Execute(ctx context.Context, emit func(Verdict)) (*Result, error)
 		}
 		res.Verdicts[i] = v
 	}
-	return res, ctx.Err()
+	return res
+}
+
+// Execute runs the plan's class representatives across the worker pool
+// and assembles the full verdict set. emit, when non-nil, receives every
+// scenario's verdict as soon as its class completes (members in canonical
+// enumeration order; calls are serialized). Verdict contents are
+// deterministic for any worker count — only the streaming order varies —
+// and Result.Verdicts is always in canonical enumeration order.
+//
+// On cancellation the partial result is returned alongside ctx.Err();
+// classes that never completed yield Degraded verdicts with no sources.
+func (p *Plan) Execute(ctx context.Context, emit func(Verdict)) (*Result, error) {
+	// Class → member scenario indices, in enumeration order.
+	members := make(map[string][]int, len(p.classIDs)+1)
+	for i, id := range p.classOf {
+		members[id] = append(members[id], i)
+	}
+	var mu sync.Mutex // serializes verdict emission
+	emitClass := func(cr ClassResult) {
+		if emit == nil {
+			return
+		}
+		out := outcome{sources: cr.Sources, degraded: cr.Degraded}
+		mu.Lock()
+		for _, idx := range members[cr.Class] {
+			emit(p.verdictFor(idx, out, true))
+		}
+		mu.Unlock()
+	}
+
+	emitClass(ClassResult{Class: "", Sources: p.baseline})
+	results := p.ExecuteClasses(ctx, p.classIDs, emitClass)
+	return p.Assemble(results), ctx.Err()
 }
 
 // Run is the convenience wrapper: plan and execute in one call. The
