@@ -46,11 +46,14 @@ race:
 soak:
 	$(GO) test -race -run TestSoak -count=1 ./internal/server/
 
-# Race-gated cluster chaos suite: a 3-member cluster on the 204-device
-# fabric, the snapshot owner killed mid-question; asserts failover within
-# the suspicion window, a byte-identical answer from the new owner, and a
-# warm start from the shared cache. The test carries a `race` build tag,
-# so it exists only under the race detector.
+# Race-gated cluster chaos suite: 3-member clusters on the 204-device
+# fabric. One scenario kills the snapshot owner mid-question (failover
+# within the suspicion window, byte-identical answer from the new owner,
+# warm start from the shared cache); the other kills the coordinator
+# itself mid-question (lease-race promotion within twice the member
+# budget, strictly increasing epoch, then a second owner-kill answered
+# from pre-replicated artifacts with zero cold parses). The tests carry a
+# `race` build tag, so they exist only under the race detector.
 cluster-chaos:
 	$(GO) test -race -run TestClusterChaos -count=1 ./internal/cluster/
 

@@ -1008,4 +1008,123 @@ func BenchmarkCluster(b *testing.B) {
 		b.ReportMetric(pct(0.99), "cluster-failover-p99-ms")
 		b.ReportMetric(float64(budget.Nanoseconds())/1e6, "cluster-failover-budget-ms")
 	})
+
+	// A node starter with a disk cache: coordinator failover and heir
+	// replication both anchor on it (the lease lives there, and the
+	// replicator warms it).
+	startDiskNode := func(b *testing.B, id, join, dir string, ccfg cluster.Config) (*cluster.Node, *httptest.Server) {
+		b.Helper()
+		srv, err := server.New(server.Config{Seed: 1, CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ccfg.ID = id
+		ccfg.Server = srv
+		n, err := cluster.NewNode(ccfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(n.Handler())
+		b.Cleanup(ts.Close)
+		b.Cleanup(n.Kill)
+		if err := n.Start(context.Background(), ts.URL, join); err != nil {
+			b.Fatal(err)
+		}
+		return n, ts
+	}
+
+	b.Run("coordinator-failover", func(b *testing.B) {
+		// ISSUE 9 exit bar: losing the coordinator may cost at most twice
+		// the member-eviction budget — detection is the same suspicion
+		// window, the extra factor covers waiting out the dead
+		// coordinator's last lease grant before the race is winnable.
+		budget := 2 * (4 * hb)
+		episodes := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dir := b.TempDir()
+			ccfg := cluster.Config{Heartbeat: hb}
+			coord, cts := startDiskNode(b, "coord", "", dir, ccfg)
+			member, _ := startDiskNode(b, "member", cts.URL, dir, ccfg)
+			cts.Listener.Close()
+			cts.CloseClientConnections()
+			coord.Kill()
+			t0 := time.Now()
+			for member.Metrics().Role != cluster.RoleCoordinator {
+				if time.Since(t0) > 20*budget {
+					b.Fatalf("member never promoted (iteration %d): %+v", i, member.Metrics())
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			episodes = append(episodes, time.Since(t0))
+		}
+		b.StopTimer()
+		sort.Slice(episodes, func(i, j int) bool { return episodes[i] < episodes[j] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(episodes)-1))
+			return float64(episodes[idx].Nanoseconds()) / 1e6
+		}
+		b.ReportMetric(pct(0.50), "cluster-coord-failover-p50-ms")
+		b.ReportMetric(pct(0.99), "cluster-coord-failover-p99-ms")
+		b.ReportMetric(float64(budget.Nanoseconds())/1e6, "cluster-coord-failover-budget-ms")
+	})
+
+	b.Run("heir-replication", func(b *testing.B) {
+		// Split cache directories force the replicator to move every
+		// artifact over HTTP; the warm-hit rate is the fraction of the
+		// owner's artifact keys present on the heir once replication
+		// settles (1.0 = failover rehydration fully warm), and the warm
+		// time is how long one snapshot takes to get there.
+		var rates []float64
+		warm := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ccfg := cluster.Config{Heartbeat: hb, ReplicateEvery: hb}
+			owner, ts1 := startDiskNode(b, "owner", "", b.TempDir(), ccfg)
+			heir, _ := startDiskNode(b, "heir", ts1.URL, b.TempDir(), ccfg)
+			name := ""
+			for j := 0; j < 4096 && name == ""; j++ {
+				cand := fmt.Sprintf("snap%04d", j)
+				if cluster.OwnerOf(owner.View().Members, cand).ID == "owner" {
+					name = cand
+				}
+			}
+			if name == "" {
+				b.Fatal("no owner-owned snapshot name found")
+			}
+			resp, err := http.Post(ts1.URL+"/snapshots/"+name, "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("load: %d", resp.StatusCode)
+			}
+			get(b, ts1.URL+"/snapshots/"+name+"/reachability") // commit the dataplane artifact
+			t0 := time.Now()
+			var rs cluster.ReplicationStatus
+			for {
+				rs = heir.Metrics().Replication
+				if rs.Keys > 0 && rs.Lag == 0 {
+					break
+				}
+				if time.Since(t0) > 30*time.Second {
+					break // report the shortfall instead of hanging
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			warm = append(warm, time.Since(t0))
+			rates = append(rates, float64(rs.Keys-rs.Lag)/float64(max(rs.Keys, 1)))
+		}
+		b.StopTimer()
+		sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+		rate := 0.0
+		for _, r := range rates {
+			rate += r
+		}
+		rate /= float64(len(rates))
+		b.ReportMetric(rate, "cluster-heir-warm-hit-rate")
+		b.ReportMetric(float64(warm[len(warm)/2].Nanoseconds())/1e6, "cluster-heir-warm-p50-ms")
+	})
 }

@@ -31,7 +31,11 @@
 // hash, requests for another member's snapshot are forwarded
 // transparently, a heartbeat failure detector evicts dead members, and
 // with a shared -cache directory the inheriting member warm-starts from
-// the dead member's artifacts. See the cluster quick start in README.md.
+// the dead member's artifacts. With -failover (default on) the
+// coordinator itself fails over through a lease on the shared cache, and
+// with -replicate-heirs (default on) each member pre-fetches artifacts
+// for the snapshots it would inherit, so failover never pays a cold
+// parse. See the cluster quick start in README.md.
 package main
 
 import (
@@ -73,6 +77,8 @@ func main() {
 		clusterListen = flag.String("cluster-listen", "", "advertised base URL for cluster mode, e.g. http://10.0.0.5:8866 (enables clustering)")
 		memberID      = flag.String("member-id", "", "stable cluster member identity (default hostname-pid)")
 		heartbeat     = flag.Duration("heartbeat", 0, "cluster heartbeat interval (0 = default 1s); failure suspected after 2 intervals")
+		failover      = flag.Bool("failover", true, "lease-based coordinator failover over the shared -cache (cluster mode)")
+		replicate     = flag.Bool("replicate-heirs", true, "proactively replicate artifacts for snapshots this member is heir to (cluster mode)")
 	)
 	flag.Parse()
 
@@ -123,10 +129,12 @@ func main() {
 			id = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
 		node, err = cluster.NewNode(cluster.Config{
-			ID:        id,
-			Server:    srv,
-			Heartbeat: *heartbeat,
-			Logf:      func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+			ID:                 id,
+			Server:             srv,
+			Heartbeat:          *heartbeat,
+			DisableFailover:    !*failover,
+			DisableReplication: !*replicate,
+			Logf:               func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "batfishd: %v\n", err)

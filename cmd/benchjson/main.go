@@ -35,6 +35,12 @@
 //     must land inside the detector's budget (cluster-failover-p99-ms ≤
 //     cluster-failover-budget-ms) and a forwarded question must cost at
 //     most 2x a local one (cluster-forward-overhead ≤ 2.0), the ISSUE 8
+//     exit bars;
+//   - when the coordinator-failover metrics are present, promotion p99
+//     must land inside twice the member-eviction budget
+//     (cluster-coord-failover-p99-ms ≤ cluster-coord-failover-budget-ms)
+//     and the heir replicator must keep at least 90% of inheritable
+//     artifacts warm (cluster-heir-warm-hit-rate ≥ 0.9), the ISSUE 9
 //     exit bars.
 //
 // Violations exit nonzero with one line per failed floor.
@@ -385,6 +391,32 @@ func runCheck(dir, file string, speedupFloor float64) int {
 			fail("cluster-forward-overhead %.2fx above ceiling 2.0x", ov)
 		} else {
 			fmt.Printf("benchjson: check: ok: cluster-forward-overhead %.2fx <= 2.0x\n", ov)
+		}
+
+		// Floor 5 (ISSUE 9): coordinator failover and heir replication,
+		// gated on their metrics' presence so cluster snapshots predating
+		// lease-based failover still pass. Promoting a new coordinator may
+		// cost at most twice the member-eviction budget (the benchmark
+		// emits the budget as cluster-coord-failover-budget-ms), and the
+		// heir replicator must have at least 90% of the owner's artifact
+		// keys warm once it settles.
+		if cp99, ok := doc.Cluster["cluster-coord-failover-p99-ms"]; ok {
+			cbudget, okBudget := doc.Cluster["cluster-coord-failover-budget-ms"]
+			switch {
+			case !okBudget:
+				fail("cluster summary has coord-failover p99 but no budget")
+			case cp99 > cbudget:
+				fail("cluster-coord-failover-p99-ms %.0f over budget %.0f", cp99, cbudget)
+			default:
+				fmt.Printf("benchjson: check: ok: cluster-coord-failover-p99-ms %.0f <= budget %.0f\n", cp99, cbudget)
+			}
+		}
+		if hr, ok := doc.Cluster["cluster-heir-warm-hit-rate"]; ok {
+			if hr < 0.9 {
+				fail("cluster-heir-warm-hit-rate %.2f below floor 0.90", hr)
+			} else {
+				fmt.Printf("benchjson: check: ok: cluster-heir-warm-hit-rate %.2f >= 0.90\n", hr)
+			}
 		}
 	}
 

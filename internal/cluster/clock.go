@@ -2,10 +2,23 @@ package cluster
 
 import "time"
 
-// now is the package's single wall-clock read site. Membership liveness
-// (heartbeat timestamps, failure-detector cutoffs, failover deadlines)
-// is wall-clock by nature; analysis results never observe it, so the
-// determinism rule is suppressed here and only here.
-func now() time.Time {
+// Clock is the node's time source. Membership liveness — heartbeat
+// timestamps, failure-detector cutoffs, failover deadlines, lease
+// expiry — is wall-clock by nature, but chaos and unit tests need to
+// drive coordinator-death scenarios deterministically, so every time
+// read in the package goes through the configured Clock.
+type Clock interface {
+	Now() time.Time
+}
+
+// systemClock is the default Clock and the package's single wall-clock
+// read site. Analysis results never observe it, so the determinism rule
+// is suppressed here and only here.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time {
 	return time.Now() //gblint:ignore determinism membership liveness is wall-clock control-plane state; simulation outputs never read it
 }
+
+// now reads the node's configured clock.
+func (n *Node) now() time.Time { return n.cfg.Clock.Now() }

@@ -10,11 +10,16 @@
 // artifacts instead of recomputing them.
 //
 // The design follows the coordinator/member pattern: exactly one node is
-// the coordinator (the one started without a join address) and holds the
-// authoritative view; members learn the view from heartbeat responses.
-// The coordinator is a regular snapshot-serving member too. Coordinator
-// failover is out of scope: if the coordinator dies, members keep
-// serving and forwarding on their cached view but membership freezes.
+// the coordinator (initially, the one started without a join address)
+// and holds the authoritative view; members learn the view from
+// heartbeat responses. The coordinator is a regular snapshot-serving
+// member too — and it is not a single point of failure: its authority is
+// backed by a renewable lease on the shared disk cache, and when members
+// lose contact with it past the suspicion window they race to acquire
+// that lease, the winner promoting itself with an epoch strictly past
+// any it has seen (promote.go). Each member also runs an anti-entropy
+// replicator that pre-fetches artifacts for the snapshots it is heir to,
+// so failover rehydration starts warm (replicate.go).
 package cluster
 
 import (
@@ -26,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diskcache"
 	"repro/internal/server"
 )
 
@@ -50,6 +56,11 @@ type Member struct {
 	ID   string `json:"id"`
 	Addr string `json:"addr"` // base URL, e.g. http://10.0.0.7:7071
 	Role string `json:"role"`
+	// Epoch rides only on join/heartbeat request bodies: the sender's
+	// current view epoch. A freshly promoted coordinator uses it to jump
+	// its own epoch strictly past anything the dead coordinator handed
+	// out before the crash. Always zero inside views.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // View is the membership at one epoch. Members are sorted by ID; the
@@ -92,6 +103,22 @@ type Config struct {
 	Client *http.Client
 	// Logf, when set, receives membership and failover events.
 	Logf func(format string, args ...any)
+	// Clock is the node's time source (default: the wall clock). Tests
+	// inject a fake to drive detection and failover without sleeping.
+	Clock Clock
+	// DisableFailover turns off lease-based coordinator failover. The
+	// zero value enables it — robustness by default — though it is inert
+	// without a disk cache to hold the lease.
+	DisableFailover bool
+	// DisableReplication turns off the anti-entropy heir replicator. The
+	// zero value enables it; inert without a disk cache.
+	DisableReplication bool
+	// ReplicateEvery is the heir replicator's round period (default
+	// 5×Heartbeat — replication is anti-entropy, not a hot path).
+	ReplicateEvery time.Duration
+	// ReplicateBurst bounds artifact fetches per replication round
+	// (default 64); presence probes against the local cache are unmetered.
+	ReplicateBurst int
 }
 
 func (c *Config) defaults() error {
@@ -122,6 +149,15 @@ func (c *Config) defaults() error {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Clock == nil {
+		c.Clock = systemClock{}
+	}
+	if c.ReplicateEvery <= 0 {
+		c.ReplicateEvery = 5 * c.Heartbeat
+	}
+	if c.ReplicateBurst <= 0 {
+		c.ReplicateBurst = 64
+	}
 	return nil
 }
 
@@ -139,6 +175,10 @@ type Node struct {
 	view        View
 	lastSeen    map[string]time.Time // coordinator: member ID → last heartbeat
 	draining    bool
+	lease       *diskcache.Lease // coordinator: the held coordinator lease (nil when failover is off)
+	renewFails  time.Time        // coordinator: start of the current lease-renew failure streak
+	lastContact time.Time        // member: last successful exchange with the coordinator
+	lastBeat    time.Time        // member: last heartbeat attempt (the loop ticks faster than it beats)
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -170,36 +210,57 @@ func NewNode(cfg Config) (*Node, error) {
 func (n *Node) Handler() http.Handler { return n.mux }
 
 // Start brings the node online. An empty joinAddr makes this node the
-// coordinator; otherwise it registers with the coordinator at joinAddr
-// and starts heartbeating. advertiseAddr is the base URL other members
-// reach this node at. The background loops stop when ctx is cancelled,
-// Kill is called, or Drain completes.
+// coordinator — unless another coordinator already holds the lease on the
+// shared cache (a restarted ex-coordinator, say), in which case the node
+// defers to it and comes up as a member. Otherwise it registers with the
+// coordinator at joinAddr and starts heartbeating; if that target turns
+// out dead or demoted, the coordinator record in the shared cache names
+// the live one to join instead. advertiseAddr is the base URL other
+// members reach this node at. The background loops stop when ctx is
+// cancelled, Kill is called, or Drain completes.
 func (n *Node) Start(ctx context.Context, advertiseAddr, joinAddr string) error {
 	self := Member{ID: n.cfg.ID, Addr: advertiseAddr, Role: RoleMember}
 	if joinAddr == "" {
-		self.Role = RoleCoordinator
-		n.mu.Lock()
-		n.self = self
-		n.coordinator = true
-		n.view = View{Epoch: 1, Members: []Member{self}}
-		n.lastSeen[self.ID] = now()
-		n.mu.Unlock()
-		n.loops.Add(1)
-		go n.detectLoop(ctx)
-		n.cfg.Logf("cluster: %s coordinating at %s", self.ID, advertiseAddr)
-		return nil
+		if addr, became := n.bootstrapCoordinator(self); became {
+			n.loops.Add(1)
+			go n.runLoop(ctx)
+			n.startReplicator(ctx)
+			n.cfg.Logf("cluster: %s coordinating at %s", self.ID, advertiseAddr)
+			return nil
+		} else {
+			joinAddr = addr
+			n.cfg.Logf("cluster: %s found a live coordinator lease, joining %s as a member", self.ID, addr)
+		}
 	}
 	n.mu.Lock()
 	n.self = self
 	n.coordAddr = joinAddr
+	n.lastBeat = n.now()
+	n.lastContact = n.now()
 	n.mu.Unlock()
 	v, err := n.postMember(ctx, joinAddr+"/cluster/join", self)
 	if err != nil {
-		return fmt.Errorf("cluster: join %s: %w", joinAddr, err)
+		// The join target may itself have died or been demoted since the
+		// operator copied its address; the coordinator record in the shared
+		// cache names the live one.
+		rec, ok := n.readCoordRecord()
+		if !ok || rec.Addr == joinAddr || rec.ID == n.cfg.ID {
+			return fmt.Errorf("cluster: join %s: %w", joinAddr, err)
+		}
+		n.cfg.Logf("cluster: %s join %s failed (%v); retrying via coordinator record at %s",
+			self.ID, joinAddr, err, rec.Addr)
+		joinAddr = rec.Addr
+		n.mu.Lock()
+		n.coordAddr = joinAddr
+		n.mu.Unlock()
+		if v, err = n.postMember(ctx, joinAddr+"/cluster/join", self); err != nil {
+			return fmt.Errorf("cluster: join %s: %w", joinAddr, err)
+		}
 	}
 	n.setView(v)
 	n.loops.Add(1)
-	go n.heartbeatLoop(ctx)
+	go n.runLoop(ctx)
+	n.startReplicator(ctx)
 	n.cfg.Logf("cluster: %s joined %s (epoch %d)", self.ID, joinAddr, v.Epoch)
 	return nil
 }
@@ -229,7 +290,15 @@ func (n *Node) Drain(ctx context.Context) error {
 			if n.removeMemberLocked(self.ID) {
 				n.view.Epoch++
 			}
+			lease := n.lease
+			n.lease = nil
 			n.mu.Unlock()
+			if lease != nil {
+				// Releasing (rather than letting it lapse) lets a surviving
+				// member win the coordinator race immediately instead of
+				// waiting out the suspicion window.
+				lease.Release()
+			}
 		} else if _, err := n.postMember(ctx, coordAddr+"/cluster/leave", self); err != nil {
 			n.cfg.Logf("cluster: %s leave failed: %v", self.ID, err)
 		}
@@ -247,11 +316,21 @@ func (n *Node) View() View {
 	return n.view.clone()
 }
 
-// setView adopts a newer view learned from the coordinator.
+// setView adopts a newer view learned from the coordinator — and, on
+// members, re-derives the coordinator address from it, so heartbeats and
+// forwarding retries follow a coordinator change instead of polling the
+// corpse of the node they first joined.
 func (n *Node) setView(v View) {
 	n.mu.Lock()
 	if v.Epoch > n.view.Epoch {
 		n.view = v.clone()
+		if !n.coordinator {
+			for _, m := range n.view.Members {
+				if m.Role == RoleCoordinator && m.ID != n.self.ID && m.Addr != "" {
+					n.coordAddr = m.Addr
+				}
+			}
+		}
 	}
 	n.mu.Unlock()
 }
@@ -304,4 +383,21 @@ type nodeCounters struct {
 	manifestPuts      atomic.Int64
 	sweepClassesIn    atomic.Int64
 	sweepFallback     atomic.Int64
+
+	// Coordinator failover (promote.go).
+	promotions     atomic.Int64
+	demotions      atomic.Int64
+	coordAdoptions atomic.Int64
+	promoteStalled atomic.Int64
+
+	// Heir replication (replicate.go). The first five are counters; the
+	// last three are gauges rewritten after every replication round.
+	replRounds        atomic.Int64
+	replWarm          atomic.Int64
+	replFetched       atomic.Int64
+	replErrors        atomic.Int64
+	replStalled       atomic.Int64
+	replHeirSnapshots atomic.Int64
+	replKeys          atomic.Int64
+	replLag           atomic.Int64
 }

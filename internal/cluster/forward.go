@@ -130,7 +130,7 @@ func (n *Node) copyResponse(w http.ResponseWriter, resp *http.Response) {
 // the freshest view seen and whether it actually changed.
 func (n *Node) awaitViewChange(r *http.Request, sinceEpoch int64) (View, bool) {
 	ctx := r.Context()
-	deadline := now().Add(n.cfg.FailoverWait)
+	deadline := n.now().Add(n.cfg.FailoverWait)
 	poll := n.cfg.Heartbeat / 2
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
@@ -140,7 +140,7 @@ func (n *Node) awaitViewChange(r *http.Request, sinceEpoch int64) (View, bool) {
 		if v.Epoch > sinceEpoch {
 			return v, true
 		}
-		if ctx.Err() != nil || now().After(deadline) {
+		if ctx.Err() != nil || n.now().After(deadline) {
 			return v, false
 		}
 		t := time.NewTimer(poll)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,15 +14,25 @@ import (
 	"repro/internal/faults"
 )
 
-// heartbeatLoop is the member side of the failure detector: one POST to
-// the coordinator per period. The response carries the current view, so
-// membership changes propagate to every member within one heartbeat.
-// The "cluster-heartbeat" fault stage drops heartbeats for partition
-// experiments — the coordinator then declares this member dead even
-// though it is still serving.
-func (n *Node) heartbeatLoop(ctx context.Context) {
+// errNotCoordinator marks a 421 from a join/heartbeat target: the peer is
+// alive but no longer (or not yet) the coordinator. The caller should
+// re-resolve the coordinator through the shared record.
+var errNotCoordinator = errors.New("peer is not the coordinator")
+
+// runLoop is the node's single control loop, ticking at half the
+// heartbeat period. On the coordinator each tick reaps silent members
+// and renews the coordinator lease; on a member it heartbeats once per
+// period and watches for coordinator silence. One loop serves both roles
+// because failover moves a node between them mid-life: a member that
+// wins the lease race is a coordinator on its next tick, a coordinator
+// that loses its lease is a member on its next.
+func (n *Node) runLoop(ctx context.Context) {
 	defer n.loops.Done()
-	t := time.NewTicker(n.cfg.Heartbeat)
+	period := n.cfg.Heartbeat / 2
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
 	defer t.Stop()
 	for {
 		select {
@@ -32,45 +43,69 @@ func (n *Node) heartbeatLoop(ctx context.Context) {
 		case <-t.C:
 		}
 		n.mu.Lock()
-		self, coordAddr := n.self, n.coordAddr
+		coordinator := n.coordinator
 		n.mu.Unlock()
+		if coordinator {
+			n.coordTick()
+		} else {
+			n.memberTick(ctx)
+		}
+	}
+}
+
+// coordTick is one coordinator beat: run the failure detector, keep the
+// coordinator lease alive.
+func (n *Node) coordTick() {
+	n.reapDead()
+	n.maintainLease()
+}
+
+// memberTick is one member beat: at most one heartbeat POST per
+// heartbeat period (the response carries the current view, so membership
+// changes propagate within one heartbeat), plus the coordinator-death
+// watch. A 421 from the target means it was demoted — the shared record
+// names its successor, so adopt it immediately instead of waiting out
+// the suspicion window. Silence past SuspectAfter triggers the failover
+// race (promote.go). The "cluster-heartbeat" fault stage drops
+// heartbeats for partition experiments — the coordinator then declares
+// this member dead even though it is still serving.
+func (n *Node) memberTick(ctx context.Context) {
+	n.mu.Lock()
+	self, coordAddr := n.self, n.coordAddr
+	self.Epoch = n.view.Epoch
+	due := coordAddr != "" && n.now().Sub(n.lastBeat) >= n.cfg.Heartbeat
+	if due {
+		n.lastBeat = n.now()
+	}
+	lastContact, draining := n.lastContact, n.draining
+	n.mu.Unlock()
+	if due {
 		if err := faults.FireErr("cluster-heartbeat", self.ID); err != nil {
 			n.m.heartbeatsDropped.Add(1)
-			continue
-		}
-		v, err := n.postMember(ctx, coordAddr+"/cluster/heartbeat", self)
-		if err != nil {
+		} else if v, err := n.postMember(ctx, coordAddr+"/cluster/heartbeat", self); err != nil {
 			n.m.heartbeatsMissed.Add(1)
-			continue
+			if errors.Is(err, errNotCoordinator) {
+				n.adoptCoordRecord()
+			}
+		} else {
+			n.m.heartbeatsSent.Add(1)
+			n.setView(v)
+			n.mu.Lock()
+			n.lastContact = n.now()
+			n.mu.Unlock()
+			return
 		}
-		n.m.heartbeatsSent.Add(1)
-		n.setView(v)
+	}
+	if !draining && n.now().Sub(lastContact) > n.cfg.SuspectAfter {
+		n.attemptFailover()
 	}
 }
 
-// detectLoop is the coordinator side: every half heartbeat it reaps
-// members whose last heartbeat is older than SuspectAfter. Removal bumps
-// the epoch, which reassigns the dead member's snapshots by rendezvous
-// hash and unblocks forwarders waiting in awaitViewChange.
-func (n *Node) detectLoop(ctx context.Context) {
-	defer n.loops.Done()
-	t := time.NewTicker(n.cfg.Heartbeat / 2)
-	defer t.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-n.stop:
-			return
-		case <-t.C:
-		}
-		n.reapDead()
-	}
-}
-
-// reapDead removes members silent past the suspicion window.
+// reapDead removes members silent past the suspicion window. Removal
+// bumps the epoch, which reassigns the dead member's snapshots by
+// rendezvous hash and unblocks forwarders waiting in awaitViewChange.
 func (n *Node) reapDead() {
-	cutoff := now().Add(-n.cfg.SuspectAfter)
+	cutoff := n.now().Add(-n.cfg.SuspectAfter)
 	n.mu.Lock()
 	var dead []string
 	for id, seen := range n.lastSeen {
@@ -120,7 +155,14 @@ func (n *Node) handleRegistration(w http.ResponseWriter, r *http.Request, join b
 		return
 	}
 	m.Role = RoleMember
-	n.lastSeen[m.ID] = now()
+	if m.Epoch > n.view.Epoch {
+		// The member outlived a previous coordinator and saw epochs this
+		// (freshly promoted) one never did; jump strictly past them so
+		// "newer view" stays monotonic across the coordinator change.
+		n.view.Epoch = m.Epoch + 1
+	}
+	m.Epoch = 0
+	n.lastSeen[m.ID] = n.now()
 	if n.setMemberLocked(m) {
 		n.view.Epoch++
 		if join {
@@ -159,10 +201,20 @@ func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
 	writeViewJSON(w, v)
 }
 
-// handleMembers returns the view: authoritative on the coordinator, the
-// cached copy on members. Forwarders poll it while waiting for failover.
+// handleMembers returns the view — authoritative on the coordinator, the
+// cached copy on members — plus this node's replication status (view
+// decoders ignore the extra field). Forwarders poll it while waiting for
+// failover; operators read the replication lag off it.
 func (n *Node) handleMembers(w http.ResponseWriter, r *http.Request) {
-	writeViewJSON(w, n.View())
+	w.Header().Set("Content-Type", "application/json")
+	resp := membersResponse{View: n.View(), Replication: n.replicationStatus()}
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck // client went away
+}
+
+// membersResponse is the /cluster/members payload.
+type membersResponse struct {
+	View
+	Replication ReplicationStatus `json:"replication"`
 }
 
 // handleClusterDrain drains this node (the HTTP twin of the SIGTERM
@@ -192,6 +244,9 @@ func (n *Node) postMember(ctx context.Context, url string, m Member) (View, erro
 		return View{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		return View{}, fmt.Errorf("%s: %w", url, errNotCoordinator)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return View{}, fmt.Errorf("%s: status %d", url, resp.StatusCode)
 	}
@@ -203,8 +258,12 @@ func (n *Node) postMember(ctx context.Context, url string, m Member) (View, erro
 }
 
 // fetchView returns the freshest view reachable: the local authoritative
-// one on the coordinator, the coordinator's via HTTP on members (falling
-// back to the cached view when the coordinator is unreachable).
+// one on the coordinator, the coordinator's via HTTP on members. When
+// the coordinator does not answer, the shared record may name a
+// successor that already won the failover race — adopt it and retry once
+// before settling for the cached view. This is what lets forwarding
+// retries (awaitViewChange) and the hop-limit refresh converge on a new
+// coordinator instead of polling the corpse of the old one.
 func (n *Node) fetchView(ctx context.Context) View {
 	n.mu.Lock()
 	coordinator, coordAddr, cached := n.coordinator, n.coordAddr, n.view.clone()
@@ -212,22 +271,45 @@ func (n *Node) fetchView(ctx context.Context) View {
 	if coordinator {
 		return cached
 	}
+	if v, ok := n.fetchViewFrom(ctx, coordAddr); ok {
+		return v
+	}
+	if n.adoptCoordRecord() {
+		n.mu.Lock()
+		coordAddr = n.coordAddr
+		n.mu.Unlock()
+		if v, ok := n.fetchViewFrom(ctx, coordAddr); ok {
+			return v
+		}
+	}
+	return cached
+}
+
+// fetchViewFrom GETs one member-list from coordAddr, adopting the view
+// and refreshing the contact clock on success.
+func (n *Node) fetchViewFrom(ctx context.Context, coordAddr string) (View, bool) {
+	if coordAddr == "" {
+		return View{}, false
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, coordAddr+"/cluster/members", nil)
 	if err != nil {
-		return cached
+		return View{}, false
 	}
 	resp, err := n.cfg.Client.Do(req)
 	if err != nil {
-		return cached
+		return View{}, false
 	}
 	defer resp.Body.Close()
 	var v View
 	if resp.StatusCode != http.StatusOK ||
 		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v) != nil {
-		return cached
+		return View{}, false
 	}
 	n.setView(v)
-	return v
+	n.mu.Lock()
+	n.lastContact = n.now()
+	n.mu.Unlock()
+	return v, true
 }
 
 func writeViewJSON(w http.ResponseWriter, v View) {

@@ -24,6 +24,46 @@ type Metrics struct {
 	ManifestPuts      int64 `json:"manifest_puts"`
 	SweepClassesIn    int64 `json:"sweep_classes_in"`
 	SweepFallback     int64 `json:"sweep_fallback"`
+
+	// Coordinator failover.
+	LeaseHeld      bool  `json:"lease_held"`
+	Promotions     int64 `json:"promotions"`
+	Demotions      int64 `json:"demotions"`
+	CoordAdoptions int64 `json:"coord_adoptions"`
+	PromoteStalled int64 `json:"promote_stalled"`
+
+	// Heir replication.
+	Replication ReplicationStatus `json:"replication"`
+}
+
+// ReplicationStatus summarizes the heir replicator: what this node is
+// heir to, how warm it is (Lag is the number of artifact keys still
+// absent locally — zero means failover rehydration is fully warm), and
+// the work done getting there. Exposed in both /metrics and
+// /cluster/members.
+type ReplicationStatus struct {
+	HeirSnapshots int64 `json:"heir_snapshots"`
+	Keys          int64 `json:"keys"`
+	Lag           int64 `json:"lag"`
+	Warm          int64 `json:"warm"`
+	Fetched       int64 `json:"fetched"`
+	Rounds        int64 `json:"rounds"`
+	Errors        int64 `json:"errors"`
+	Stalled       int64 `json:"stalled"`
+}
+
+// replicationStatus snapshots the replicator's counters and gauges.
+func (n *Node) replicationStatus() ReplicationStatus {
+	return ReplicationStatus{
+		HeirSnapshots: n.m.replHeirSnapshots.Load(),
+		Keys:          n.m.replKeys.Load(),
+		Lag:           n.m.replLag.Load(),
+		Warm:          n.m.replWarm.Load(),
+		Fetched:       n.m.replFetched.Load(),
+		Rounds:        n.m.replRounds.Load(),
+		Errors:        n.m.replErrors.Load(),
+		Stalled:       n.m.replStalled.Load(),
+	}
 }
 
 // Metrics snapshots the node's counters and membership state.
@@ -34,11 +74,12 @@ func (n *Node) Metrics() Metrics {
 		role = RoleCoordinator
 	}
 	m := Metrics{
-		MemberID: n.cfg.ID,
-		Role:     role,
-		Epoch:    n.view.Epoch,
-		Members:  len(n.view.Members),
-		Draining: n.draining,
+		MemberID:  n.cfg.ID,
+		Role:      role,
+		Epoch:     n.view.Epoch,
+		Members:   len(n.view.Members),
+		Draining:  n.draining,
+		LeaseHeld: n.lease != nil,
 	}
 	n.mu.Unlock()
 	m.Forwarded = n.m.forwarded.Load()
@@ -55,5 +96,10 @@ func (n *Node) Metrics() Metrics {
 	m.ManifestPuts = n.m.manifestPuts.Load()
 	m.SweepClassesIn = n.m.sweepClassesIn.Load()
 	m.SweepFallback = n.m.sweepFallback.Load()
+	m.Promotions = n.m.promotions.Load()
+	m.Demotions = n.m.demotions.Load()
+	m.CoordAdoptions = n.m.coordAdoptions.Load()
+	m.PromoteStalled = n.m.promoteStalled.Load()
+	m.Replication = n.replicationStatus()
 	return m
 }

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// Anti-entropy heir replication. Failover rehydration is only warm if
+// the heir's disk cache holds the dead owner's artifacts when the view
+// changes. With one shared cache directory that is automatic; what this
+// loop adds is *proactive* warmth: every member periodically asks every
+// other member what snapshots it holds (with the manifest and artifact
+// cache keys), keeps only the ones it is heir to — next in rendezvous
+// order after the owner — and makes sure each key is present locally. In
+// a shared directory "present" means adopting the owner's commit into
+// the local index; with per-member cache directories the bytes are
+// fetched over /cluster/artifact and committed locally. Either way, when
+// the owner dies, the heir's Rehydration reads manifest and artifacts
+// from its own warm cache instead of re-parsing. Rounds are rate-limited
+// (ReplicateBurst fetches per round) and cancellable between keys.
+
+// maxArtifact bounds one fetched artifact. Data-plane artifacts on large
+// fabrics dwarf request bodies, so this is far above maxBody.
+const maxArtifact = 1 << 30
+
+// replicaSnapshot is one snapshot in a member's replication listing: its
+// name plus the hex cache keys of its manifest and artifacts.
+type replicaSnapshot struct {
+	Name     string   `json:"name"`
+	Manifest string   `json:"manifest"`
+	Keys     []string `json:"keys"`
+}
+
+// startReplicator launches the heir replicator when it has a cache to
+// warm.
+func (n *Node) startReplicator(ctx context.Context) {
+	if n.cfg.DisableReplication || n.inner.Disk() == nil {
+		return
+	}
+	n.loops.Add(1)
+	go n.replicateLoop(ctx)
+}
+
+// replicateLoop runs one anti-entropy round per ReplicateEvery.
+func (n *Node) replicateLoop(ctx context.Context) {
+	defer n.loops.Done()
+	t := time.NewTicker(n.cfg.ReplicateEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.replicateRound(ctx)
+	}
+}
+
+// replicateRound walks every other member's snapshot listing and warms
+// the local cache for each snapshot this node is heir to. The round's
+// outcome is published as gauges: how many snapshots this node is heir
+// to, how many artifact keys that covers, and how many are still absent
+// locally (the replication lag — zero means failover is fully warm). The
+// "cluster-replicate" fault stage stalls a round for chaos experiments.
+func (n *Node) replicateRound(ctx context.Context) {
+	disk := n.inner.Disk()
+	if err := faults.FireErr("cluster-replicate", n.cfg.ID); err != nil {
+		n.m.replStalled.Add(1)
+		return
+	}
+	view := n.View()
+	budget := n.cfg.ReplicateBurst
+	var heirs, keys, lag int64
+	for _, m := range view.Members {
+		if m.ID == n.cfg.ID {
+			continue
+		}
+		list, err := n.fetchReplicaList(ctx, m.Addr)
+		if err != nil {
+			n.m.replErrors.Add(1)
+			continue
+		}
+		for _, snap := range list {
+			if OwnerOf(view.Members, snap.Name).ID != m.ID ||
+				HeirOf(view.Members, snap.Name).ID != n.cfg.ID {
+				continue
+			}
+			heirs++
+			for _, hexKey := range append([]string{snap.Manifest}, snap.Keys...) {
+				select {
+				case <-ctx.Done():
+					return
+				case <-n.stop:
+					return
+				default:
+				}
+				key, ok := decodeKey(hexKey)
+				if !ok {
+					continue
+				}
+				keys++
+				if disk.Has(key) {
+					continue
+				}
+				if _, ok := disk.Get(key); ok {
+					// Shared directory: the owner's commit is already on
+					// disk; adopting it into the index is the replication.
+					n.m.replWarm.Add(1)
+					continue
+				}
+				if budget <= 0 {
+					lag++ // over the per-round fetch budget; next round
+					continue
+				}
+				budget--
+				b, err := n.fetchArtifact(ctx, m.Addr, hexKey)
+				if err != nil {
+					n.m.replErrors.Add(1)
+					lag++
+					continue
+				}
+				disk.Put(key, b)
+				n.m.replFetched.Add(1)
+			}
+		}
+	}
+	n.m.replHeirSnapshots.Store(heirs)
+	n.m.replKeys.Store(keys)
+	n.m.replLag.Store(lag)
+	n.m.replRounds.Add(1)
+}
+
+// decodeKey parses a hex cache key.
+func decodeKey(s string) ([sha256.Size]byte, bool) {
+	var key [sha256.Size]byte
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != sha256.Size {
+		return key, false
+	}
+	copy(key[:], b)
+	return key, true
+}
+
+// fetchReplicaList GETs a member's snapshot listing.
+func (n *Node) fetchReplicaList(ctx context.Context, addr string) ([]replicaSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/cluster/replicate", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: replica list status %d", addr, resp.StatusCode)
+	}
+	var list []replicaSnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(&list); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// fetchArtifact GETs one raw cache entry from a member.
+func (n *Node) fetchArtifact(ctx context.Context, addr, hexKey string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/cluster/artifact/"+hexKey, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: artifact %s status %d", addr, hexKey, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxArtifact))
+}
+
+// handleReplicaList serves this node's snapshot listing: every held
+// snapshot with its manifest key and artifact keys, the shopping list an
+// heir replicates from.
+func (n *Node) handleReplicaList(w http.ResponseWriter, r *http.Request) {
+	names := n.inner.SnapshotNames()
+	list := make([]replicaSnapshot, 0, len(names))
+	for _, name := range names {
+		keys, ok := n.inner.SnapshotArtifactKeys(name)
+		if !ok {
+			continue
+		}
+		mk := manifestKey(name)
+		rs := replicaSnapshot{
+			Name:     name,
+			Manifest: hex.EncodeToString(mk[:]),
+			Keys:     make([]string, 0, len(keys)),
+		}
+		for _, k := range keys {
+			if !k.IsZero() {
+				rs.Keys = append(rs.Keys, hex.EncodeToString(k[:]))
+			}
+		}
+		list = append(list, rs)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(list) //nolint:errcheck // client went away
+}
+
+// handleArtifact serves one raw cache entry by hex key — the replication
+// fetch path for clusters whose members do not share a cache directory.
+// Keys are content-addressed, so the bytes are immutable and safe to
+// hand to any member.
+func (n *Node) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	disk := n.inner.Disk()
+	key, ok := decodeKey(r.PathValue("key"))
+	if disk == nil || !ok {
+		writeClusterError(w, http.StatusNotFound, "no such artifact")
+		return
+	}
+	b, ok := disk.Get(key)
+	if !ok {
+		writeClusterError(w, http.StatusNotFound, "no such artifact")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(b) //nolint:errcheck // client went away
+}

@@ -22,6 +22,8 @@ func (n *Node) routes() {
 	n.mux.HandleFunc("GET /cluster/members", n.handleMembers)
 	n.mux.HandleFunc("POST /cluster/drain", n.handleClusterDrain)
 	n.mux.HandleFunc("POST /cluster/sweep-exec/{name}", n.handleSweepExec)
+	n.mux.HandleFunc("GET /cluster/replicate", n.handleReplicaList)
+	n.mux.HandleFunc("GET /cluster/artifact/{key}", n.handleArtifact)
 	n.mux.HandleFunc("/", n.route)
 }
 
@@ -47,6 +49,21 @@ func OwnerOf(members []Member, name string) Member {
 		}
 	}
 	return best
+}
+
+// HeirOf resolves the member that inherits a snapshot if its current
+// owner dies: the rendezvous winner among the remaining members. This is
+// who the replicator warms artifacts on. The zero Member is returned
+// when there is no second member.
+func HeirOf(members []Member, name string) Member {
+	owner := OwnerOf(members, name)
+	rest := make([]Member, 0, len(members))
+	for _, m := range members {
+		if m.ID != owner.ID {
+			rest = append(rest, m)
+		}
+	}
+	return OwnerOf(rest, name)
 }
 
 // snapshotPath splits a per-snapshot API path into the snapshot name and

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"time"
@@ -25,6 +26,12 @@ import (
 type manifest struct {
 	Name    string            `json:"name"`
 	Configs map[string]string `json:"configs"`
+	// Artifacts are the hex content-addressed keys of the snapshot's
+	// parse and data-plane artifacts at persist time — the heir
+	// replicator's shopping list when members do not share one cache
+	// directory. Informational for rehydration itself, which re-derives
+	// the same keys from the configs.
+	Artifacts []string `json:"artifacts,omitempty"`
 }
 
 // manifestKey derives the cache key for a snapshot's manifest. Unlike
@@ -48,7 +55,15 @@ func (n *Node) persistManifest(name string) {
 	if !ok {
 		return
 	}
-	buf, err := json.Marshal(manifest{Name: name, Configs: configs})
+	var arts []string
+	if keys, ok := n.inner.SnapshotArtifactKeys(name); ok {
+		for _, k := range keys {
+			if !k.IsZero() {
+				arts = append(arts, hex.EncodeToString(k[:]))
+			}
+		}
+	}
+	buf, err := json.Marshal(manifest{Name: name, Configs: configs, Artifacts: arts})
 	if err != nil {
 		return
 	}

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/faults"
 )
@@ -88,6 +89,7 @@ type Stats struct {
 type Cache struct {
 	dir string
 	max int64
+	now func() time.Time // lease-expiry time source; wall clock by default
 
 	mu    sync.Mutex
 	index map[string]*entryState // key hex → state
@@ -113,7 +115,7 @@ func Open(dir string, opts Options) (*Cache, error) {
 	if max == 0 {
 		max = DefaultMaxBytes
 	}
-	c := &Cache{dir: dir, max: max, index: make(map[string]*entryState)}
+	c := &Cache{dir: dir, max: max, now: time.Now, index: make(map[string]*entryState)}
 	c.stats.MaxBytes = max
 	// The scan holds the directory lock exclusively: a concurrent writer in
 	// another process (shared lock) finishes its commit first, so its live
@@ -453,6 +455,18 @@ func (c *Cache) Stats() Stats {
 	st.Entries = len(c.index)
 	st.Bytes = c.bytes
 	return st
+}
+
+// SetClock replaces the cache's time source for lease-expiry decisions
+// (AcquireLease, Renew, and the recovery sweep of later Opens). Chaos and
+// unit tests use it to drive lease expiry deterministically without real
+// sleeps; a nil fn restores the wall clock. Call before sharing the cache
+// across goroutines — it is not synchronized against in-flight leases.
+func (c *Cache) SetClock(fn func() time.Time) {
+	if fn == nil {
+		fn = time.Now
+	}
+	c.now = fn
 }
 
 // Dir returns the cache root directory.

@@ -112,7 +112,7 @@ func (c *Cache) AcquireLease(name, owner string, ttl time.Duration) (*Lease, err
 	unlock := c.flockExclusive()
 	defer unlock()
 	path := c.leasePath(name)
-	now := time.Now()
+	now := c.now()
 	if rec, ok := readLease(path); ok && rec.Owner != owner {
 		if now.UnixNano() < rec.Expires {
 			c.mu.Lock()
@@ -141,12 +141,12 @@ func (l *Lease) Renew(ttl time.Duration) error {
 	unlock := l.c.flockExclusive()
 	defer unlock()
 	path := l.c.leasePath(l.name)
-	if rec, ok := readLease(path); ok && rec.Owner != l.owner && time.Now().UnixNano() < rec.Expires {
+	if rec, ok := readLease(path); ok && rec.Owner != l.owner && l.c.now().UnixNano() < rec.Expires {
 		return fmt.Errorf("%w: now held by %s", ErrLeaseLost, rec.Owner)
 	} else if ok && rec.Owner != l.owner {
 		return fmt.Errorf("%w: expired and reclaimed by %s", ErrLeaseLost, rec.Owner)
 	}
-	return writeLease(path, leaseRecord{Owner: l.owner, Expires: time.Now().Add(ttl).UnixNano()})
+	return writeLease(path, leaseRecord{Owner: l.owner, Expires: l.c.now().Add(ttl).UnixNano()})
 }
 
 // Release drops the lease if this owner still holds it. Releasing a lost
@@ -170,7 +170,7 @@ func (c *Cache) recoverLeases() {
 	if err != nil {
 		return // no leases dir yet
 	}
-	now := time.Now().UnixNano()
+	now := c.now().UnixNano()
 	for _, e := range entries {
 		name := e.Name()
 		path := filepath.Join(dir, name)

@@ -1,0 +1,141 @@
+package diskcache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutable time source shared by several Cache handles so
+// lease-expiry scenarios run deterministically, without real sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// TestLeaseOrphanRaceSingleWinner: two live processes race to reclaim a
+// crash-orphaned lease. The exclusive directory flock serializes the
+// read-then-write, so exactly one racer wins; the other must observe the
+// winner's fresh grant and back off with ErrLeaseHeld.
+func TestLeaseOrphanRaceSingleWinner(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	dead := openT(t, dir, Options{})
+	dead.SetClock(clk.Now)
+	if _, err := dead.AcquireLease("cluster/coordinator", "coord-0", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The holder "crashes": never renews, never releases. Its grant
+	// expires once the clock passes the ttl.
+	clk.Advance(2 * time.Second)
+
+	racers := []*Cache{openT(t, dir, Options{}), openT(t, dir, Options{})}
+	owners := []string{"member-b", "member-c"}
+	for _, c := range racers {
+		c.SetClock(clk.Now)
+	}
+	errs := make([]error, len(racers))
+	var wg sync.WaitGroup
+	for i := range racers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = racers[i].AcquireLease("cluster/coordinator", owners[i], time.Minute)
+		}(i)
+	}
+	wg.Wait()
+
+	wins := 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			wins++
+		case errors.Is(err, ErrLeaseHeld):
+		default:
+			t.Fatalf("racer %d: unexpected error %v", i, err)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("orphan race produced %d winners, want exactly 1 (errs=%v)", wins, errs)
+	}
+}
+
+// TestLeaseRenewalAcrossRecoveryScan: another process Opening the shared
+// directory runs the lease recovery sweep; an unexpired lease must
+// survive it, stay renewable by its holder, and keep excluding others.
+func TestLeaseRenewalAcrossRecoveryScan(t *testing.T) {
+	dir := t.TempDir()
+	a := openT(t, dir, Options{})
+	l, err := a.AcquireLease("cluster/coordinator", "coord-a", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second process starts up mid-lease: its Open sweeps only expired
+	// and torn lease files.
+	b := openT(t, dir, Options{})
+	if st := b.Stats(); st.LeaseOrphans != 0 {
+		t.Fatalf("recovery scan swept a live lease: %+v", st)
+	}
+	if err := l.Renew(time.Hour); err != nil {
+		t.Fatalf("renew after recovery scan: %v", err)
+	}
+	if _, err := b.AcquireLease("cluster/coordinator", "coord-b", time.Hour); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("lease not held after scan+renew: %v", err)
+	}
+}
+
+// TestLeaseStealWhileHolderAlive: stealing from a live, renewing holder
+// must fail for as long as the grant is unexpired — and only once the
+// holder truly lapses does the steal go through, at which point the old
+// holder learns it via ErrLeaseLost.
+func TestLeaseStealWhileHolderAlive(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	a := openT(t, dir, Options{})
+	b := openT(t, dir, Options{})
+	a.SetClock(clk.Now)
+	b.SetClock(clk.Now)
+
+	l, err := a.AcquireLease("cluster/coordinator", "coord-a", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The holder is alive and renewing: every steal attempt inside the
+	// ttl must fail, including ones right after a renewal.
+	for i := 0; i < 3; i++ {
+		clk.Advance(500 * time.Millisecond)
+		if err := l.Renew(time.Second); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+		if _, err := b.AcquireLease("cluster/coordinator", "coord-b", time.Second); !errors.Is(err, ErrLeaseHeld) {
+			t.Fatalf("steal from live holder succeeded at step %d: %v", i, err)
+		}
+	}
+	// The holder stops renewing; after the ttl the steal succeeds and the
+	// ex-holder's next Renew reports the loss.
+	clk.Advance(2 * time.Second)
+	if _, err := b.AcquireLease("cluster/coordinator", "coord-b", time.Second); err != nil {
+		t.Fatalf("steal after expiry: %v", err)
+	}
+	if err := l.Renew(time.Second); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("ex-holder renew: want ErrLeaseLost, got %v", err)
+	}
+}

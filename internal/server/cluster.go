@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diskcache"
+	"repro/internal/pipeline"
 )
 
 // Disk returns the server's persistent cache tier (nil when the server
@@ -41,6 +42,30 @@ func (s *Server) SnapshotSources(name string) (configs map[string]string, ok boo
 		configs[k] = v
 	}
 	return configs, true
+}
+
+// SnapshotNames returns the sorted names of the snapshots this server
+// currently holds.
+func (s *Server) SnapshotNames() []string { return s.names() }
+
+// SnapshotArtifactKeys returns the content-addressed keys of the named
+// snapshot's disk-persistable artifacts — the per-device parse artifacts
+// plus the data-plane artifact for its current options. This is what an
+// heir pre-replicates so failover rehydration never re-parses. ok is
+// false for unknown names and for entries whose live snapshot is torn
+// down pending a rebuild.
+func (s *Server) SnapshotArtifactKeys(name string) ([]pipeline.Key, bool) {
+	e, found := s.entry(name)
+	if !found {
+		return nil, false
+	}
+	e.mu.Lock()
+	snap := e.snap
+	e.mu.Unlock()
+	if snap == nil {
+		return nil, false
+	}
+	return snap.ArtifactKeys(), true
 }
 
 // InstallSnapshot parses and publishes a snapshot from raw configs — the
