@@ -293,12 +293,10 @@ func (n *Node) Drain(ctx context.Context) error {
 			lease := n.lease
 			n.lease = nil
 			n.mu.Unlock()
-			if lease != nil {
-				// Releasing (rather than letting it lapse) lets a surviving
-				// member win the coordinator race immediately instead of
-				// waiting out the suspicion window.
-				lease.Release()
-			}
+			// Releasing (rather than letting it lapse) lets a surviving
+			// member win the coordinator race immediately instead of
+			// waiting out the suspicion window.
+			n.releaseLease(lease, "coordinator")
 		} else if _, err := n.postMember(ctx, coordAddr+"/cluster/leave", self); err != nil {
 			n.cfg.Logf("cluster: %s leave failed: %v", self.ID, err)
 		}

@@ -43,7 +43,9 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, name string, body
 		}
 		if resp != nil {
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for reuse
-			resp.Body.Close()
+			if cerr := resp.Body.Close(); cerr != nil {
+				n.cfg.Logf("cluster: %s closing relayed response from %s: %v", n.cfg.ID, owner.ID, cerr)
+			}
 		}
 		if attempt >= n.cfg.ForwardRetries {
 			n.m.forwardFailed.Add(1)

@@ -189,7 +189,7 @@ func (n *Node) promote(lease *diskcache.Lease) {
 	n.mu.Lock()
 	if n.coordinator || n.draining {
 		n.mu.Unlock()
-		lease.Release()
+		n.releaseLease(lease, "coordinator")
 		return
 	}
 	oldCoord := n.coordAddr
@@ -219,6 +219,19 @@ func (n *Node) promote(lease *diskcache.Lease) {
 	n.writeCoordRecord(epoch)
 	n.cfg.Logf("cluster: %s promoted to coordinator (epoch %d) after %s went silent",
 		n.cfg.ID, epoch, oldCoord)
+}
+
+// releaseLease releases a lease and logs — rather than drops — a
+// failure: a lease file that outlives its holder makes every future
+// acquirer of that name wait out a TTL nobody is using. A nil lease
+// (acquire failed, or already handed off) is a no-op.
+func (n *Node) releaseLease(lease *diskcache.Lease, what string) {
+	if lease == nil {
+		return
+	}
+	if err := lease.Release(); err != nil {
+		n.cfg.Logf("cluster: %s releasing %s lease: %v", n.cfg.ID, what, err)
+	}
 }
 
 // maintainLease runs every coordinator tick. The lease is renewed twice

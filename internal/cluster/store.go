@@ -105,22 +105,16 @@ func (n *Node) rehydrate(ctx context.Context, name string) bool {
 	}
 	buf, ok := disk.Get(manifestKey(name))
 	if !ok {
-		if err == nil {
-			lease.Release()
-		}
+		n.releaseLease(lease, "rehydrate")
 		return false
 	}
 	var m manifest
 	if json.Unmarshal(buf, &m) != nil || len(m.Configs) == 0 {
-		if err == nil {
-			lease.Release()
-		}
+		n.releaseLease(lease, "rehydrate")
 		return false
 	}
 	installErr := n.inner.InstallSnapshot(ctx, name, m.Configs)
-	if err == nil {
-		lease.Release()
-	}
+	n.releaseLease(lease, "rehydrate")
 	if installErr != nil {
 		n.cfg.Logf("cluster: rehydrate %s failed: %v", name, installErr)
 		return false

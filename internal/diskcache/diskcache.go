@@ -216,16 +216,31 @@ func (c *Cache) readVerified(path string) ([]byte, error) {
 	return payload, nil
 }
 
-// quarantine moves a bad entry into quarantine/ (removing it on any
-// failure — a corrupt entry must never stay servable).
-func (c *Cache) quarantine(path, hexKey string) {
+// quarantineLocked reserves a quarantine destination and counts the
+// event under c.mu (which the caller must hold), returning the file
+// move to run after the mutex is released — the move is disk I/O and
+// must never serialize other lock holders (the PR-4 bug class).
+func (c *Cache) quarantineLocked(path, hexKey string) (move func()) {
 	qdir := filepath.Join(c.dir, quarantineDir)
 	c.qseq++
 	dst := filepath.Join(qdir, fmt.Sprintf("%s-%d.bad", hexKey, c.qseq))
-	if os.MkdirAll(qdir, 0o755) != nil || os.Rename(path, dst) != nil {
-		os.Remove(path)
-	}
 	c.stats.Quarantined++
+	return func() {
+		// Removing on any failure: a corrupt entry must never stay
+		// servable.
+		if os.MkdirAll(qdir, 0o755) != nil || os.Rename(path, dst) != nil {
+			os.Remove(path)
+		}
+	}
+}
+
+// quarantine moves a bad entry into quarantine/. Callers must not hold
+// c.mu; it is taken briefly to reserve the destination sequence number.
+func (c *Cache) quarantine(path, hexKey string) {
+	c.mu.Lock()
+	move := c.quarantineLocked(path, hexKey)
+	c.mu.Unlock()
+	move()
 }
 
 func (c *Cache) path(hexKey string) string {
@@ -267,13 +282,15 @@ func (c *Cache) Get(key [sha256.Size]byte) ([]byte, bool) {
 		if indexed {
 			c.dropLocked(hexKey)
 		}
+		move := func() {}
 		if !os.IsNotExist(err) {
 			// Corrupt on disk, whether ours or another process's: never
-			// leave it servable.
-			c.quarantine(c.path(hexKey), hexKey)
+			// leave it servable. The file move runs after Unlock.
+			move = c.quarantineLocked(c.path(hexKey), hexKey)
 		}
 		c.stats.Misses++
 		c.mu.Unlock()
+		move()
 		return nil, false
 	}
 	var victims []string

@@ -151,14 +151,20 @@ func (l *Lease) Renew(ttl time.Duration) error {
 
 // Release drops the lease if this owner still holds it. Releasing a lost
 // or expired-and-stolen lease is a no-op — never remove another owner's
-// grant.
-func (l *Lease) Release() {
+// grant. A removal failure is returned rather than swallowed: the lease
+// file then survives until its expiry, and every future acquirer of the
+// name waits out a TTL that nobody is using, so callers should at least
+// log it.
+func (l *Lease) Release() error {
 	unlock := l.c.flockExclusive()
 	defer unlock()
 	path := l.c.leasePath(l.name)
 	if rec, ok := readLease(path); ok && rec.Owner == l.owner {
-		os.Remove(path)
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("diskcache: lease release: %w", err)
+		}
 	}
+	return nil
 }
 
 // recoverLeases sweeps expired and unreadable lease files at Open. The

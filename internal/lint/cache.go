@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The run cache memoizes a whole gblint invocation: when no file in
+// the linted packages — or in their module-internal import closure —
+// has changed since the last run with the same check list, the stored
+// findings replay without parsing or type-checking anything. The
+// common `make check` case (lint an unchanged tree) drops from a full
+// module type-check to a directory walk plus content hashing.
+//
+// Invalidation is deliberately whole-module, not per-package. The
+// interprocedural checks make per-package reuse unsound twice over:
+// summaries cross package boundaries (an edit to a callee changes the
+// caller's lock-io-deep findings without touching the caller's
+// files), and the lock-order graph is global (an edited package can
+// complete a cycle whose witness — and therefore whose finding —
+// anchors in an unchanged package). Hashing the import closure covers
+// the first; rerunning everything on any miss covers the second.
+//
+// Cache entries are JSON finding lists named by the key hash. Stale
+// entries are never read again (their key no longer matches) and are
+// just dead files; deleting the cache directory is always safe.
+
+// cacheVersion invalidates every entry when the cache format or the
+// analyzer suite changes shape. Bump it when findings, messages, or
+// keying change incompatibly.
+const cacheVersion = "gblint-cache-v1"
+
+// RunKey computes the cache key for linting the given patterns with
+// the given check list: a hash over the resolved package directories,
+// the content of every non-test .go file in them and in their
+// module-internal import closure, the check list, and the cache
+// format version.
+func (l *Loader) RunKey(patterns []string, checks string) (string, error) {
+	roots, err := l.ResolveDirs(patterns)
+	if err != nil {
+		return "", err
+	}
+
+	// BFS over module-internal imports, hashing file contents as we go.
+	// fileLines accumulates "relpath hexhash" lines, sorted at the end so
+	// traversal order never leaks into the key.
+	seen := make(map[string]bool, len(roots))
+	queue := append([]string(nil), roots...)
+	for _, d := range roots {
+		seen[d] = true
+	}
+	var fileLines []string
+	fset := token.NewFileSet() // private: import scanning must not pollute l.Fset
+	for len(queue) > 0 {
+		dir := queue[0]
+		queue = queue[1:]
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return "", err
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return "", err
+			}
+			rel, err := filepath.Rel(l.Root, path)
+			if err != nil {
+				return "", err
+			}
+			sum := sha256.Sum256(data)
+			fileLines = append(fileLines,
+				filepath.ToSlash(rel)+" "+hex.EncodeToString(sum[:]))
+			// Chase module-internal imports so dependency edits (which can
+			// change this package's findings through signatures and
+			// summaries) invalidate the key too.
+			f, err := parser.ParseFile(fset, path, data, parser.ImportsOnly)
+			if err != nil {
+				return "", fmt.Errorf("lint: scanning imports of %s: %w", rel, err)
+			}
+			for _, imp := range f.Imports {
+				ipath := strings.Trim(imp.Path.Value, `"`)
+				if ipath != l.Module && !strings.HasPrefix(ipath, l.Module+"/") {
+					continue
+				}
+				idir := filepath.Join(l.Root,
+					strings.TrimPrefix(strings.TrimPrefix(ipath, l.Module), "/"))
+				if !seen[idir] && hasGoFiles(idir) {
+					seen[idir] = true
+					queue = append(queue, idir)
+				}
+			}
+		}
+	}
+	sort.Strings(fileLines)
+
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nchecks=%s\n", cacheVersion, checks)
+	for _, d := range roots {
+		rel, err := filepath.Rel(l.Root, d)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "root %s\n", filepath.ToSlash(rel))
+	}
+	for _, line := range fileLines {
+		fmt.Fprintf(h, "%s\n", line)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// CacheGet returns the stored findings for key, and whether a valid
+// entry exists. A corrupt entry reads as a miss (the rerun rewrites
+// it).
+func CacheGet(cacheDir, key string) ([]Finding, bool) {
+	data, err := os.ReadFile(filepath.Join(cacheDir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var findings []Finding
+	if json.Unmarshal(data, &findings) != nil {
+		return nil, false
+	}
+	return findings, true
+}
+
+// CachePut stores the findings of a completed run under key, via
+// temp+rename so a concurrent reader never sees a torn entry.
+// Best-effort: a failure means the next run recomputes.
+func CachePut(cacheDir, key string, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	data, err := json.Marshal(findings)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(cacheDir, ".entry-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(cacheDir, key+".json"))
+}

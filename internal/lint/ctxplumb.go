@@ -29,7 +29,12 @@ func (CtxPlumb) Doc() string {
 	return "exported functions that loop unboundedly or spawn goroutines without a context.Context"
 }
 
-func (CtxPlumb) Check(p *Package) []Finding {
+// Check keeps its own AST walk rather than reading summary facts: its
+// uncancellable test deliberately includes nested function literals
+// (a goroutine spawned three closures deep still needs the exported
+// entry point to take a context), while the shared per-body facts
+// exclude nested literals by design.
+func (CtxPlumb) Check(_ *Program, p *Package) []Finding {
 	if !inScope(p.Path, ctxScope) {
 		return nil
 	}

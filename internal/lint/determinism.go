@@ -34,7 +34,7 @@ func (Determinism) Doc() string {
 	return "order-dependent map iteration, time.Now, or math/rand in deterministic packages"
 }
 
-func (Determinism) Check(p *Package) []Finding {
+func (Determinism) Check(_ *Program, p *Package) []Finding {
 	if !inScope(p.Path, deterministicScope) {
 		return nil
 	}

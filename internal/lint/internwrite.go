@@ -29,7 +29,7 @@ func (InternWrite) Doc() string {
 // pointers (it owns the pool).
 const routingPkg = "repro/internal/routing"
 
-func (InternWrite) Check(p *Package) []Finding {
+func (InternWrite) Check(_ *Program, p *Package) []Finding {
 	if p.Path == routingPkg {
 		return nil
 	}

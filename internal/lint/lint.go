@@ -73,9 +73,14 @@ type Analyzer interface {
 	Name() string
 	// Doc is a one-line description for -list output.
 	Doc() string
-	// Check reports findings for one package. Scope filtering (which
-	// packages the check applies to) is the analyzer's own job.
-	Check(p *Package) []Finding
+	// Check reports findings for one package. prog is the module-wide
+	// view (call graph + per-function summaries) shared by every
+	// analyzer in the run; intraprocedural checks may ignore it. Scope
+	// filtering (which packages the check applies to) is the analyzer's
+	// own job. Globally-computed findings (lock-order cycles) must be
+	// attributed to the package owning the finding's file so each is
+	// reported exactly once.
+	Check(prog *Program, p *Package) []Finding
 }
 
 // All returns the full analyzer suite in stable order.
@@ -86,6 +91,10 @@ func All() []Analyzer {
 		CtxPlumb{},
 		PanicSafe{},
 		InternWrite{},
+		LockOrder{},
+		LockIODeep{},
+		GoroutineLeak{},
+		ErrDrop{},
 	}
 }
 
@@ -114,16 +123,18 @@ func Select(list string) ([]Analyzer, error) {
 	return out, nil
 }
 
-// Run applies the analyzers to every package, filters suppressed
-// findings, appends malformed-suppression findings, and returns the
-// result sorted by position.
+// Run builds the module-wide Program once, applies the analyzers to
+// every package, filters suppressed findings, appends
+// malformed-suppression findings, and returns the result sorted by
+// position.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	prog := BuildProgram(pkgs)
 	var out []Finding
 	seen := make(map[Finding]bool) // nested map ranges can double-report one sink
 	for _, p := range pkgs {
 		sup := collectSuppressions(p)
 		for _, a := range analyzers {
-			for _, f := range a.Check(p) {
+			for _, f := range a.Check(prog, p) {
 				if !sup.covers(f) && !seen[f] {
 					seen[f] = true
 					out = append(out, f)
@@ -132,6 +143,15 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		}
 		out = append(out, sup.malformed...)
 	}
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings by (file, line, col, check, message) —
+// message last, so two different findings from one check anchored at
+// one position (e.g. two lock-order edges witnessed by the same
+// acquisition) still serialize deterministically for CI diffs.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -143,9 +163,11 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return out
 }
 
 // inScope reports whether the package's import path is one of the given

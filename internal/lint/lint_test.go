@@ -25,6 +25,15 @@ var goldenCases = []struct {
 	{"ctx-plumb", "ctxplumb", "repro/internal/pipeline"},
 	{"panic-safe", "panicsafe", "repro/internal/server"},
 	{"intern-write", "internwrite", "repro/internal/internwrite"},
+	{"lock-order", "lockorder", "repro/internal/lockorder"},
+	{"lock-io-deep", "lockiodeep", "repro/internal/lockiodeep"},
+	// goroutine-leak scopes on the service packages, so the corpus
+	// loads under a synthetic cluster path.
+	{"goroutine-leak", "goroutineleak", "repro/internal/cluster"},
+	{"err-drop", "errdrop", "repro/internal/errdrop"},
+	// The suppression-list corpus needs findings from two checks so a
+	// comma list has members of each kind to exempt.
+	{"lock-io,err-drop", "suppresslist", "repro/internal/suppresslist"},
 }
 
 // One loader for the whole test binary: the stdlib is source-imported

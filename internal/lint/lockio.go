@@ -2,8 +2,8 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
+	"strings"
 )
 
 // LockIO enforces the lock-discipline invariant distilled from the
@@ -18,9 +18,13 @@ import (
 // expression, or to the end of the function when the unlock is
 // deferred. Function literals inside the region are not scanned (they
 // usually run later, off the lock); each literal's own body is analyzed
-// separately. The analysis is intra-procedural by design — a helper
-// that does I/O internally is the helper's problem at its own
-// definition site.
+// separately. Since v2 the region computation lives in the shared
+// summary layer (summary.go): this check reads each body's collected
+// I/O and send sites with their held-lock sets. It stays deliberately
+// intra-procedural — a helper that does I/O internally is caught one
+// call deep by lock-io-deep instead. The diskcache directory flock is
+// excluded here: serializing I/O is the flock's entire purpose, so
+// only the lock-order check treats it as a lock.
 type LockIO struct{}
 
 func (LockIO) Name() string { return "lock-io" }
@@ -61,94 +65,37 @@ var lockIOPure = map[string]bool{
 	"http.CanonicalHeaderKey": true,
 }
 
-func (LockIO) Check(p *Package) []Finding {
+func (LockIO) Check(prog *Program, p *Package) []Finding {
 	var out []Finding
-	for _, f := range p.Files {
-		funcBodies(f, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
-			out = append(out, checkLockedRegions(p, body)...)
-		})
-	}
-	return out
-}
-
-// lockEvent is one Lock/Unlock call site on a sync mutex.
-type lockEvent struct {
-	pos      token.Pos
-	key      string // rendered receiver expression, e.g. "s.mu"
-	method   string // Lock, RLock, Unlock, RUnlock
-	deferred bool
-}
-
-func checkLockedRegions(p *Package, body *ast.BlockStmt) []Finding {
-	events := collectLockEvents(p, body)
-	if len(events) == 0 {
-		return nil
-	}
-	var out []Finding
-	for i, e := range events {
-		var unlockName string
-		switch e.method {
-		case "Lock":
-			unlockName = "Unlock"
-		case "RLock":
-			unlockName = "RUnlock"
-		default:
-			continue
-		}
-		end := body.End()
-		for _, u := range events[i+1:] {
-			if u.key == e.key && u.method == unlockName {
-				if !u.deferred {
-					end = u.pos
+	prog.factsIn(p, func(facts *bodyFacts) {
+		for _, io := range facts.ios {
+			for _, h := range io.held {
+				if h.pseudo {
+					continue
 				}
-				break
+				if strings.HasPrefix(io.name, "(") {
+					out = append(out, finding(p, "lock-io", io.pos,
+						"call to %s while %s.%s is held (I/O latency serializes every lock holder)",
+						io.name, h.expr, h.method))
+				} else {
+					out = append(out, finding(p, "lock-io", io.pos,
+						"call to %s while %s.%s is held (the PR-4 diskcache bug class: I/O latency serializes every lock holder)",
+						io.name, h.expr, h.method))
+				}
 			}
 		}
-		out = append(out, scanHeldRegion(p, body, e, end)...)
-	}
-	return out
-}
-
-// collectLockEvents finds mutex Lock/Unlock calls in the body (not in
-// nested function literals), in source order.
-func collectLockEvents(p *Package, body *ast.BlockStmt) []lockEvent {
-	var events []lockEvent
-	walkSkippingFuncLits(body, func(n ast.Node) {
-		var call *ast.CallExpr
-		deferred := false
-		switch v := n.(type) {
-		case *ast.DeferStmt:
-			call = v.Call
-			deferred = true
-		case *ast.ExprStmt:
-			c, ok := v.X.(*ast.CallExpr)
-			if !ok {
-				return
+		for _, s := range facts.sends {
+			for _, h := range s.held {
+				if h.pseudo {
+					continue
+				}
+				out = append(out, finding(p, "lock-io", s.pos,
+					"channel send while %s.%s is held (can block the lock on a slow receiver)",
+					h.expr, h.method))
 			}
-			call = c
-		default:
-			return
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return
-		}
-		switch sel.Sel.Name {
-		case "Lock", "RLock", "Unlock", "RUnlock":
-		default:
-			return
-		}
-		if !isSyncMutexMethod(p, sel) {
-			return
-		}
-		events = append(events, lockEvent{
-			pos:      call.Pos(),
-			key:      types.ExprString(sel.X),
-			method:   sel.Sel.Name,
-			deferred: deferred,
-		})
 	})
-	return events
+	return out
 }
 
 // isSyncMutexMethod reports whether the selector resolves to a method
@@ -168,39 +115,6 @@ func isSyncMutexMethod(p *Package, sel *ast.SelectorExpr) bool {
 	}
 	pkgPath, name := namedType(sig.Recv().Type())
 	return pkgPath == "sync" && (name == "Mutex" || name == "RWMutex")
-}
-
-// scanHeldRegion reports I/O and channel sends between lock.pos and
-// end, skipping nested function literals.
-func scanHeldRegion(p *Package, body *ast.BlockStmt, lock lockEvent, end token.Pos) []Finding {
-	var out []Finding
-	walkSkippingFuncLits(body, func(n ast.Node) {
-		if n.Pos() <= lock.pos || n.Pos() >= end {
-			return
-		}
-		switch v := n.(type) {
-		case *ast.SendStmt:
-			out = append(out, finding(p, "lock-io", v.Pos(),
-				"channel send while %s.%s is held (can block the lock on a slow receiver)",
-				lock.key, lock.method))
-		case *ast.CallExpr:
-			if name, ok := isPkgCall(p.Info, v, lockIOPkgs); ok {
-				if lockIOPure[name] {
-					return
-				}
-				out = append(out, finding(p, "lock-io", v.Pos(),
-					"call to %s while %s.%s is held (the PR-4 diskcache bug class: I/O latency serializes every lock holder)",
-					name, lock.key, lock.method))
-				return
-			}
-			if name, ok := isOSNetMethodCall(p, v); ok {
-				out = append(out, finding(p, "lock-io", v.Pos(),
-					"call to %s while %s.%s is held (I/O latency serializes every lock holder)",
-					name, lock.key, lock.method))
-			}
-		}
-	})
-	return out
 }
 
 // isOSNetMethodCall reports whether the call is a method call on a

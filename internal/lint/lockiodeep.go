@@ -1,0 +1,48 @@
+package lint
+
+import "strings"
+
+// LockIODeep is lock-io pushed through the call-graph summaries: a
+// call made while a sync mutex is held, to a module function whose
+// summary (transitively) reaches file or network I/O, is the same
+// serialization bug lock-io catches one level up — `mu.Lock();
+// c.flush()` where flush writes a file. The finding message carries
+// the witness chain down to the I/O operation so the reader does not
+// have to re-derive it.
+//
+// Pseudo-locks (the diskcache flock) are exempt, as in lock-io:
+// serializing writers around I/O is the flock's purpose. Calls whose
+// callee is dynamic (interface or func value) are invisible to the
+// summaries — that soundness gap is documented in DESIGN.md §7.
+type LockIODeep struct{}
+
+func (LockIODeep) Name() string { return "lock-io-deep" }
+
+func (LockIODeep) Doc() string {
+	return "calls under a held sync mutex that reach file/net I/O through the call graph"
+}
+
+func (LockIODeep) Check(prog *Program, p *Package) []Finding {
+	var out []Finding
+	prog.factsIn(p, func(facts *bodyFacts) {
+		for _, call := range facts.calls {
+			if len(call.held) == 0 {
+				continue
+			}
+			chain, ok := prog.ioChainOf(call.callee)
+			if !ok {
+				continue
+			}
+			witness := strings.Join(chain, " -> ")
+			for _, h := range call.held {
+				if h.pseudo {
+					continue
+				}
+				out = append(out, finding(p, "lock-io-deep", call.pos,
+					"call to %s while %s.%s is held reaches I/O: %s (the PR-4 bug class, one call deep)",
+					displayName(call.callee), h.expr, h.method, witness))
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide lock-ordering graph and reports the
+// two deadlock shapes the repo has actually shipped or reviewed away:
+//
+//   - re-lock: a lock acquired (directly or through a call chain) while
+//     the same lock is already held — the PR-4 snapshotFor bug, where a
+//     method holding c.mu called a helper that locked c.mu again and
+//     every non-recursive sync.Mutex self-deadlocks.
+//   - inversion: two locks acquired in both orders somewhere in the
+//     module (a cycle in the ordering graph), so two goroutines holding
+//     one each can wait on the other forever.
+//
+// Nodes are lock identities: the types.Object of a mutex variable or
+// field (keyed by declaration position, stable across the loader's
+// type-check universes), plus the diskcache directory flock as a
+// pseudo-lock keyed by the owning named type. Edges A→B are witnessed
+// acquisitions of B while A is held, either in one body or through the
+// call-graph summaries (the callee transitively acquires B).
+//
+// Instance soundness: one field object ("mu" in type Cache) stands for
+// every instance's mutex, so a.mu→b.mu between two *different* Cache
+// values is not a self-deadlock. Re-lock findings therefore require
+// the receiver expressions to match (c.mu held, c.helper() called);
+// cycle findings accept the instance blur — inconsistent ordering on
+// the same fields across instances deadlocks whenever the instances
+// alias, and the graph cannot prove they never do.
+type LockOrder struct{}
+
+func (LockOrder) Name() string { return "lock-order" }
+
+func (LockOrder) Doc() string {
+	return "global lock-ordering cycles and re-lock deadlock paths (the PR-4 snapshotFor class)"
+}
+
+// Check returns the globally-computed findings anchored in files this
+// package owns, so a cycle spanning packages is reported exactly once.
+func (LockOrder) Check(prog *Program, p *Package) []Finding {
+	prog.ensureLockOrder()
+	var out []Finding
+	for _, f := range prog.lockFindings {
+		if prog.pkgOfFile(f.File) == p {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// lockEdge is one witnessed ordering edge from → to.
+type lockEdge struct {
+	from, to heldLock
+	pos      token.Pos // the witness acquisition or call site
+	pkg      *Package
+	viaChain string // call chain to the inner acquisition, "" for same-body
+}
+
+// ensureLockOrder computes the global lock-order findings once.
+func (prog *Program) ensureLockOrder() {
+	if prog.lockDone {
+		return
+	}
+	prog.lockDone = true
+	prog.ensureSummaries()
+
+	// edges[fromID][toID] = first witness in sorted traversal order.
+	edges := make(map[string]map[string]lockEdge)
+	labels := make(map[string]string) // lock id → label, for cycle messages
+	addEdge := func(e lockEdge) {
+		labels[e.from.id], labels[e.to.id] = e.from.label, e.to.label
+		m := edges[e.from.id]
+		if m == nil {
+			m = make(map[string]lockEdge)
+			edges[e.from.id] = m
+		}
+		if _, ok := m[e.to.id]; !ok {
+			m[e.to.id] = e
+		}
+	}
+	reLock := func(p *Package, pos token.Pos, chain string, label string) {
+		if chain == "" {
+			prog.lockFindings = append(prog.lockFindings, finding(p, "lock-order", pos,
+				"%s re-acquired while already held (self-deadlock: the PR-4 snapshotFor re-lock class)",
+				label))
+			return
+		}
+		prog.lockFindings = append(prog.lockFindings, finding(p, "lock-order", pos,
+			"call to %s re-acquires %s already held here (self-deadlock: the PR-4 snapshotFor re-lock class)",
+			chain, label))
+	}
+
+	for _, id := range prog.order {
+		n := prog.funcs[id]
+		// Same-body nesting: acquiring B with A held.
+		for _, a := range n.facts.acquires {
+			for _, h := range a.held {
+				if h.id == a.lock.id {
+					if h.expr == a.lock.expr && (h.excl || a.lock.excl) {
+						reLock(n.pkg, a.pos, "", a.lock.label)
+					}
+					continue
+				}
+				addEdge(lockEdge{from: h, to: a.lock, pos: a.pos, pkg: n.pkg})
+			}
+		}
+		// Call-graph nesting: calling a function that (transitively)
+		// acquires B while A is held. locksAcq covers direct recursion
+		// too (the callee's own acquires seed its summary), so the
+		// snapshotFor shape — holding c.mu, recursively calling the
+		// method that locks c.mu — lands in the h.id == lockID arm.
+		for _, call := range n.facts.calls {
+			if len(call.held) == 0 {
+				continue
+			}
+			cn := prog.node(call.callee)
+			if cn == nil {
+				continue
+			}
+			inner := prog.locksAcq[cn.id]
+			innerIDs := make([]string, 0, len(inner))
+			for lockID := range inner {
+				innerIDs = append(innerIDs, lockID)
+			}
+			sort.Strings(innerIDs)
+			for _, lockID := range innerIDs {
+				acq := inner[lockID]
+				chain := strings.Join(append([]string{displayName(call.callee)}, acq.chain...), " -> ")
+				for _, h := range call.held {
+					if h.id == lockID {
+						if reLockMatches(h, call.recvExpr) {
+							reLock(n.pkg, call.pos, chain, h.label)
+						}
+						continue
+					}
+					if cn.id == id {
+						continue // recursion: A→B edges already witnessed in this body
+					}
+					addEdge(lockEdge{from: h, to: acq.lock, pos: call.pos, pkg: n.pkg, viaChain: chain})
+				}
+			}
+		}
+	}
+
+	prog.lockFindings = append(prog.lockFindings, lockCycles(edges, labels)...)
+	sortFindings(prog.lockFindings)
+}
+
+// reLockMatches decides whether a held lock and a call receiver are
+// plausibly the same instance, gating re-lock findings. Field locks
+// ("c.mu") require the call receiver to be the lock's base ("c");
+// pseudo-locks (flock — expr is the receiver itself) require the
+// receiver to match exactly; package-level mutexes have exactly one
+// instance, so any re-acquisition is real.
+func reLockMatches(h heldLock, callRecv string) bool {
+	if strings.Contains(h.expr, ".") {
+		return callRecv == h.base
+	}
+	if h.pseudo {
+		return callRecv == h.expr
+	}
+	return true
+}
+
+// lockCycles finds strongly connected components of ≥2 locks in the
+// ordering graph and reports one finding per component, anchored at
+// the smallest-position witness edge inside it.
+func lockCycles(edges map[string]map[string]lockEdge, labels map[string]string) []Finding {
+	nodes := make(map[string]bool)
+	for from, m := range edges {
+		nodes[from] = true
+		for to := range m {
+			nodes[to] = true
+		}
+	}
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// Tarjan's SCC over the sorted node list, for deterministic output.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		succs := make([]string, 0, len(edges[v]))
+		for to := range edges[v] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, id := range ids {
+		if _, seen := index[id]; !seen {
+			strongconnect(id)
+		}
+	}
+
+	var out []Finding
+	for _, scc := range sccs {
+		in := make(map[string]bool, len(scc))
+		for _, id := range scc {
+			in[id] = true
+		}
+		var witness *lockEdge
+		for _, from := range scc {
+			for to, e := range edges[from] {
+				if !in[to] {
+					continue
+				}
+				if witness == nil || e.pos < witness.pos ||
+					(e.pos == witness.pos && e.to.id < witness.to.id) {
+					w := e
+					witness = &w
+				}
+			}
+		}
+		if witness == nil {
+			continue
+		}
+		names := make([]string, 0, len(scc))
+		for _, id := range scc {
+			names = append(names, labels[id])
+		}
+		sort.Strings(names)
+		msg := "inconsistent lock order: " + strings.Join(names, ", ") +
+			" are acquired in conflicting orders across the module (two holders can deadlock)"
+		if witness.viaChain != "" {
+			msg += "; witness acquires " + witness.to.label + " via " + witness.viaChain +
+				" while holding " + witness.from.label
+		} else {
+			msg += "; witness acquires " + witness.to.label + " while holding " + witness.from.label
+		}
+		out = append(out, finding(witness.pkg, "lock-order", witness.pos, "%s", msg))
+	}
+	return out
+}

@@ -20,6 +20,7 @@ var panicScope = []string{
 	"repro/internal/server",
 	"repro/internal/pipeline",
 	"repro/internal/cluster",
+	"repro/internal/sweep",
 }
 
 // isolationHelpers maps package path → function names that are known
@@ -34,28 +35,26 @@ func (PanicSafe) Doc() string {
 	return "goroutine literals in server/pipeline without recover or diag.Capture"
 }
 
-func (PanicSafe) Check(p *Package) []Finding {
+// Check reads goroutine-spawn sites off the shared summaries: every
+// GoStmt in the package (at any nesting depth) is a goSite in some
+// body's facts, so iterating all bodies covers the same set the old
+// per-file walk did.
+func (PanicSafe) Check(prog *Program, p *Package) []Finding {
 	if !inScope(p.Path, panicScope) {
 		return nil
 	}
 	var out []Finding
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			g, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
+	prog.factsIn(p, func(facts *bodyFacts) {
+		for _, g := range facts.gos {
+			if g.lit == nil {
+				continue
 			}
-			lit, ok := g.Call.Fun.(*ast.FuncLit)
-			if !ok {
-				return true
-			}
-			if !recoversOrIsolates(p, lit.Body) {
-				out = append(out, finding(p, "panic-safe", g.Pos(),
+			if !recoversOrIsolates(p, g.lit.Body) {
+				out = append(out, finding(p, "panic-safe", g.pos,
 					"goroutine literal has no recover and does not use diag.Capture; a panic here kills the process"))
 			}
-			return true
-		})
-	}
+		}
+	})
 	return out
 }
 

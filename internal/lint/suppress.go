@@ -4,10 +4,13 @@ import (
 	"strings"
 )
 
-// suppressTag is the comment marker that exempts one line from one
-// check: //gblint:ignore <check> <reason>. The reason is mandatory —
-// a bare suppression is itself reported (check "suppression") so the
-// tree can never accumulate unexplained exemptions.
+// suppressTag is the comment marker that exempts one line from one or
+// more checks: //gblint:ignore <check>[,<check>...] <reason>. The
+// reason is mandatory — a bare suppression is itself reported (check
+// "suppression") so the tree can never accumulate unexplained
+// exemptions. Block-comment form (/*gblint:ignore ... */) is also
+// accepted, which is how two independent suppressions can share one
+// source line.
 const suppressTag = "gblint:ignore"
 
 // SuppressionCheck is the pseudo-check name under which malformed
@@ -45,8 +48,10 @@ func (s suppressionSet) covers(f Finding) bool {
 }
 
 // collectSuppressions scans every comment in the package for
-// suppression markers, validating that each names a known check and
-// carries a non-empty reason.
+// suppression markers, validating that each names known checks and
+// carries a non-empty reason. A comma-separated check list produces
+// one rule per named check; unknown or empty members are reported
+// individually while valid members in the same list still take effect.
 func collectSuppressions(p *Package) suppressionSet {
 	known := make(map[string]bool)
 	for _, a := range All() {
@@ -61,26 +66,39 @@ func collectSuppressions(p *Package) suppressionSet {
 					continue
 				}
 				file, line, _ := posOf(p.Fset, c.Pos())
+				malformed := func(msg string) {
+					set.malformed = append(set.malformed, Finding{
+						Check: SuppressionCheck, File: file, Line: line, Col: 1,
+						Message: msg,
+					})
+				}
 				fields := strings.Fields(text)
-				switch {
-				case len(fields) == 0:
-					set.malformed = append(set.malformed, Finding{
-						Check: SuppressionCheck, File: file, Line: line, Col: 1,
-						Message: "suppression names no check: //gblint:ignore <check> <reason>",
-					})
-				case !known[fields[0]]:
-					set.malformed = append(set.malformed, Finding{
-						Check: SuppressionCheck, File: file, Line: line, Col: 1,
-						Message: "suppression names unknown check " + quoted(fields[0]),
-					})
-				case len(fields) < 2:
-					set.malformed = append(set.malformed, Finding{
-						Check: SuppressionCheck, File: file, Line: line, Col: 1,
-						Message: "suppression for " + quoted(fields[0]) + " missing mandatory reason",
-					})
-				default:
+				if len(fields) == 0 {
+					malformed("suppression names no check: //gblint:ignore <check>[,<check>...] <reason>")
+					continue
+				}
+				var valid []string
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.TrimSpace(name)
+					switch {
+					case name == "":
+						malformed("empty check name in suppression list " + quoted(fields[0]))
+					case !known[name]:
+						malformed("suppression names unknown check " + quoted(name))
+					default:
+						valid = append(valid, name)
+					}
+				}
+				if len(valid) == 0 {
+					continue
+				}
+				if len(fields) < 2 {
+					malformed("suppression for " + quoted(fields[0]) + " missing mandatory reason")
+					continue
+				}
+				for _, name := range valid {
 					set.rules = append(set.rules, suppression{
-						check: fields[0], file: file, line: line,
+						check: name, file: file, line: line,
 					})
 				}
 			}
@@ -90,9 +108,15 @@ func collectSuppressions(p *Package) suppressionSet {
 }
 
 // cutSuppressTag extracts the text after the //gblint:ignore marker
-// from a comment, reporting whether the marker is present.
+// from a line or block comment, reporting whether the marker is
+// present.
 func cutSuppressTag(comment string) (string, bool) {
-	body := strings.TrimPrefix(comment, "//")
+	var body string
+	if strings.HasPrefix(comment, "/*") {
+		body = strings.TrimSuffix(strings.TrimPrefix(comment, "/*"), "*/")
+	} else {
+		body = strings.TrimPrefix(comment, "//")
+	}
 	body = strings.TrimSpace(body)
 	rest, ok := strings.CutPrefix(body, suppressTag)
 	if !ok {

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// suppressPkg parses one source string (comments retained, no
+// type-checking — suppression collection only reads comments) into a
+// minimal Package.
+func suppressPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sup.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Path: "repro/internal/suptest", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestSuppressionLastLine(t *testing.T) {
+	// The suppression is the final line of the file: the "next line" it
+	// also covers does not exist, which must not confuse collection or
+	// coverage.
+	src := "package suptest\n\nfunc f() {}\n\n//gblint:ignore determinism end-of-file comment, own line only"
+	p := suppressPkg(t, src)
+	set := collectSuppressions(p)
+	if len(set.malformed) != 0 {
+		t.Fatalf("malformed findings: %v", set.malformed)
+	}
+	if len(set.rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(set.rules))
+	}
+	r := set.rules[0]
+	if !set.covers(Finding{Check: "determinism", File: "sup.go", Line: r.line}) {
+		t.Error("suppression must cover its own (final) line")
+	}
+	if set.covers(Finding{Check: "determinism", File: "sup.go", Line: r.line + 2}) {
+		t.Error("suppression must not cover lines past the next one")
+	}
+}
+
+func TestSuppressionMultiplePerLine(t *testing.T) {
+	// Two block-comment suppressions sharing one line, each with its own
+	// reason, both effective for the next line.
+	src := `package suptest
+
+func f() {
+	/*gblint:ignore lock-io send reason */ /*gblint:ignore err-drop drop reason */
+	_ = 1
+}
+`
+	p := suppressPkg(t, src)
+	set := collectSuppressions(p)
+	if len(set.malformed) != 0 {
+		t.Fatalf("malformed findings: %v", set.malformed)
+	}
+	if len(set.rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(set.rules))
+	}
+	for _, check := range []string{"lock-io", "err-drop"} {
+		if !set.covers(Finding{Check: check, File: "sup.go", Line: 5}) {
+			t.Errorf("%s finding on the next line must be covered", check)
+		}
+	}
+	if set.covers(Finding{Check: "determinism", File: "sup.go", Line: 5}) {
+		t.Error("unlisted check must not be covered")
+	}
+}
+
+func TestSuppressionInsideStructLiteral(t *testing.T) {
+	// A suppression attached inside a composite literal is not part of
+	// any statement's comment group, but collection walks File.Comments,
+	// so it is found all the same.
+	src := `package suptest
+
+type opt struct{ a, b int }
+
+var v = opt{
+	a: 1,
+	//gblint:ignore intern-write corpus: field write is into a fresh copy
+	b: 2,
+}
+`
+	p := suppressPkg(t, src)
+	set := collectSuppressions(p)
+	if len(set.malformed) != 0 {
+		t.Fatalf("malformed findings: %v", set.malformed)
+	}
+	if len(set.rules) != 1 || set.rules[0].check != "intern-write" {
+		t.Fatalf("rules = %+v, want one intern-write rule", set.rules)
+	}
+	if !set.covers(Finding{Check: "intern-write", File: "sup.go", Line: 8}) {
+		t.Error("suppression inside a struct literal must cover the next line")
+	}
+}
+
+func TestSuppressionMalformedKinds(t *testing.T) {
+	src := `package suptest
+
+//gblint:ignore
+func a() {}
+
+//gblint:ignore determinism
+func b() {}
+
+//gblint:ignore nope some reason
+func c() {}
+`
+	p := suppressPkg(t, src)
+	set := collectSuppressions(p)
+	if len(set.rules) != 0 {
+		t.Fatalf("rules = %+v, want none", set.rules)
+	}
+	wants := []string{
+		"suppression names no check",
+		`suppression for "determinism" missing mandatory reason`,
+		`suppression names unknown check "nope"`,
+	}
+	if len(set.malformed) != len(wants) {
+		t.Fatalf("malformed = %d findings, want %d: %v", len(set.malformed), len(wants), set.malformed)
+	}
+	for i, w := range wants {
+		if got := set.malformed[i].Message; !contains(got, w) {
+			t.Errorf("malformed[%d] = %q, want substring %q", i, got, w)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSortFindingsMessageTiebreak(t *testing.T) {
+	// Two findings from one check at one position (e.g. two lock-order
+	// edges witnessed by the same acquisition) must serialize in a
+	// deterministic order: message is the final sort key.
+	fs := []Finding{
+		{Check: "lock-order", File: "a.go", Line: 3, Col: 2, Message: "zeta"},
+		{Check: "lock-order", File: "a.go", Line: 3, Col: 2, Message: "alpha"},
+		{Check: "err-drop", File: "a.go", Line: 3, Col: 2, Message: "mid"},
+		{Check: "lock-order", File: "a.go", Line: 2, Col: 9, Message: "other-line"},
+		{Check: "lock-order", File: "b.go", Line: 1, Col: 1, Message: "other-file"},
+	}
+	sortFindings(fs)
+	got := make([]string, len(fs))
+	for i, f := range fs {
+		got[i] = f.Message
+	}
+	want := []string{"other-line", "mid", "alpha", "zeta", "other-file"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}

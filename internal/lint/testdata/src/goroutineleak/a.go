@@ -1,0 +1,119 @@
+// Golden corpus for the goroutine-leak check: spawned goroutines that
+// loop unboundedly with no receive or exit path. The check is scoped
+// to the long-running service packages, so this corpus loads under a
+// synthetic cluster import path.
+package goroutineleak
+
+import (
+	"context"
+	"time"
+)
+
+type Node struct {
+	n    int
+	stop chan struct{}
+	work chan int
+}
+
+// pump loops forever with no receive and no exit: leaky wherever it
+// is spawned.
+func (n *Node) pump() {
+	for {
+		n.n++
+	}
+}
+
+// start only calls pump, so its leak is one call away.
+func (n *Node) start() {
+	n.pump()
+}
+
+// tick is pure and non-blocking: a loop that only calls it cannot stop.
+func (n *Node) tick() {
+	n.n++
+}
+
+// waitLoop receives from the stop channel: spawning it is fine.
+func (n *Node) waitLoop() {
+	for {
+		select {
+		case <-n.stop:
+			return
+		case v := <-n.work:
+			n.n += v
+		}
+	}
+}
+
+func (n *Node) spawnLiteral() {
+	go func() { // want `goroutine literal loops forever with no ctx\.Done\(\)/stop receive or exit path \(goroutine leak\)`
+		for {
+			n.tick()
+		}
+	}()
+}
+
+func (n *Node) spawnNamed() {
+	go n.pump() // want `goroutine Node\.pump loops forever with no ctx\.Done\(\)/stop receive or exit path \(goroutine leak\)`
+}
+
+func (n *Node) spawnChained() {
+	go n.start() // want `goroutine Node\.start -> Node\.pump loops forever with no ctx\.Done\(\)/stop receive or exit path \(goroutine leak\)`
+}
+
+func (n *Node) spawnLiteralCalling() {
+	go func() { // want `goroutine literal calls Node\.pump, which loops forever with no ctx\.Done\(\)/stop receive or exit path \(goroutine leak\)`
+		n.pump()
+	}()
+}
+
+// A ctx.Done() select case is a receive: the canonical runLoop shape.
+func (n *Node) spawnRunLoopOK(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				n.tick()
+			}
+		}
+	}()
+}
+
+// A loop that can return is bounded by its own logic.
+func (n *Node) spawnBoundedOK(limit int) {
+	go func() {
+		for {
+			if n.n >= limit {
+				return
+			}
+			n.tick()
+		}
+	}()
+}
+
+// Range over a channel blocks until the sender closes it: a receive.
+func (n *Node) spawnDrainOK() {
+	go func() {
+		for v := range n.work {
+			n.n += v
+		}
+	}()
+}
+
+// Spawning a receiving loop through a named function is also fine.
+func (n *Node) spawnWaitOK() {
+	go n.waitLoop()
+}
+
+func (n *Node) suppressedSpawn() {
+	//gblint:ignore goroutine-leak corpus: process-lifetime worker, documented to die with the process
+	go func() {
+		for {
+			n.tick()
+		}
+	}()
+}

@@ -1,0 +1,130 @@
+// Golden corpus for the lock-order check: re-lock deadlocks (direct
+// and through the call graph — the PR-4 snapshotFor class) and
+// lock-ordering cycles, including the diskcache flock pseudo-lock.
+// The check has no package scope; the synthetic import path only has
+// to be unique.
+package lockorder
+
+import "sync"
+
+type cache struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+// flockExclusive models the diskcache directory flock: any method with
+// this name on a named receiver is the pseudo-lock acquisition, and
+// the returned func is its release.
+func (c *cache) flockExclusive() func() { return func() {} }
+
+// The direct shape: one body acquires the mutex it already holds.
+func (c *cache) doubleLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want `lockorder\.cache\.mu re-acquired while already held \(self-deadlock: the PR-4 snapshotFor re-lock class\)`
+	c.mu.Unlock()
+}
+
+// The PR-4 snapshotFor shape: a method holding c.mu calls a helper
+// that locks c.mu again. Reported at the call, not inside the helper.
+func (c *cache) get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookup(k) // want `call to cache\.lookup re-acquires lockorder\.cache\.mu already held here \(self-deadlock`
+}
+
+func (c *cache) lookup(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.data[k]
+}
+
+// Instance blur negative: the same mu field on a *different* receiver
+// is not a self-deadlock, so no re-lock finding here.
+func (c *cache) copyFrom(d *cache, k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return d.lookup(k)
+}
+
+type pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+// forward/backward acquire a and b in conflicting orders: a cycle in
+// the module-wide ordering graph, reported once at the earliest
+// witness edge (acquiring b with a held, below).
+func (p *pair) forward() {
+	p.a.Lock()
+	p.b.Lock() // want `inconsistent lock order: lockorder\.pair\.a, lockorder\.pair\.b are acquired in conflicting orders across the module \(two holders can deadlock\); witness acquires lockorder\.pair\.b while holding lockorder\.pair\.a`
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) backward() {
+	p.b.Lock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// The flock participates in ordering as a pseudo-lock: taking the
+// directory lock and the index mutex in both orders is the same
+// deadlock as two mutexes.
+func (c *cache) scanThenIndex() {
+	unlock := c.flockExclusive()
+	defer unlock()
+	c.mu.Lock() // want `inconsistent lock order: lockorder\.cache\.flock, lockorder\.cache\.mu are acquired in conflicting orders across the module \(two holders can deadlock\); witness acquires lockorder\.cache\.mu while holding lockorder\.cache\.flock`
+	c.mu.Unlock()
+}
+
+func (c *cache) indexThenScan() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	unlock := c.flockExclusive()
+	defer unlock()
+}
+
+type ordered struct {
+	first, second sync.Mutex
+	n             int
+}
+
+// Consistent ordering across every holder: no cycle, no finding.
+func (o *ordered) one() {
+	o.first.Lock()
+	o.second.Lock()
+	o.n++
+	o.second.Unlock()
+	o.first.Unlock()
+}
+
+func (o *ordered) two() {
+	o.first.Lock()
+	defer o.first.Unlock()
+	o.second.Lock()
+	defer o.second.Unlock()
+	o.n++
+}
+
+// Sequential, not nested: the region of the first Lock ends at its
+// Unlock before the second begins.
+func (c *cache) sequentialOK(k string) {
+	c.mu.Lock()
+	c.data[k] = 1
+	c.mu.Unlock()
+	c.mu.Lock()
+	c.data[k] = 2
+	c.mu.Unlock()
+}
+
+func (c *cache) suppressedReLock() {
+	c.mu.Lock()
+	//gblint:ignore lock-order corpus: documents the suppression path for a known-recursive lock
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.mu.Unlock()
+}

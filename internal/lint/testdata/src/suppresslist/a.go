@@ -1,0 +1,58 @@
+// Golden corpus for suppression lists: one //gblint:ignore comment
+// naming several checks, partial validity (unknown members reported,
+// valid members still effective), and the block-comment form that
+// lets two independent suppressions share a line. Run with both
+// lock-io and err-drop selected so each list member has a finding to
+// suppress.
+package suppresslist
+
+import (
+	"sync"
+
+	"repro/internal/diskcache"
+)
+
+type store struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// One comma-separated list exempts findings from both checks on the
+// next line.
+func (s *store) commaList(l *diskcache.Lease) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//gblint:ignore lock-io,err-drop corpus: one comment covers both checks on the next line
+	s.ch <- 1; l.Release()
+}
+
+// An unknown member is reported, but the valid member still takes
+// effect: the Release on the next line stays suppressed.
+func (s *store) partialList(l *diskcache.Lease) {
+	//gblint:ignore err-drop,bogus corpus: the unknown member must not void the valid one // want `suppression names unknown check "bogus"`
+	l.Release()
+}
+
+// An empty member (stray comma) is reported the same way.
+func (s *store) emptyMember(l *diskcache.Lease) {
+	//gblint:ignore ,err-drop corpus: stray comma is called out, err-drop still applies // want `empty check name in suppression list ",err-drop"`
+	l.Release()
+}
+
+// Block-comment form: two independently-reasoned suppressions on one
+// line, each carrying its own why.
+func (s *store) blockComments(l *diskcache.Lease) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	/*gblint:ignore lock-io corpus: send is to an unbuffered local drained below */ /*gblint:ignore err-drop corpus: release failure is benign here */
+	s.ch <- 1; l.Release()
+}
+
+// Unsuppressed findings in this package still surface.
+func (s *store) unsuppressed(l *diskcache.Lease) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1    // want `channel send while s\.mu\.Lock is held`
+	l.Release()  // want `error from diskcache\.Lease\.Release discarded`
+}

@@ -153,11 +153,13 @@ func (p *Plan) ExecuteClasses(ctx context.Context, ids []string, emit func(Class
 	deliver := func(id string, out outcome) {
 		cr := ClassResult{Class: id, Sources: out.sources, Degraded: out.degraded}
 		mu.Lock()
+		// Deferred so a panicking emit callback cannot leak the lock and
+		// wedge every other worker's deliver.
+		defer mu.Unlock()
 		results = append(results, cr)
 		if emit != nil {
 			emit(cr)
 		}
-		mu.Unlock()
 	}
 
 	q := &jobQueue{}
@@ -178,6 +180,13 @@ func (p *Plan) ExecuteClasses(ctx context.Context, ids []string, emit func(Class
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// The runtime-build and class-run paths recover internally; this
+			// catches everything else (most plausibly a panicking emit
+			// callback reached through deliver). The worker dies quietly:
+			// classes it never delivered are missing from results, and
+			// Assemble degrades them — the same contract as cancellation.
+			// The process must survive either way.
+			defer func() { recover() }()
 			var rt *workerRT
 			served := 0
 			for ctx.Err() == nil {

@@ -354,6 +354,54 @@ func TestSweepWorkerKillRequeue(t *testing.T) {
 	}
 }
 
+// TestSweepPanickingEmit: a panicking emit callback must not crash the
+// process, leak the results mutex (wedging every other worker), or hang
+// ExecuteClasses. The worker that hit the panic dies; classes it never
+// delivered degrade through Assemble exactly like cancellation.
+func TestSweepPanickingEmit(t *testing.T) {
+	texts := fabricTexts(t, "pe")
+	base := core.LoadTextWith(pipeline.New(pipeline.Config{}), texts)
+	srcs, dst := monitored(t, base, "pe-p01-tor01", "pe-p01-tor02")
+	plan, err := NewPlan(base, Spec{K: 1, Nodes: true,
+		Sources: srcs, DstIPs: []ip4.Prefix{dst}, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.classIDs) < 3 {
+		t.Fatalf("plan too small for the test: %d classes", len(plan.classIDs))
+	}
+
+	// Emit panics once. The worker that called it dies, but its class was
+	// already recorded and the surviving worker drains the queue: the run
+	// completes whole.
+	fired := false
+	results := plan.ExecuteClasses(context.Background(), plan.classIDs, func(ClassResult) {
+		if !fired {
+			fired = true
+			panic("emit failed once")
+		}
+	})
+	if len(results) != len(plan.classIDs) {
+		t.Fatalf("one-shot emit panic: delivered %d of %d classes", len(results), len(plan.classIDs))
+	}
+	if res := plan.Assemble(results); res.Degraded {
+		t.Error("one-shot emit panic must not degrade a fully-delivered run")
+	}
+
+	// Emit always panics: with one worker the run dies after its first
+	// delivery. The missing classes must come back Degraded, not hang.
+	plan.spec.Workers = 1
+	results = plan.ExecuteClasses(context.Background(), plan.classIDs, func(ClassResult) {
+		panic("emit always fails")
+	})
+	if len(results) != 1 {
+		t.Fatalf("always-panic emit: delivered %d classes, want 1", len(results))
+	}
+	if res := plan.Assemble(results); !res.Degraded {
+		t.Error("undelivered classes must degrade the assembled result")
+	}
+}
+
 // TestSweepCancellation: a cancelled context stops the sweep promptly and
 // reports the cancellation.
 func TestSweepCancellation(t *testing.T) {
